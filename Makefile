@@ -1,0 +1,36 @@
+# Convenience wrappers; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick doc examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe -- --table all --table ablation --table methods \
+	  --table pricing --timing --csv bench_results.csv 2>&1 | tee bench_output.txt
+
+bench-quick:
+	dune exec bench/main.exe -- --table fig1 --table 1 --table 3
+
+doc:
+	dune build @doc
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/two_level.exe
+	dune exec examples/covering_demo.exe
+	dune exec examples/binate_demo.exe
+	dune exec examples/fsm_demo.exe
+	dune exec examples/convergence.exe
+	dune exec examples/multistart.exe
+
+clean:
+	dune clean
