@@ -1,0 +1,596 @@
+(* Benchmark harness — regenerates every table and figure of the paper's
+   evaluation section (§5) on the synthetic benchmark suite:
+
+     fig1   the bound-hierarchy example of §3.4 / Figure 1
+     easy   the 49 easy-cyclic instances (aggregate comparison)
+     1      Table 1: difficult cyclic, ZDD_SCG vs the espresso-grade baseline
+     2      Table 2: challenging, same comparison
+     3      Table 3: difficult cyclic, ZDD_SCG vs the exact solver
+     4      Table 4: challenging, ZDD_SCG vs the exact solver
+
+   `--timing` additionally runs one Bechamel micro-benchmark per table on a
+   representative kernel.  Run `bench/main.exe --help` for options. *)
+
+module Matrix = Covering.Matrix
+module Registry = Benchsuite.Registry
+
+let pr fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let live_mb () =
+  let s = Gc.quick_stat () in
+  float_of_int (s.Gc.heap_words * (Sys.word_size / 8)) /. 1_048_576.
+
+let starred cost proven = Printf.sprintf "%d%s" cost (if proven then "*" else "")
+
+let with_lb cost proven lb =
+  if proven then Printf.sprintf "%d*" cost else Printf.sprintf "%d(%d)" cost lb
+
+let hline width = pr "%s@." (String.make width '-')
+
+(* Optional CSV sink: every per-instance result row is mirrored there so
+   downstream tooling does not have to scrape the pretty tables. *)
+let csv_channel : out_channel option ref = ref None
+
+let csv_emit fields =
+  match !csv_channel with
+  | None -> ()
+  | Some oc ->
+    output_string oc (String.concat "," fields);
+    output_char oc '\n'
+
+let csv_open path =
+  let oc = open_out path in
+  csv_channel := Some oc;
+  csv_emit
+    [
+      "table"; "instance"; "solver"; "cost"; "proven"; "lower_bound"; "seconds"; "extra";
+    ]
+
+let csv_close () =
+  match !csv_channel with
+  | None -> ()
+  | Some oc ->
+    close_out oc;
+    csv_channel := None
+
+(* Baselines for a problem: the genuine espresso loop on two-level
+   instances, the Chvátal greedy family (normal) and its 1-exchange
+   variant (strong) on raw matrices — the same design point: fast,
+   heuristic, no bounds. *)
+type baseline = {
+  normal_cost : int;
+  normal_time : float;
+  strong_cost : int;
+  strong_time : float;
+}
+
+let baseline_of (inst : Registry.instance) m =
+  match Lazy.force inst.Registry.problem with
+  | Registry.Two_level spec ->
+    let normal, normal_time =
+      timed (fun () ->
+          Espresso.minimise ~mode:Espresso.Normal ~on:spec.Benchsuite.Plagen.on
+            ~dc:spec.Benchsuite.Plagen.dc ())
+    in
+    let strong, strong_time =
+      timed (fun () ->
+          Espresso.minimise ~mode:Espresso.Strong ~on:spec.Benchsuite.Plagen.on
+            ~dc:spec.Benchsuite.Plagen.dc ())
+    in
+    {
+      normal_cost = normal.Espresso.cost;
+      normal_time;
+      strong_cost = strong.Espresso.cost;
+      strong_time;
+    }
+  | Registry.Multi_level pla ->
+    (* espresso has no shared-product mode: minimise each output
+       independently and count distinct products, as a PLA realisation
+       would *)
+    let normal = Espresso.minimise_all ~mode:Espresso.Normal pla in
+    let strong = Espresso.minimise_all ~mode:Espresso.Strong pla in
+    {
+      normal_cost = normal.Espresso.distinct_products;
+      normal_time = normal.Espresso.total_seconds;
+      strong_cost = strong.Espresso.distinct_products;
+      strong_time = strong.Espresso.total_seconds;
+    }
+  | Registry.Raw _ ->
+    let normal, normal_time = timed (fun () -> Covering.Greedy.solve m) in
+    let strong, strong_time = timed (fun () -> Covering.Greedy.solve_exchange m) in
+    {
+      normal_cost = Matrix.cost_of m normal;
+      normal_time;
+      strong_cost = Matrix.cost_of m strong;
+      strong_time;
+    }
+
+let scg_config ~num_iter = { Scg.Config.default with Scg.Config.num_iter }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig1 () =
+  pr "@.== Figure 1 — lower-bound hierarchy (reconstructed example) ==@.";
+  pr "paper: LB_MIS = 1 < LB_DA = 2 < LB_LR = 2.5 (ceil 3); uniform: MIS = DA < LR@.";
+  hline 78;
+  pr "%-14s %8s %8s %10s %8s %6s %5s@." "instance" "LB_MIS" "LB_DA" "LB_Lagr" "LB_LP"
+    "ceil" "OPT";
+  hline 78;
+  let row name m =
+    let mis = (Covering.Mis_bound.compute m).Covering.Mis_bound.bound in
+    let da = (Lagrangian.Dual_ascent.run m).Lagrangian.Dual_ascent.value in
+    let sg = Lagrangian.Subgradient.run m in
+    let lp = (Lagrangian.Lp.solve m).Lagrangian.Lp.value in
+    let opt = (Covering.Exact.solve m).Covering.Exact.cost in
+    pr "%-14s %8d %8.2f %10.3f %8.3f %6.0f %5d@." name mis da
+      sg.Lagrangian.Subgradient.lower_bound lp
+      (Float.ceil (lp -. 1e-6))
+      opt
+  in
+  row "fig1(c6=3)" (Benchsuite.Worked.fig1 ());
+  row "c5-uniform" (Benchsuite.Worked.c5 ());
+  hline 78
+
+(* ------------------------------------------------------------------ *)
+(* Easy-cyclic aggregate (first experiment of §5)                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_easy ~verbose () =
+  pr "@.== Easy cyclic (49 instances) — aggregate, cf. §5 first experiment ==@.";
+  pr "paper: ZDD_SCG total 5225 vs LB 5213 (gap 0.22%%); espresso 5330 / strong 5281@.";
+  if verbose then begin
+    hline 78;
+    pr "%-12s %8s %6s %8s %8s %8s@." "name" "scg" "LB" "base" "strong" "T(s)";
+    hline 78
+  end;
+  let totals = ref (0, 0, 0, 0) and proven = ref 0 and time = ref 0. in
+  List.iter
+    (fun inst ->
+      let m = Registry.matrix inst in
+      let r, t = timed (fun () -> Scg.solve ~config:(scg_config ~num_iter:3) m) in
+      let b = baseline_of inst m in
+      if r.Scg.proven_optimal then incr proven;
+      time := !time +. t;
+      let sc, lb, en, es = !totals in
+      totals :=
+        (sc + r.Scg.cost, lb + r.Scg.lower_bound, en + b.normal_cost, es + b.strong_cost);
+      csv_emit
+        [
+          "easy"; inst.Registry.name; "scg"; string_of_int r.Scg.cost;
+          string_of_bool r.Scg.proven_optimal; string_of_int r.Scg.lower_bound;
+          Printf.sprintf "%.4f" t;
+          Printf.sprintf "base=%d strong=%d" b.normal_cost b.strong_cost;
+        ];
+      if verbose then
+        pr "%-12s %8s %6d %8d %8d %8.2f@." inst.Registry.name
+          (starred r.Scg.cost r.Scg.proven_optimal)
+          r.Scg.lower_bound b.normal_cost b.strong_cost t)
+    (Registry.easy ());
+  let sc, lb, en, es = !totals in
+  hline 78;
+  pr "totals: scg %d | lagrangian LB %d (gap %.2f%%) | baseline %d | strong %d@." sc lb
+    (100. *. float_of_int (sc - lb) /. float_of_int (max sc 1))
+    en es;
+  pr "proven optimal: %d / 49, total time %.1fs@." !proven !time;
+  hline 78
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2: ZDD_SCG vs the heuristic baseline                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_heuristic_table ~table_id ~title ~paper_note instances =
+  pr "@.== %s ==@." title;
+  pr "%s@." paper_note;
+  hline 94;
+  pr "%-10s | %8s %8s %8s %6s | %8s %8s | %8s %8s@." "name" "Sol" "CC(s)" "T(s)"
+    "M(MB)" "base" "T(s)" "strong" "T(s)";
+  hline 94;
+  List.iter
+    (fun inst ->
+      let m = Registry.matrix inst in
+      let r, _ = timed (fun () -> Scg.solve m) in
+      let b = baseline_of inst m in
+      csv_emit
+        [
+          table_id; inst.Registry.name; "scg"; string_of_int r.Scg.cost;
+          string_of_bool r.Scg.proven_optimal; string_of_int r.Scg.lower_bound;
+          Printf.sprintf "%.4f" r.Scg.stats.Scg.Stats.total_seconds;
+          Printf.sprintf "base=%d strong=%d" b.normal_cost b.strong_cost;
+        ];
+      pr "%-10s | %8s %8.2f %8.2f %6.0f | %8d %8.2f | %8d %8.2f@." inst.Registry.name
+        (starred r.Scg.cost r.Scg.proven_optimal)
+        r.Scg.stats.Scg.Stats.cyclic_core_seconds r.Scg.stats.Scg.Stats.total_seconds
+        (live_mb ()) b.normal_cost b.normal_time b.strong_cost b.strong_time)
+    instances;
+  hline 94;
+  pr "(*) proven optimal; base/strong = espresso loop on two-level instances,@.";
+  pr "    Chvatal greedy / +1-exchange on raw covering matrices@."
+
+let run_table1 () =
+  run_heuristic_table ~table_id:"table1"
+    ~title:"Table 1 — difficult cyclic: ZDD_SCG vs heuristic baseline"
+    ~paper_note:
+      "paper shape: ZDD_SCG <= strong <= normal on every row; ties are proven optimal"
+    (Registry.difficult ())
+
+let run_table2 () =
+  run_heuristic_table ~table_id:"table2"
+    ~title:"Table 2 — challenging: ZDD_SCG vs heuristic baseline"
+    ~paper_note:
+      "paper shape: many rows proven optimal; big improvements on pdc/test2/test3"
+    (Registry.challenging ())
+
+(* ------------------------------------------------------------------ *)
+(* Tables 3 and 4: ZDD_SCG vs the exact solver                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_exact_table ~table_id ~title ~paper_note ~max_nodes instances =
+  pr "@.== %s ==@." title;
+  pr "%s@." paper_note;
+  hline 88;
+  pr "%-10s | %12s %8s %8s | %10s %8s %9s@." "name" "Sol(LB)" "T(s)" "MaxIter" "exact"
+    "T(s)" "nodes";
+  hline 88;
+  List.iter
+    (fun inst ->
+      let m = Registry.matrix inst in
+      let r, t_scg = timed (fun () -> Scg.solve m) in
+      let e, t_exact = timed (fun () -> Covering.Exact.solve ~max_nodes m) in
+      let exact_str =
+        Printf.sprintf "%d%s" e.Covering.Exact.cost
+          (if e.Covering.Exact.optimal then "" else "H")
+      in
+      csv_emit
+        [
+          table_id; inst.Registry.name; "scg"; string_of_int r.Scg.cost;
+          string_of_bool r.Scg.proven_optimal; string_of_int r.Scg.lower_bound;
+          Printf.sprintf "%.4f" t_scg;
+          Printf.sprintf "best_iter=%d" r.Scg.stats.Scg.Stats.best_iteration;
+        ];
+      csv_emit
+        [
+          table_id; inst.Registry.name; "exact"; string_of_int e.Covering.Exact.cost;
+          string_of_bool e.Covering.Exact.optimal;
+          string_of_int e.Covering.Exact.lower_bound;
+          Printf.sprintf "%.4f" t_exact;
+          Printf.sprintf "nodes=%d" e.Covering.Exact.nodes;
+        ];
+      pr "%-10s | %12s %8.2f %8d | %10s %8.2f %9d@." inst.Registry.name
+        (with_lb r.Scg.cost r.Scg.proven_optimal r.Scg.lower_bound)
+        t_scg r.Scg.stats.Scg.Stats.best_iteration exact_str t_exact
+        e.Covering.Exact.nodes)
+    instances;
+  hline 88;
+  pr "(*) proven optimal; (n) Lagrangian lower bound; H = exact node budget (%d)@."
+    max_nodes;
+  pr "    exhausted, best incumbent reported — the paper's best-known-bound rows@."
+
+let table4_names =
+  [ "ex1010"; "ex4"; "jbp"; "pdc"; "soar.pla"; "test2"; "test3"; "ti"; "xparc" ]
+
+let run_table3 ~max_nodes () =
+  run_exact_table ~table_id:"table3"
+    ~title:"Table 3 — difficult cyclic: ZDD_SCG vs exact branch-and-bound"
+    ~paper_note:
+      "paper shape: heuristic matches/beats the exact incumbents at a fraction of the time"
+    ~max_nodes (Registry.difficult ())
+
+let run_table4 ~max_nodes () =
+  run_exact_table ~table_id:"table4"
+    ~title:"Table 4 — challenging: ZDD_SCG vs exact branch-and-bound"
+    ~paper_note:
+      "paper shape: small rows proved optimal; on the big three the exact solver times out"
+    ~max_nodes
+    (List.map Registry.find table4_names)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_variants =
+  let base = Scg.Config.default in
+  [
+    ("full (paper)", base);
+    ("no penalties", { base with Scg.Config.use_penalties = false; dual_pen_max_cols = 0 });
+    ("no dual pen.", { base with Scg.Config.dual_pen_max_cols = 0 });
+    ("no warm start", { base with Scg.Config.warm_start = false });
+    ("no multistart", { base with Scg.Config.num_iter = 1 });
+    ("alpha = 0", { base with Scg.Config.alpha = 0. });
+    ("alpha = 8", { base with Scg.Config.alpha = 8. });
+    ("no gimpel", { base with Scg.Config.use_gimpel = false });
+    ( "short subgrad",
+      {
+        base with
+        Scg.Config.subgradient =
+          { Lagrangian.Subgradient.default_config with max_steps = 60 };
+      } );
+  ]
+
+let run_ablation () =
+  pr "@.== Ablations — ZDD_SCG design choices on the difficult set ==@.";
+  pr "total cost / proven count / time over the 7 difficult-cyclic instances@.";
+  let instances = Registry.difficult () in
+  let matrices = List.map (fun i -> (i.Registry.name, Registry.matrix i)) instances in
+  hline 66;
+  pr "%-16s %10s %8s %10s %10s@." "variant" "total" "proven" "LB total" "T(s)";
+  hline 66;
+  List.iter
+    (fun (label, config) ->
+      let (total, proven, lb_total), t =
+        timed (fun () ->
+            List.fold_left
+              (fun (total, proven, lb_total) (_, m) ->
+                let r = Scg.solve ~config m in
+                ( total + r.Scg.cost,
+                  (proven + if r.Scg.proven_optimal then 1 else 0),
+                  lb_total + r.Scg.lower_bound ))
+              (0, 0, 0) matrices)
+      in
+      pr "%-16s %10d %8d %10d %10.1f@." label total proven lb_total t)
+    ablation_variants;
+  hline 66;
+  pr "(lower total is better; the paper's configuration should win or tie)@.";
+  (* exact-solver bound ablation: plain MIS vs the strengthened
+     (row-induced-subproblem) bound of §2's related work *)
+  pr "@.exact-solver lower-bound ablation (node counts, 60k budget):@.";
+  pr "MIS = classical bound; strong = row-induced (Goldberg/Coudert);@.";
+  pr "dual = dual ascent per node (Liao-Devadas's fast LPR alternative, §2)@.";
+  hline 92;
+  pr "%-10s %12s %8s | %12s %8s | %12s %8s@." "name" "MIS nodes" "T(s)" "strong"
+    "T(s)" "dual" "T(s)";
+  hline 92;
+  let dual_bound core =
+    let da = Lagrangian.Dual_ascent.run core in
+    int_of_float (Float.ceil (da.Lagrangian.Dual_ascent.value -. 1e-6))
+  in
+  List.iter
+    (fun (name, m) ->
+      let plain, t_plain = timed (fun () -> Covering.Exact.solve ~max_nodes:60_000 m) in
+      let strong, t_strong =
+        timed (fun () ->
+            Covering.Exact.solve ~max_nodes:60_000
+              ~extra_bound:(Covering.Bounds.strengthened_mis ~extra_rows:4)
+              m)
+      in
+      let dual, t_dual =
+        timed (fun () -> Covering.Exact.solve ~max_nodes:60_000 ~extra_bound:dual_bound m)
+      in
+      pr "%-10s %12d %8.2f | %12d %8.2f | %12d %8.2f@." name plain.Covering.Exact.nodes
+        t_plain strong.Covering.Exact.nodes t_strong dual.Covering.Exact.nodes t_dual)
+    matrices;
+  hline 92;
+  pr "(these instances have uniform costs, where Proposition 1 says the@.";
+  pr " dual-ascent bound collapses to the independent-set bound — and@.";
+  pr " indeed the node counts barely move while each node pays more; §2's@.";
+  pr " point that the cheap classical bound wins on ordinary problems)@."
+
+(* ------------------------------------------------------------------ *)
+(* Two-level method comparison (not a paper table; showcases ISOP)    *)
+(* ------------------------------------------------------------------ *)
+
+let run_methods () =
+  pr "@.== Two-level minimisers compared (product counts) ==@.";
+  pr "scg = paper's heuristic (starred if proven); isop = Minato-Morreale;@.";
+  pr "exact = covering branch-and-bound@.";
+  hline 76;
+  pr "%-12s %8s %8s %8s %8s %8s@." "function" "scg" "esp-n" "esp-s" "isop" "exact";
+  hline 76;
+  List.iter
+    (fun name ->
+      match Lazy.force (Registry.find name).Registry.problem with
+      | Registry.Two_level spec ->
+        let on = spec.Benchsuite.Plagen.on and dc = spec.Benchsuite.Plagen.dc in
+        let n = Logic.Cover.nvars on in
+        let scg, _ = timed (fun () -> Scg.solve_logic ~on ~dc ()) in
+        let scg = fst scg in
+        let esp_n = (Espresso.minimise ~mode:Espresso.Normal ~on ~dc ()).Espresso.cost in
+        let esp_s = (Espresso.minimise ~mode:Espresso.Strong ~on ~dc ()).Espresso.cost in
+        let isop = List.length (Logic.Isop.compute_cubes ~nvars:n ~on ~dc) in
+        let b = Covering.From_logic.build ~on ~dc () in
+        let exact = (Covering.Exact.solve b.Covering.From_logic.matrix).Covering.Exact.cost in
+        pr "%-12s %8s %8d %8d %8d %8d@." name
+          (starred scg.Scg.cost scg.Scg.proven_optimal)
+          esp_n esp_s isop exact
+      | Registry.Raw _ | Registry.Multi_level _ -> ())
+    [
+      "maj5"; "sym6-234"; "sym7-135"; "add3"; "mux8"; "rpla-6-8"; "rpla-7-10";
+      "rpla-8-12"; "rpla-dc30"; "rpla-dc60";
+    ];
+  hline 76;
+  pr "(scg and exact agree wherever exact finishes; isop >= exact always)@."
+
+(* ------------------------------------------------------------------ *)
+(* Column pricing on the large instances (§2 ref [6])                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_pricing () =
+  pr "@.== Column pricing vs full subgradient (large instances) ==@.";
+  pr "Caprara-style core selection: same bounds for a fraction of the work@.";
+  hline 86;
+  pr "%-10s | %10s %8s %8s | %10s %8s %8s@." "name" "full LB" "UB" "T(s)" "priced LB"
+    "UB" "T(s)";
+  hline 86;
+  List.iter
+    (fun name ->
+      let m = Registry.matrix (Registry.find name) in
+      let plain, t_plain =
+        timed (fun () ->
+            Lagrangian.Subgradient.run
+              ~config:
+                { Lagrangian.Subgradient.default_config with max_steps = 600 }
+              m)
+      in
+      let priced, t_priced = timed (fun () -> Lagrangian.Pricing.run m) in
+      pr "%-10s | %10.2f %8d %8.2f | %10.2f %8d %8.2f@." name
+        plain.Lagrangian.Subgradient.lower_bound plain.Lagrangian.Subgradient.best_cost
+        t_plain priced.Lagrangian.Subgradient.lower_bound
+        priced.Lagrangian.Subgradient.best_cost t_priced;
+      csv_emit
+        [
+          "pricing"; name; "subgradient";
+          string_of_int plain.Lagrangian.Subgradient.best_cost; "false";
+          Printf.sprintf "%.2f" plain.Lagrangian.Subgradient.lower_bound;
+          Printf.sprintf "%.4f" t_plain; "";
+        ];
+      csv_emit
+        [
+          "pricing"; name; "pricing";
+          string_of_int priced.Lagrangian.Subgradient.best_cost; "false";
+          Printf.sprintf "%.2f" priced.Lagrangian.Subgradient.lower_bound;
+          Printf.sprintf "%.4f" t_priced; "";
+        ])
+    [ "ex1010"; "soar.pla"; "test2"; "test3" ];
+  (* the shape pricing exists for: few constraints, a flood of candidate
+     columns (Beasley's scp profile) *)
+  List.iter
+    (fun (label, n_rows, n_cols) ->
+      let m =
+        Benchsuite.Randucp.beasley ~name:label ~n_rows ~n_cols ~rows_per_col:6 ()
+      in
+      let plain, t_plain =
+        timed (fun () ->
+            Lagrangian.Subgradient.run
+              ~config:{ Lagrangian.Subgradient.default_config with max_steps = 400 }
+              m)
+      in
+      let priced, t_priced = timed (fun () -> Lagrangian.Pricing.run m) in
+      pr "%-10s | %10.2f %8d %8.2f | %10.2f %8d %8.2f@." label
+        plain.Lagrangian.Subgradient.lower_bound plain.Lagrangian.Subgradient.best_cost
+        t_plain priced.Lagrangian.Subgradient.lower_bound
+        priced.Lagrangian.Subgradient.best_cost t_priced)
+    [ ("scp-a", 300, 6_000); ("scp-b", 500, 15_000) ];
+  hline 86
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table                 *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let fig1 = Benchsuite.Worked.fig1 () in
+  let easy_m = Registry.matrix (Registry.find "ucp-easy20") in
+  let t1 = Registry.matrix (Registry.find "t1") in
+  let misj = Registry.matrix (Registry.find "misj") in
+  let pdc = Registry.matrix (Registry.find "pdc") in
+  let quick_cfg =
+    {
+      Scg.Config.default with
+      Scg.Config.num_iter = 1;
+      subgradient = { Lagrangian.Subgradient.default_config with max_steps = 100 };
+    }
+  in
+  [
+    Test.make ~name:"fig1/subgradient"
+      (Staged.stage (fun () -> ignore (Lagrangian.Subgradient.run fig1)));
+    Test.make ~name:"easy/scg"
+      (Staged.stage (fun () -> ignore (Scg.solve ~config:quick_cfg easy_m)));
+    Test.make ~name:"table1/scg-t1"
+      (Staged.stage (fun () -> ignore (Scg.solve ~config:quick_cfg t1)));
+    Test.make ~name:"table2/scg-misj"
+      (Staged.stage (fun () -> ignore (Scg.solve ~config:quick_cfg misj)));
+    Test.make ~name:"table3/exact-t1"
+      (Staged.stage (fun () -> ignore (Covering.Exact.solve ~max_nodes:5_000 t1)));
+    Test.make ~name:"table4/exact-pdc"
+      (Staged.stage (fun () -> ignore (Covering.Exact.solve ~max_nodes:1_000 pdc)));
+  ]
+
+let run_timing () =
+  let open Bechamel in
+  pr "@.== Bechamel micro-benchmarks (one kernel per table) ==@.";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"ucp" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  hline 60;
+  pr "%-28s %14s %8s@." "kernel" "time/run" "r^2";
+  hline 60;
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some [ e ] -> e
+        | Some _ | None -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square est) in
+      let pretty =
+        if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else Printf.sprintf "%.2f us" (ns /. 1e3)
+      in
+      pr "%-28s %14s %8.3f@." name pretty r2)
+    (List.sort Stdlib.compare rows);
+  hline 60
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  pr
+    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|all] [--verbose] [--timing]@,\
+    \       [--exact-nodes-difficult N] [--exact-nodes-challenging N] [--csv FILE]@.";
+  exit 2
+
+let () =
+  let tables = ref [] in
+  let verbose = ref false in
+  let timing = ref false in
+  let nodes_difficult = ref 150_000 in
+  let nodes_challenging = ref 30_000 in
+  let csv = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--table" :: t :: rest ->
+      tables := t :: !tables;
+      parse rest
+    | "--verbose" :: rest ->
+      verbose := true;
+      parse rest
+    | "--timing" :: rest ->
+      timing := true;
+      parse rest
+    | "--exact-nodes-difficult" :: n :: rest ->
+      nodes_difficult := int_of_string n;
+      parse rest
+    | "--exact-nodes-challenging" :: n :: rest ->
+      nodes_challenging := int_of_string n;
+      parse rest
+    | "--csv" :: path :: rest ->
+      csv := Some path;
+      parse rest
+    | "--help" :: _ -> usage ()
+    | arg :: _ ->
+      pr "unknown argument %s@." arg;
+      usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let wanted = if !tables = [] then [ "all" ] else List.rev !tables in
+  let want t = List.mem "all" wanted || List.mem t wanted in
+  Option.iter csv_open !csv;
+  pr "ZDD_SCG reproduction bench — synthetic suite (see DESIGN.md / EXPERIMENTS.md)@.";
+  if want "fig1" then run_fig1 ();
+  if want "easy" then run_easy ~verbose:!verbose ();
+  if want "1" then run_table1 ();
+  if want "2" then run_table2 ();
+  if want "3" then run_table3 ~max_nodes:!nodes_difficult ();
+  if want "4" then run_table4 ~max_nodes:!nodes_challenging ();
+  if want "ablation" then run_ablation ();
+  if want "methods" then run_methods ();
+  if want "pricing" then run_pricing ();
+  if !timing || want "timing" then run_timing ();
+  csv_close ();
+  pr "@.done.@."

@@ -1,0 +1,1 @@
+bin/fsm_min.mli:

@@ -1,0 +1,1 @@
+bin/ucp_gen.ml: Arg Benchsuite Cmd Cmdliner Covering Filename Fmt Lazy List Logic Term Unix

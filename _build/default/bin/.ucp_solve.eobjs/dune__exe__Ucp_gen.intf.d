@@ -1,0 +1,1 @@
+bin/ucp_gen.mli:

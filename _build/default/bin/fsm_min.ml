@@ -1,0 +1,51 @@
+(* fsm_min — minimise the states of a KISS2 machine.
+
+   The binate-covering application: compatibility analysis, prime
+   compatibles, closure clauses, and the branch-and-bound of lib/binate.
+   Reads a .kiss file, writes the reduced machine as KISS2 on stdout. *)
+
+open Cmdliner
+
+let run path max_nodes stats_only synth =
+  match path with
+  | None ->
+    Fmt.epr "usage: fsm_min FILE.kiss@.";
+    2
+  | Some path ->
+    let m =
+      try Fsm.Kiss.parse_file path
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    let r = Fsm.Minimise.minimise ~max_nodes m in
+    Fmt.epr "states: %d -> %d%s (%d branch-and-bound nodes)@."
+      r.Fsm.Minimise.original_states r.Fsm.Minimise.minimised_states
+      (if r.Fsm.Minimise.optimal then "" else " (node budget hit; upper bound)")
+      r.Fsm.Minimise.nodes;
+    if synth then begin
+      let pla, logic_r = Fsm.Synth.implement r.Fsm.Minimise.machine in
+      Fmt.epr "logic: %d product rows%s@." logic_r.Scg.cost
+        (if logic_r.Scg.proven_optimal then " (proven minimal)" else "");
+      if not stats_only then print_string (Logic.Pla.to_string pla)
+    end
+    else if not stats_only then print_string (Fsm.Kiss.to_string r.Fsm.Minimise.machine);
+    0
+
+let path_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.kiss")
+
+let max_nodes_arg =
+  Arg.(value & opt int 200_000 & info [ "max-nodes" ] ~doc:"Binate search budget.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats-only" ] ~doc:"Only report the state counts.")
+
+let synth_arg =
+  Arg.(value & flag & info [ "synth" ] ~doc:"Also synthesise the minimised next-state/output logic as a PLA.")
+
+let cmd =
+  let doc = "minimise the states of an incompletely specified FSM (KISS2)" in
+  Cmd.v (Cmd.info "fsm_min" ~doc)
+    Term.(const run $ path_arg $ max_nodes_arg $ stats_arg $ synth_arg)
+
+let () = exit (Cmd.eval' cmd)

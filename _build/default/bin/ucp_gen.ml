@@ -1,0 +1,69 @@
+(* ucp_gen — materialise benchmark instances as files.
+
+   Writes any (or all) of the built-in registry instances to disk: raw
+   matrices in the `.ucp` text format, two-level and multi-output
+   instances as `.pla`.  Useful for feeding the problems to external
+   solvers or inspecting what a named instance actually is. *)
+
+open Cmdliner
+
+let write_instance dir (inst : Benchsuite.Registry.instance) =
+  let base = Filename.concat dir inst.Benchsuite.Registry.name in
+  match Lazy.force inst.Benchsuite.Registry.problem with
+  | Benchsuite.Registry.Raw m ->
+    let path = base ^ ".ucp" in
+    Covering.Instance.write_file path m;
+    Fmt.pr "%s (%dx%d)@." path (Covering.Matrix.n_rows m) (Covering.Matrix.n_cols m)
+  | Benchsuite.Registry.Two_level spec ->
+    let path = base ^ ".pla" in
+    let pla =
+      Logic.Pla.single_output ~ni:spec.Benchsuite.Plagen.ni
+        ~on:spec.Benchsuite.Plagen.on ~dc:spec.Benchsuite.Plagen.dc
+    in
+    let oc = open_out path in
+    output_string oc (Logic.Pla.to_string pla);
+    close_out oc;
+    Fmt.pr "%s (%d inputs, %d cubes)@." path spec.Benchsuite.Plagen.ni
+      (Logic.Cover.size spec.Benchsuite.Plagen.on)
+  | Benchsuite.Registry.Multi_level pla ->
+    let path = base ^ ".pla" in
+    let oc = open_out path in
+    output_string oc (Logic.Pla.to_string pla);
+    close_out oc;
+    Fmt.pr "%s (%d inputs, %d outputs)@." path pla.Logic.Pla.ni pla.Logic.Pla.no
+
+let run dir names all =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (e, _, _) ->
+    Fmt.epr "cannot create %s: %s@." dir (Unix.error_message e);
+    exit 1);
+  let instances =
+    if all then Benchsuite.Registry.all ()
+    else
+      List.map
+        (fun name ->
+          try Benchsuite.Registry.find name
+          with Not_found ->
+            Fmt.epr "unknown instance %S@." name;
+            exit 2)
+        names
+  in
+  if instances = [] then begin
+    Fmt.epr "nothing to do: pass instance names or --all@.";
+    exit 2
+  end;
+  List.iter (write_instance dir) instances;
+  0
+
+let dir_arg =
+  Arg.(value & opt string "instances" & info [ "d"; "dir" ] ~doc:"Output directory.")
+
+let names_arg = Arg.(value & pos_all string [] & info [] ~docv:"NAME")
+let all_arg = Arg.(value & flag & info [ "all" ] ~doc:"Write every registry instance.")
+
+let cmd =
+  let doc = "materialise built-in benchmark instances as .ucp / .pla files" in
+  Cmd.v (Cmd.info "ucp_gen" ~doc) Term.(const run $ dir_arg $ names_arg $ all_arg)
+
+let () = exit (Cmd.eval' cmd)

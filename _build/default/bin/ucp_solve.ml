@@ -1,0 +1,192 @@
+(* ucp_solve — command-line front end.
+
+   Solves unate covering problems given as `.ucp` matrix files, `.pla`
+   two-level descriptions, or named instances of the built-in benchmark
+   registry, with a choice of solver: the paper's ZDD_SCG heuristic, the
+   exact branch-and-bound, the Chvátal greedy family, or the espresso-style
+   baseline (PLA inputs only). *)
+
+open Cmdliner
+
+type solver =
+  | Solver_scg
+  | Solver_exact
+  | Solver_greedy
+  | Solver_espresso
+
+type input =
+  | From_ucp of string
+  | From_orlib of string
+  | From_pla of string
+  | From_registry of string
+
+let load_input = function
+  | From_ucp path -> `Matrix (Covering.Instance.parse_file path)
+  | From_orlib path -> `Matrix (Covering.Instance.parse_orlib_file path)
+  | From_pla path ->
+    let pla = Logic.Pla.parse_file path in
+    `Pla pla
+  | From_registry name -> (
+    match Benchsuite.Registry.find name with
+    | inst -> (
+      match Lazy.force inst.Benchsuite.Registry.problem with
+      | Benchsuite.Registry.Raw m -> `Matrix m
+      | Benchsuite.Registry.Two_level spec -> `Spec spec
+      | Benchsuite.Registry.Multi_level pla -> `Pla pla)
+    | exception Not_found ->
+      Fmt.epr "unknown benchmark instance %S; use --list to enumerate@." name;
+      exit 2)
+
+let print_list () =
+  List.iter
+    (fun i ->
+      Fmt.pr "%-12s %s@." i.Benchsuite.Registry.name
+        (Benchsuite.Registry.string_of_category i.Benchsuite.Registry.category))
+    (Benchsuite.Registry.all ())
+
+let solve_matrix solver max_nodes m =
+  let n_rows = Covering.Matrix.n_rows m and n_cols = Covering.Matrix.n_cols m in
+  Fmt.pr "problem: %d rows x %d cols (density %.3f)@." n_rows n_cols
+    (Covering.Matrix.density m);
+  match solver with
+  | Solver_scg ->
+    let r = Scg.solve m in
+    Fmt.pr "scg: cost %d, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
+      (if r.Scg.proven_optimal then " (proven optimal)" else "");
+    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Scg.solution;
+    Fmt.pr "%a@." Scg.Stats.pp r.Scg.stats
+  | Solver_exact ->
+    let r = Covering.Exact.solve ~max_nodes m in
+    Fmt.pr "exact: cost %d (%s, %d nodes, lower bound %d)@." r.Covering.Exact.cost
+      (if r.Covering.Exact.optimal then "optimal" else "node budget exhausted")
+      r.Covering.Exact.nodes r.Covering.Exact.lower_bound;
+    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Covering.Exact.solution
+  | Solver_greedy ->
+    let sol = Covering.Greedy.solve_exchange m in
+    Fmt.pr "greedy: cost %d@." (Covering.Matrix.cost_of m sol);
+    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) sol
+  | Solver_espresso ->
+    Fmt.epr "espresso mode needs a two-level input (.pla or a two-level instance)@.";
+    exit 2
+
+let solve_spec solver max_nodes (spec : Benchsuite.Plagen.spec) =
+  match solver with
+  | Solver_espresso ->
+    let strong = Espresso.minimise ~mode:Espresso.Strong ~on:spec.on ~dc:spec.dc () in
+    let normal = Espresso.minimise ~mode:Espresso.Normal ~on:spec.on ~dc:spec.dc () in
+    Fmt.pr "espresso normal: %d products / %d literals (%.2fs)@."
+      normal.Espresso.cost normal.Espresso.literals normal.Espresso.seconds;
+    Fmt.pr "espresso strong: %d products / %d literals (%.2fs)@."
+      strong.Espresso.cost strong.Espresso.literals strong.Espresso.seconds
+  | Solver_scg ->
+    let r, bridge = Scg.solve_logic ~on:spec.on ~dc:spec.dc () in
+    Fmt.pr "scg: %d products, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
+      (if r.Scg.proven_optimal then " (proven optimal)" else "");
+    let cover = Covering.From_logic.cover_of_solution bridge r.Scg.solution in
+    Fmt.pr "@[<v>cover:@,%a@]@." Logic.Cover.pp cover
+  | Solver_exact | Solver_greedy ->
+    let bridge = Covering.From_logic.build ~on:spec.on ~dc:spec.dc () in
+    solve_matrix solver max_nodes bridge.Covering.From_logic.matrix
+
+let solve_multi solver pla =
+  match solver with
+  | Solver_scg ->
+    let r, bridge = Scg.solve_pla_multi pla in
+    Fmt.pr "scg (shared products): %d rows, lower bound %d%s@." r.Scg.cost
+      r.Scg.lower_bound
+      (if r.Scg.proven_optimal then " (proven optimal)" else "");
+    let out = Covering.From_logic.pla_of_multi_solution pla bridge r.Scg.solution in
+    Fmt.pr "%s@." (Logic.Pla.to_string out)
+  | Solver_exact ->
+    let bridge = Covering.From_logic.build_multi pla in
+    let r = Covering.Exact.solve bridge.Covering.From_logic.mmatrix in
+    Fmt.pr "exact (shared products): %d rows (%s, %d nodes)@." r.Covering.Exact.cost
+      (if r.Covering.Exact.optimal then "optimal" else "budget exhausted")
+      r.Covering.Exact.nodes
+  | Solver_greedy | Solver_espresso ->
+    Fmt.epr "--multi supports the scg and exact solvers@.";
+    exit 2
+
+let run list solver input_kind path output multi max_nodes verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning);
+  if list then (print_list (); 0)
+  else
+    match path with
+    | None ->
+      Fmt.epr "no input given; try --list or pass a file / instance name@.";
+      2
+    | Some p ->
+      let input =
+        match input_kind with
+        | `Auto ->
+          if Filename.check_suffix p ".pla" then From_pla p
+          else if Filename.check_suffix p ".ucp" then From_ucp p
+          else if Filename.check_suffix p ".scp" || Filename.check_suffix p ".txt" then
+            From_orlib p
+          else From_registry p
+        | `Pla -> From_pla p
+        | `Ucp -> From_ucp p
+        | `Orlib -> From_orlib p
+        | `Bench -> From_registry p
+      in
+      (match load_input input with
+      | `Matrix m -> solve_matrix solver max_nodes m
+      | `Spec spec -> solve_spec solver max_nodes spec
+      | `Pla pla when multi -> solve_multi solver pla
+      | `Pla pla ->
+        let o = output in
+        if o < 0 || o >= pla.Logic.Pla.no then begin
+          Fmt.epr "output %d out of range (PLA has %d outputs)@." o pla.Logic.Pla.no;
+          exit 2
+        end;
+        let spec =
+          {
+            Benchsuite.Plagen.name = p;
+            ni = pla.Logic.Pla.ni;
+            on = Logic.Pla.onset pla o;
+            dc = Logic.Pla.dcset pla o;
+          }
+        in
+        solve_spec solver max_nodes spec);
+      0
+
+let solver_arg =
+  let choices =
+    [
+      ("scg", Solver_scg);
+      ("exact", Solver_exact);
+      ("greedy", Solver_greedy);
+      ("espresso", Solver_espresso);
+    ]
+  in
+  Arg.(value & opt (enum choices) Solver_scg & info [ "s"; "solver" ] ~doc:"Solver: $(b,scg), $(b,exact), $(b,greedy) or $(b,espresso).")
+
+let kind_arg =
+  let choices =
+    [ ("auto", `Auto); ("pla", `Pla); ("ucp", `Ucp); ("orlib", `Orlib); ("bench", `Bench) ]
+  in
+  Arg.(value & opt (enum choices) `Auto & info [ "k"; "kind" ] ~doc:"Input kind (default: by file extension, else a benchmark name).")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List the built-in benchmark instances.")
+let path_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"INPUT")
+let output_arg = Arg.(value & opt int 0 & info [ "o"; "output" ] ~doc:"PLA output index to minimise.")
+
+let multi_arg =
+  Arg.(value & flag & info [ "multi" ] ~doc:"Minimise all PLA outputs together (shared products).")
+
+let max_nodes_arg =
+  Arg.(value & opt int 200_000 & info [ "max-nodes" ] ~doc:"Node budget for the exact solver.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let cmd =
+  let doc = "solve unate covering problems (ZDD_SCG reproduction)" in
+  Cmd.v
+    (Cmd.info "ucp_solve" ~doc)
+    Term.(
+      const run $ list_arg $ solver_arg $ kind_arg $ path_arg $ output_arg
+      $ multi_arg $ max_nodes_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/binate_demo.ml: Array Benchsuite Binate Format

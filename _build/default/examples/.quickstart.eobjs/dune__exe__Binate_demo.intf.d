@@ -1,0 +1,1 @@
+examples/binate_demo.mli:

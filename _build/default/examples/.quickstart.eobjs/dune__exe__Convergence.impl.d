@@ -1,0 +1,1 @@
+examples/convergence.ml: Benchsuite Covering Format Lagrangian List

@@ -1,0 +1,1 @@
+examples/covering_demo.ml: Benchsuite Covering Format Lagrangian List Scg Stdlib

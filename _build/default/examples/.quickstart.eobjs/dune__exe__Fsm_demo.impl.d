@@ -1,0 +1,1 @@
+examples/fsm_demo.ml: Array Format Fsm List Logic Scg

@@ -1,0 +1,1 @@
+examples/multistart.ml: Benchsuite Covering Format List Printf Scg Sys

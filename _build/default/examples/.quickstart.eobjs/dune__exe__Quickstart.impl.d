@@ -1,0 +1,1 @@
+examples/quickstart.ml: Covering Fmt Format Lagrangian Scg

@@ -1,0 +1,1 @@
+examples/two_level.ml: Bdd Covering Espresso Format Logic Scg Zdd

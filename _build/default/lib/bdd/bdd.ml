@@ -1,0 +1,350 @@
+(* Hash-consed ROBDD engine.
+
+   Canonical form: no node has [hi == lo] (redundant-test elimination) and
+   every (var, hi, lo) triple is built at most once (unique table).  Under
+   these two invariants, physical equality coincides with functional
+   equivalence, which every operation below exploits. *)
+
+type t = { tag : int; node : node }
+
+and node =
+  | Zero
+  | One
+  | Node of { var : int; hi : t; lo : t }
+
+let zero = { tag = 0; node = Zero }
+let one = { tag = 1; node = One }
+
+let is_zero f = f.tag = 0
+let is_one f = f.tag = 1
+let equal f g = f == g
+let compare f g = Stdlib.compare f.tag g.tag
+let hash f = f.tag
+
+(* ------------------------------------------------------------------ *)
+(* Unique table                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Triple = struct
+  type t = int * int * int
+
+  let equal (a, b, c) (a', b', c') = a = a' && b = b' && c = c'
+  let hash (a, b, c) = (a * 0x9e3779b1) lxor (b * 0x85ebca77) lxor (c * 0xc2b2ae3d)
+end
+
+module Unique = Hashtbl.Make (Triple)
+
+let unique : t Unique.t = Unique.create 65_536
+let next_tag = ref 2
+
+let mk var hi lo =
+  if hi == lo then hi
+  else
+    let key = (var, hi.tag, lo.tag) in
+    match Unique.find_opt unique key with
+    | Some n -> n
+    | None ->
+      let n = { tag = !next_tag; node = Node { var; hi; lo } } in
+      incr next_tag;
+      Unique.add unique key n;
+      n
+
+let node_count () = Unique.length unique
+
+let var i =
+  if i < 0 then invalid_arg "Bdd.var: negative index";
+  mk i one zero
+
+let nvar i =
+  if i < 0 then invalid_arg "Bdd.nvar: negative index";
+  mk i zero one
+
+let top_var f =
+  match f.node with
+  | Node { var; _ } -> var
+  | Zero | One -> invalid_arg "Bdd.top_var: constant"
+
+let cofactors f =
+  match f.node with
+  | Node { var; hi; lo } -> (var, hi, lo)
+  | Zero | One -> invalid_arg "Bdd.cofactors: constant"
+
+(* ------------------------------------------------------------------ *)
+(* Operation caches                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Pair = struct
+  type t = int * int
+
+  let equal (a, b) (a', b') = a = a' && b = b'
+  let hash (a, b) = (a * 0x9e3779b1) lxor b
+end
+
+module Cache2 = Hashtbl.Make (Pair)
+module Cache1 = Hashtbl.Make (Int)
+
+let and_cache : t Cache2.t = Cache2.create 65_536
+let or_cache : t Cache2.t = Cache2.create 65_536
+let xor_cache : t Cache2.t = Cache2.create 65_536
+let not_cache : t Cache1.t = Cache1.create 65_536
+let size_seen : unit Cache1.t = Cache1.create 1_024
+
+let clear_caches () =
+  Cache2.reset and_cache;
+  Cache2.reset or_cache;
+  Cache2.reset xor_cache;
+  Cache1.reset not_cache
+
+(* Expand [f] with respect to variable [v], assuming [v <= top_var f]. *)
+let cof f v =
+  match f.node with
+  | Node { var; hi; lo } when var = v -> (hi, lo)
+  | Zero | One | Node _ -> (f, f)
+
+let top2 f g =
+  match (f.node, g.node) with
+  | Node { var = a; _ }, Node { var = b; _ } -> if a < b then a else b
+  | Node { var = a; _ }, (Zero | One) -> a
+  | (Zero | One), Node { var = b; _ } -> b
+  | (Zero | One), (Zero | One) -> assert false
+
+let rec band f g =
+  if f == g then f
+  else if is_zero f || is_zero g then zero
+  else if is_one f then g
+  else if is_one g then f
+  else begin
+    (* commutative: normalise the cache key *)
+    let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
+    match Cache2.find_opt and_cache key with
+    | Some r -> r
+    | None ->
+      let v = top2 f g in
+      let f1, f0 = cof f v and g1, g0 = cof g v in
+      let r = mk v (band f1 g1) (band f0 g0) in
+      Cache2.add and_cache key r;
+      r
+  end
+
+let rec bor f g =
+  if f == g then f
+  else if is_one f || is_one g then one
+  else if is_zero f then g
+  else if is_zero g then f
+  else begin
+    let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
+    match Cache2.find_opt or_cache key with
+    | Some r -> r
+    | None ->
+      let v = top2 f g in
+      let f1, f0 = cof f v and g1, g0 = cof g v in
+      let r = mk v (bor f1 g1) (bor f0 g0) in
+      Cache2.add or_cache key r;
+      r
+  end
+
+let rec bxor f g =
+  if f == g then zero
+  else if is_zero f then g
+  else if is_zero g then f
+  else if is_one f then bnot g
+  else if is_one g then bnot f
+  else begin
+    let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
+    match Cache2.find_opt xor_cache key with
+    | Some r -> r
+    | None ->
+      let v = top2 f g in
+      let f1, f0 = cof f v and g1, g0 = cof g v in
+      let r = mk v (bxor f1 g1) (bxor f0 g0) in
+      Cache2.add xor_cache key r;
+      r
+  end
+
+and bnot f =
+  match f.node with
+  | Zero -> one
+  | One -> zero
+  | Node { var; hi; lo } -> (
+    match Cache1.find_opt not_cache f.tag with
+    | Some r -> r
+    | None ->
+      let r = mk var (bnot hi) (bnot lo) in
+      Cache1.add not_cache f.tag r;
+      r)
+
+let bdiff f g = band f (bnot g)
+let bimp f g = bor (bnot f) g
+let bite f g h = bor (band f g) (band (bnot f) h)
+
+(* ------------------------------------------------------------------ *)
+(* Cofactors and quantification                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cofactor f ~var b =
+  let module M = Map.Make (Int) in
+  let memo = ref M.empty in
+  let rec go f =
+    match f.node with
+    | Zero | One -> f
+    | Node { var = v; hi; lo } ->
+      if v > var then f
+      else if v = var then if b then hi else lo
+      else (
+        match M.find_opt f.tag !memo with
+        | Some r -> r
+        | None ->
+          let r = mk v (go hi) (go lo) in
+          memo := M.add f.tag r !memo;
+          r)
+  in
+  go f
+
+let quantify combine vars f =
+  let vars = List.sort_uniq Stdlib.compare vars in
+  let memo : t Cache1.t = Cache1.create 256 in
+  let rec go vars f =
+    match (vars, f.node) with
+    | [], _ | _, (Zero | One) -> f
+    | v :: rest, Node { var; hi; lo } ->
+      if var > v then go rest f
+      else (
+        match Cache1.find_opt memo f.tag with
+        | Some r -> r
+        | None ->
+          let r =
+            if var = v then combine (go rest hi) (go rest lo)
+            else mk var (go vars hi) (go vars lo)
+          in
+          Cache1.add memo f.tag r;
+          r)
+  in
+  go vars f
+
+let exists vars f = quantify bor vars f
+let forall vars f = quantify band vars f
+
+let support f =
+  let seen : unit Cache1.t = Cache1.create 256 in
+  let vars = ref [] in
+  let rec go f =
+    match f.node with
+    | Zero | One -> ()
+    | Node { var; hi; lo } ->
+      if not (Cache1.mem seen f.tag) then begin
+        Cache1.add seen f.tag ();
+        vars := var :: !vars;
+        go hi;
+        go lo
+      end
+  in
+  go f;
+  List.sort_uniq Stdlib.compare !vars
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval f env =
+  match f.node with
+  | Zero -> false
+  | One -> true
+  | Node { var; hi; lo } -> if env var then eval hi env else eval lo env
+
+let implies f g = is_zero (bdiff f g)
+
+let sat_count ~nvars f =
+  (* Weight of a node whose top variable is [var], counting from level
+     [from]: 2^(var - from) times the sum of the child counts, each taken
+     from level [var + 1].  Memoising the "below" part only keeps the cache
+     independent of [from]. *)
+  let memo : float Cache1.t = Cache1.create 256 in
+  let rec go from f =
+    (* number of satisfying assignments of variables [from .. nvars-1] *)
+    match f.node with
+    | Zero -> 0.
+    | One -> Float.pow 2. (Float.of_int (nvars - from))
+    | Node { var; hi; lo } ->
+      assert (var >= from);
+      let key = f.tag in
+      let below =
+        match Cache1.find_opt memo key with
+        | Some c -> c
+        | None ->
+          let c = go (var + 1) hi +. go (var + 1) lo in
+          Cache1.add memo key c;
+          c
+      in
+      Float.pow 2. (Float.of_int (var - from)) *. below
+  in
+  if nvars < 0 then invalid_arg "Bdd.sat_count: negative nvars";
+  go 0 f
+
+let any_sat f =
+  let rec go acc f =
+    match f.node with
+    | Zero -> raise Not_found
+    | One -> List.rev acc
+    | Node { var; hi; lo } ->
+      if is_zero hi then go ((var, false) :: acc) lo else go ((var, true) :: acc) hi
+  in
+  go [] f
+
+let iter_sat ~nvars f k =
+  let env = Array.make nvars false in
+  (* enumerate assignments of variables [i .. nvars-1] under node [f] *)
+  let rec go i f =
+    if is_zero f then ()
+    else if i = nvars then k (Array.copy env)
+    else
+      match f.node with
+      | Node { var; hi; lo } when var = i ->
+        env.(i) <- true;
+        go (i + 1) hi;
+        env.(i) <- false;
+        go (i + 1) lo
+      | Zero | One | Node _ ->
+        env.(i) <- true;
+        go (i + 1) f;
+        env.(i) <- false;
+        go (i + 1) f
+  in
+  go 0 f
+
+(* ------------------------------------------------------------------ *)
+(* Bulk constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cube_of_literals lits =
+  let sorted = List.sort (fun (i, _) (j, _) -> Stdlib.compare j i) lits in
+  (* build bottom-up: literals with the largest index first *)
+  List.fold_left
+    (fun acc (i, pos) ->
+      if is_zero acc then zero else if pos then mk i acc zero else mk i zero acc)
+    one sorted
+
+let conj fs = List.fold_left band one fs
+let disj fs = List.fold_left bor zero fs
+
+let size f =
+  Cache1.reset size_seen;
+  let count = ref 0 in
+  let rec go f =
+    match f.node with
+    | Zero | One -> ()
+    | Node { hi; lo; _ } ->
+      if not (Cache1.mem size_seen f.tag) then begin
+        Cache1.add size_seen f.tag ();
+        incr count;
+        go hi;
+        go lo
+      end
+  in
+  go f;
+  !count
+
+let rec pp ppf f =
+  match f.node with
+  | Zero -> Fmt.string ppf "0"
+  | One -> Fmt.string ppf "1"
+  | Node { var; hi; lo } -> Fmt.pf ppf "@[<hov 1>(x%d ? %a : %a)@]" var pp hi pp lo

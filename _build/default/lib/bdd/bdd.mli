@@ -1,0 +1,127 @@
+(** Reduced Ordered Binary Decision Diagrams.
+
+    A from-scratch, hash-consed ROBDD engine in the style of Bryant (1986).
+    Variables are non-negative integers ordered by their index: the variable
+    with the smallest index sits at the top of the diagram.  Nodes are
+    maximally shared through a global unique table, so structural equality is
+    physical equality and all binary operations are memoised.
+
+    The engine is the substrate for prime-implicant generation
+    ({!Logic.Primes}) and for tautology / containment checks in the
+    two-level logic layer.  It deliberately omits complement edges and
+    dynamic reordering: the problems handled by this reproduction are small
+    enough (tens of variables) that the simpler canonical form is preferable
+    to the extra invariants those features impose. *)
+
+type t
+(** A BDD rooted at a shared node.  Values are canonical: two BDDs represent
+    the same Boolean function iff they are physically equal. *)
+
+(** {1 Constants and variables} *)
+
+val zero : t
+(** The constant false function. *)
+
+val one : t
+(** The constant true function. *)
+
+val var : int -> t
+(** [var i] is the projection function of variable [i].
+    @raise Invalid_argument if [i < 0]. *)
+
+val nvar : int -> t
+(** [nvar i] is the negative literal [¬xᵢ]. *)
+
+(** {1 Structure} *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val equal : t -> t -> bool
+(** Constant-time (physical) equality — sound and complete by canonicity. *)
+
+val compare : t -> t -> int
+(** A total order consistent with [equal] (compares unique tags). *)
+
+val hash : t -> int
+
+val top_var : t -> int
+(** Topmost (smallest-index) variable. @raise Invalid_argument on constants. *)
+
+val cofactors : t -> int * t * t
+(** [cofactors f] = [(v, f₁, f₀)]: the top variable and the two Shannon
+    cofactors with respect to it, in O(1).
+    @raise Invalid_argument on constants. *)
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+(** {1 Boolean connectives} *)
+
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val bimp : t -> t -> t
+(** [bimp f g] is [¬f ∨ g]. *)
+
+val bite : t -> t -> t -> t
+(** [bite f g h] is if-then-else: [(f ∧ g) ∨ (¬f ∧ h)]. *)
+
+val bdiff : t -> t -> t
+(** [bdiff f g] is [f ∧ ¬g]. *)
+
+(** {1 Cofactors and quantification} *)
+
+val cofactor : t -> var:int -> bool -> t
+(** [cofactor f ~var b] substitutes the constant [b] for variable [var]. *)
+
+val exists : int list -> t -> t
+(** Existential quantification over the listed variables. *)
+
+val forall : int list -> t -> t
+(** Universal quantification over the listed variables. *)
+
+val support : t -> int list
+(** Variables the function actually depends on, in increasing order. *)
+
+(** {1 Semantics} *)
+
+val eval : t -> (int -> bool) -> bool
+(** [eval f env] evaluates [f] under the assignment [env]. *)
+
+val implies : t -> t -> bool
+(** [implies f g] iff [f ∧ ¬g] is unsatisfiable. *)
+
+val sat_count : nvars:int -> t -> float
+(** Number of satisfying assignments over variables [0 .. nvars-1].
+    Returned as a float to accommodate counts beyond [max_int]. *)
+
+val any_sat : t -> (int * bool) list
+(** One satisfying partial assignment (variables not listed are free).
+    @raise Not_found if the function is [zero]. *)
+
+val iter_sat : nvars:int -> t -> (bool array -> unit) -> unit
+(** Enumerate every minterm over [0 .. nvars-1]; intended for small [nvars]
+    (testing and minterm extraction on benchmark-sized functions). *)
+
+(** {1 Bulk constructors} *)
+
+val cube_of_literals : (int * bool) list -> t
+(** Conjunction of literals: [(i, true)] contributes [xᵢ], [(i, false)]
+    contributes [¬xᵢ].  The empty list yields [one]. *)
+
+val conj : t list -> t
+val disj : t list -> t
+
+(** {1 Engine management} *)
+
+val clear_caches : unit -> unit
+(** Drop all operation caches (the unique table is retained, so canonicity
+    is preserved).  Useful between large independent computations. *)
+
+val node_count : unit -> int
+(** Number of live nodes in the unique table (engine-wide statistic). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer showing the DAG as nested if-then-else. *)

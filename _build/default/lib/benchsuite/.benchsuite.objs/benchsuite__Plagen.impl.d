@@ -1,0 +1,1 @@
+lib/benchsuite/plagen.ml: List Logic Printf Rng String

@@ -1,0 +1,1 @@
+lib/benchsuite/randucp.ml: Array Covering Hashtbl List Rng Stdlib

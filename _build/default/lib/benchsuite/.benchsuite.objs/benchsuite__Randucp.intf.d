@@ -1,0 +1,1 @@
+lib/benchsuite/randucp.mli: Covering

@@ -1,0 +1,1 @@
+lib/benchsuite/registry.ml: Covering Lazy List Logic Plagen Printf Randucp Rng Steiner String

@@ -1,0 +1,1 @@
+lib/benchsuite/registry.mli: Covering Lazy Logic Plagen

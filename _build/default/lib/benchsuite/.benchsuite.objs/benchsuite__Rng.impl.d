@@ -1,0 +1,1 @@
+lib/benchsuite/rng.ml: Array Char String

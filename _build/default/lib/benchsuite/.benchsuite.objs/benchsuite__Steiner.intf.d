@@ -1,0 +1,1 @@
+lib/benchsuite/steiner.mli: Covering

@@ -1,0 +1,1 @@
+lib/benchsuite/worked.ml: Covering

@@ -1,0 +1,81 @@
+module Cube = Logic.Cube
+module Cover = Logic.Cover
+
+type spec = {
+  name : string;
+  ni : int;
+  on : Cover.t;
+  dc : Cover.t;
+}
+
+let random_cube rng ni =
+  Cube.of_string
+    (String.init ni (fun _ ->
+         match Rng.int rng 3 with
+         | 0 -> '0'
+         | 1 -> '1'
+         | _ -> '-'))
+
+let random_pla ~name ~ni ~terms ~dc_terms =
+  let rng = Rng.of_string name in
+  let on = Cover.of_cubes ni (List.init terms (fun _ -> random_cube rng ni)) in
+  let dc = Cover.of_cubes ni (List.init dc_terms (fun _ -> random_cube rng ni)) in
+  (* type-fd semantics: the ON plane wins where the planes overlap, which
+     From_logic.build already implements (ON-minterms become rows) *)
+  { name; ni; on; dc }
+
+let minterm_cube ni m =
+  Cube.of_literals ni (List.init ni (fun i -> (i, m land (1 lsl i) <> 0)))
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+let of_predicate ~name ~ni p =
+  let on = ref [] in
+  for m = (1 lsl ni) - 1 downto 0 do
+    if p m then on := minterm_cube ni m :: !on
+  done;
+  { name; ni; on = Cover.of_cubes ni !on; dc = Cover.empty ni }
+
+let symmetric ~name ~ni ~counts =
+  of_predicate ~name ~ni (fun m -> List.mem (popcount m) counts)
+
+let parity ~ni =
+  of_predicate ~name:(Printf.sprintf "parity%d" ni) ~ni (fun m -> popcount m land 1 = 1)
+
+let majority ~ni =
+  of_predicate ~name:(Printf.sprintf "maj%d" ni) ~ni (fun m -> 2 * popcount m > ni)
+
+let adder_msb ~bits =
+  let ni = 2 * bits in
+  let name = Printf.sprintf "add%d" bits in
+  of_predicate ~name ~ni (fun m ->
+      let a = m land ((1 lsl bits) - 1) in
+      let b = (m lsr bits) land ((1 lsl bits) - 1) in
+      (a + b) land (1 lsl bits) <> 0)
+
+let mux ~select =
+  let data = 1 lsl select in
+  let ni = select + data in
+  let name = Printf.sprintf "mux%d" data in
+  of_predicate ~name ~ni (fun m ->
+      let s = m land ((1 lsl select) - 1) in
+      m land (1 lsl (select + s)) <> 0)
+
+let with_random_dc ~percent spec =
+  let rng = Rng.of_string (spec.name ^ "/dc") in
+  let ni = spec.ni in
+  if ni > 20 then spec
+  else begin
+    let dc = ref (Cover.cubes spec.dc) in
+    for m = 0 to (1 lsl ni) - 1 do
+      if (not (Cover.eval_minterm spec.on m)) && Rng.int rng 100 < percent then
+        dc := minterm_cube ni m :: !dc
+    done;
+    {
+      spec with
+      name = Printf.sprintf "%s+dc%d" spec.name percent;
+      dc = Cover.of_cubes ni !dc;
+    }
+  end

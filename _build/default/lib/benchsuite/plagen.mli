@@ -1,0 +1,43 @@
+(** Parametric two-level function families.
+
+    The Berkeley PLA benchmark circuits are not redistributable here, so
+    the suite generates functions with the same structural flavours:
+    symmetric counters (the rd53/rd73 family), parity and majority (worst
+    cases for two-level forms), arithmetic slices, and seeded random PLAs
+    with don't-care planes.  Each generator returns ON and DC covers ready
+    for {!Covering.From_logic} or {!Espresso}-style baselines. *)
+
+type spec = {
+  name : string;
+  ni : int;
+  on : Logic.Cover.t;
+  dc : Logic.Cover.t;
+}
+
+val random_pla : name:string -> ni:int -> terms:int -> dc_terms:int -> spec
+(** Seeded random cubes (literal probability 2/3 per variable); the DC
+    plane is disjoint in expectation but may overlap — ON wins, as in PLA
+    type fd. *)
+
+val symmetric : name:string -> ni:int -> counts:int list -> spec
+(** Output is 1 iff the number of true inputs is in [counts] (the rdXX
+    family shape: fully symmetric, large prime counts, cyclic cores). *)
+
+val parity : ni:int -> spec
+(** XOR of [ni] inputs: every minterm is a prime; covering is trivial but
+    large — the classical two-level worst case. *)
+
+val majority : ni:int -> spec
+(** 1 iff more than half the inputs are 1. *)
+
+val adder_msb : bits:int -> spec
+(** Most significant sum bit of a [bits]+[bits] adder (2·bits inputs). *)
+
+val mux : select:int -> spec
+(** A 2^s-to-1 multiplexer with [select] select lines
+    (ni = select + 2^select). *)
+
+val with_random_dc : percent:int -> spec -> spec
+(** Move ~[percent]% of the OFF-set minterms into the DC plane (seeded by
+    the spec name) — how the suite models the benchmarks "with don't care
+    sets". *)

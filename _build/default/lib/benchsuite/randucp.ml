@@ -1,0 +1,110 @@
+module Matrix = Covering.Matrix
+
+let sample_distinct rng ~bound ~k =
+  (* floyd's algorithm would be fancier; k is tiny compared to bound *)
+  let seen = Hashtbl.create k in
+  let rec draw acc remaining =
+    if remaining = 0 then acc
+    else begin
+      let v = Rng.int rng bound in
+      if Hashtbl.mem seen v then draw acc remaining
+      else begin
+        Hashtbl.replace seen v ();
+        draw (v :: acc) (remaining - 1)
+      end
+    end
+  in
+  draw [] (min k bound)
+
+let reducible ~name ~n_rows ~n_cols () =
+  let rng = Rng.of_string name in
+  let rows =
+    List.init n_rows (fun i ->
+        match Rng.int rng 10 with
+        | 0 -> [ Rng.int rng n_cols ] (* singleton: forces an essential *)
+        | 1 | 2 ->
+          (* wide row: likely dominated by some narrower one *)
+          sample_distinct rng ~bound:n_cols ~k:(4 + Rng.int rng 6)
+        | _ ->
+          ignore i;
+          sample_distinct rng ~bound:n_cols ~k:(2 + Rng.int rng 3))
+  in
+  Matrix.create ~n_cols rows
+
+let beasley ~name ~n_rows ~n_cols ~rows_per_col ?(cost_spread = 9) () =
+  let rng = Rng.of_string name in
+  let col_rows = Array.make n_cols [] in
+  let row_degree = Array.make n_rows 0 in
+  for j = 0 to n_cols - 1 do
+    let rows = sample_distinct rng ~bound:n_rows ~k:rows_per_col in
+    col_rows.(j) <- rows;
+    List.iter (fun i -> row_degree.(i) <- row_degree.(i) + 1) rows
+  done;
+  (* Beasley's repair: every row must be coverable (we require two columns
+     so no accidental essentials trivialise the instance) *)
+  for i = 0 to n_rows - 1 do
+    while row_degree.(i) < 2 do
+      let j = Rng.int rng n_cols in
+      if not (List.mem i col_rows.(j)) then begin
+        col_rows.(j) <- i :: col_rows.(j);
+        row_degree.(i) <- row_degree.(i) + 1
+      end
+    done
+  done;
+  let rows = Array.make n_rows [] in
+  Array.iteri
+    (fun j covered -> List.iter (fun i -> rows.(i) <- j :: rows.(i)) covered)
+    col_rows;
+  let cost =
+    if cost_spread = 0 then None
+    else Some (Array.init n_cols (fun _ -> 1 + Rng.int rng (cost_spread + 1)))
+  in
+  Matrix.create ?cost ~n_cols (Array.to_list rows)
+
+let vertex_cover ~name ~n_vertices ~n_edges () =
+  if n_vertices < 2 then invalid_arg "Randucp.vertex_cover: need at least 2 vertices";
+  let rng = Rng.of_string name in
+  let edges = Hashtbl.create n_edges in
+  (* cap attempts so dense requests terminate even when the simple graph
+     saturates *)
+  let attempts = ref (20 * n_edges) in
+  while Hashtbl.length edges < n_edges && !attempts > 0 do
+    decr attempts;
+    let a = Rng.int rng n_vertices and b = Rng.int rng n_vertices in
+    if a <> b then Hashtbl.replace edges (min a b, max a b) ()
+  done;
+  let rows = Hashtbl.fold (fun (a, b) () acc -> [ a; b ] :: acc) edges [] in
+  let rows = List.sort Stdlib.compare rows in
+  (* make sure every vertex is usable even if isolated: isolated columns
+     are harmless (no row mentions them) *)
+  Matrix.create ~n_cols:n_vertices rows
+
+let cyclic ~name ~n_rows ~n_cols ~k ?(cost_spread = 0) () =
+  let rng = Rng.of_string name in
+  (* keep column loads balanced so dominance has nothing to bite on: draw
+     columns weighted towards the least-used ones *)
+  let load = Array.make n_cols 0 in
+  let draw_row () =
+    let chosen = Hashtbl.create k in
+    let rec pick remaining acc =
+      if remaining = 0 then acc
+      else begin
+        (* tournament of two: prefer the lighter column *)
+        let a = Rng.int rng n_cols and b = Rng.int rng n_cols in
+        let c = if load.(a) <= load.(b) then a else b in
+        if Hashtbl.mem chosen c then pick remaining acc
+        else begin
+          Hashtbl.replace chosen c ();
+          load.(c) <- load.(c) + 1;
+          pick (remaining - 1) (c :: acc)
+        end
+      end
+    in
+    pick (min k n_cols) []
+  in
+  let rows = List.init n_rows (fun _ -> draw_row ()) in
+  let cost =
+    if cost_spread = 0 then None
+    else Some (Array.init n_cols (fun _ -> 1 + Rng.int rng (cost_spread + 1)))
+  in
+  Matrix.create ?cost ~n_cols rows

@@ -1,0 +1,48 @@
+(** Seeded random covering matrices.
+
+    Two flavours:
+    - {!reducible} matrices contain singleton rows, nested rows and
+      dominated columns on purpose, so the reduction engine solves most of
+      them outright — the profile of the paper's {e easy cyclic} category;
+    - {!cyclic} matrices are row-regular (every row has exactly [k]
+      columns drawn near-uniformly) which defeats essentiality and makes
+      dominance rare — the {e difficult}/{e challenging} profile.  Larger
+      sizes with mild cost spread model the unsolved instances. *)
+
+val reducible :
+  name:string -> n_rows:int -> n_cols:int -> unit -> Covering.Matrix.t
+
+val cyclic :
+  name:string ->
+  n_rows:int ->
+  n_cols:int ->
+  k:int ->
+  ?cost_spread:int ->
+  unit ->
+  Covering.Matrix.t
+(** [cost_spread] = 0 (default) gives uniform cost 1; otherwise costs are
+    uniform in [1, 1 + cost_spread]. *)
+
+val beasley :
+  name:string ->
+  n_rows:int ->
+  n_cols:int ->
+  rows_per_col:int ->
+  ?cost_spread:int ->
+  unit ->
+  Covering.Matrix.t
+(** OR-Library-style set covering (Beasley's scp generator): columns are
+    drawn first, each covering [rows_per_col] random rows; every row is
+    then guaranteed at least two covering columns.  The column-heavy shape
+    (thousands of candidate columns over few constraints) is what the
+    dynamic-pricing scheme of {!Lagrangian.Pricing} is for.
+    [cost_spread] as in {!cyclic} (default 9: costs 1-10, Beasley's
+    convention scaled down). *)
+
+val vertex_cover :
+  name:string -> n_vertices:int -> n_edges:int -> unit -> Covering.Matrix.t
+(** Vertex cover of a random simple graph: rows are edges (always k = 2),
+    columns are vertices, uniform cost.  The classical source of large
+    LP integrality gaps (up to 2).  Self-loops excluded; duplicate edges
+    collapse, so the matrix may have fewer than [n_edges] rows.
+    @raise Invalid_argument when [n_vertices < 2]. *)

@@ -1,0 +1,47 @@
+(* splitmix64 with the constants truncated to OCaml's 63-bit ints; the
+   avalanche quality is ample for instance generation. *)
+
+type t = { mutable state : int }
+
+let gamma = 0x1E3779B97F4A7C15
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let next t =
+  t.state <- t.state + gamma;
+  mix t.state
+
+let create seed = { state = mix (seed + gamma) }
+
+let of_string name =
+  (* FNV-1a over the bytes *)
+  let h = ref 0x0BF29CE484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001B3)
+    name;
+  create !h
+
+let split t = create (next t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (next t land max_int) mod bound
+
+let float t bound =
+  let u = float_of_int (next t land ((1 lsl 53) - 1)) /. float_of_int (1 lsl 53) in
+  u *. bound
+
+let bool t = next t land 1 = 1
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,28 @@
+(** Deterministic splittable RNG (splitmix64).
+
+    Every benchmark instance must be reproducible from its name alone, and
+    the library must not depend on wall-clock entropy, so the suite uses
+    its own tiny generator instead of [Random]. *)
+
+type t
+
+val create : int -> t
+(** Seed a generator. *)
+
+val of_string : string -> t
+(** Seed from a name (FNV-1a hash) — how the registry derives per-instance
+    streams. *)
+
+val split : t -> t
+(** An independent stream. *)
+
+val int : t -> int -> int
+(** [int t bound] ∈ [0, bound). @raise Invalid_argument if [bound ≤ 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] ∈ [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -1,0 +1,28 @@
+(* Bose construction for n = 6k + 3: points are Z_{2k+1} × {0,1,2};
+   triples are the verticals {(i,0),(i,1),(i,2)} and, for i < j, the mixed
+   triples {(i,a),(j,a),(((i+j)·inv2) mod m, a+1)} with m = 2k+1 odd so 2
+   is invertible. *)
+
+let triples n =
+  if n < 3 || n mod 6 <> 3 then
+    invalid_arg "Steiner.triples: Bose construction needs n = 3 (mod 6)";
+  let m = n / 3 in
+  let point i a = (a * m) + i in
+  let inv2 = (m + 1) / 2 in
+  let acc = ref [] in
+  for i = 0 to m - 1 do
+    acc := (point i 0, point i 1, point i 2) :: !acc
+  done;
+  for a = 0 to 2 do
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        let k = (i + j) * inv2 mod m in
+        acc := (point i a, point j a, point k ((a + 1) mod 3)) :: !acc
+      done
+    done
+  done;
+  List.rev !acc
+
+let matrix n =
+  let rows = List.map (fun (a, b, c) -> [ a; b; c ]) (triples n) in
+  Covering.Matrix.create ~n_cols:n rows

@@ -1,0 +1,18 @@
+(** Steiner-triple covering systems.
+
+    The classical pure-covering stress instances ([stein27], [stein45], …):
+    rows are the triples of a Steiner triple system on [n] points, columns
+    are the points, and a row is covered by any of its three points.  The
+    matrices are perfectly regular — no essential columns, no dominance —
+    so they are cyclic cores from the start and exercise exactly the
+    bound-and-fix machinery the paper is about.
+
+    Systems are built with the Bose construction, which exists for every
+    [n ≡ 3 (mod 6)]. *)
+
+val triples : int -> (int * int * int) list
+(** The triple system on [n] points.
+    @raise Invalid_argument unless [n ≡ 3 (mod 6)] and [n ≥ 3]. *)
+
+val matrix : int -> Covering.Matrix.t
+(** The covering matrix (uniform cost): [n(n-1)/6] rows over [n] columns. *)

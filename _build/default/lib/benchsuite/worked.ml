@@ -1,0 +1,6 @@
+let fig1 () =
+  Covering.Matrix.create ~cost:[| 1; 1; 1; 1; 1; 3 |] ~n_cols:6
+    [ [ 0; 1; 5 ]; [ 1; 2; 5 ]; [ 2; 3; 5 ]; [ 3; 4; 5 ]; [ 4; 0; 5 ] ]
+
+let c5 () =
+  Covering.Matrix.create ~n_cols:5 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 0 ] ]

@@ -1,0 +1,16 @@
+(** The worked bound-hierarchy examples (paper §3.4, Figure 1).
+
+    The original figure's 4×5 matrix is only available as an image; these
+    two instances reproduce its point exactly (see EXPERIMENTS.md):
+
+    - {!fig1}: the five edges of a 5-cycle plus a universal column of cost
+      3 — every row intersects every other one, so the independent-set
+      bound collapses to 1, dual ascent reaches 2, the linear relaxation
+      is 2.5 (rounding to 3 by integrality), and the optimum is 3:
+      exactly the LB_MIS = 1 < LB_DA = 2 < LB_LR = 2.5 → 3 ladder of the
+      paper's example.
+    - {!c5}: the uniform-cost odd cycle, where Proposition 1's collapse
+      shows up: LB_MIS = LB_DA = 2 < LB_LR = 2.5 < OPT = 3. *)
+
+val fig1 : unit -> Covering.Matrix.t
+val c5 : unit -> Covering.Matrix.t

@@ -1,0 +1,244 @@
+type t = {
+  n_cols : int;
+  cost : int array;
+  clauses : (int array * int array) array;
+}
+
+let create ?cost ~n_cols clause_list =
+  if n_cols < 0 then invalid_arg "Binate.create: negative column count";
+  let cost =
+    match cost with
+    | Some c ->
+      if Array.length c <> n_cols then invalid_arg "Binate.create: cost length mismatch";
+      Array.iter (fun x -> if x <= 0 then invalid_arg "Binate.create: non-positive cost") c;
+      Array.copy c
+    | None -> Array.make n_cols 1
+  in
+  let norm side =
+    let a = Array.of_list (List.sort_uniq Stdlib.compare side) in
+    if Array.length a <> List.length side then
+      invalid_arg "Binate.create: duplicate column in clause";
+    Array.iter
+      (fun j -> if j < 0 || j >= n_cols then invalid_arg "Binate.create: column out of range")
+      a;
+    a
+  in
+  let clauses =
+    Array.of_list
+      (List.map
+         (fun (pos, neg) ->
+           let p = norm pos and n = norm neg in
+           if Array.length p + Array.length n = 0 then
+             invalid_arg "Binate.create: empty clause";
+           Array.iter
+             (fun j ->
+               if Array.exists (fun j' -> j' = j) n then
+                 invalid_arg "Binate.create: tautological clause")
+             p;
+           (p, n))
+         clause_list)
+  in
+  { n_cols; cost; clauses }
+
+let of_unate m =
+  let clauses =
+    List.init (Covering.Matrix.n_rows m) (fun i ->
+        (Array.to_list (Covering.Matrix.row m i), []))
+  in
+  let cost = Array.init (Covering.Matrix.n_cols m) (Covering.Matrix.cost m) in
+  create ~cost ~n_cols:(Covering.Matrix.n_cols m) clauses
+
+let n_rows t = Array.length t.clauses
+let n_cols t = t.n_cols
+let cost t j = t.cost.(j)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>binate instance: %d clauses over %d columns@," (n_rows t) t.n_cols;
+  Array.iteri
+    (fun i (p, n) ->
+      Fmt.pf ppf "clause %d: %a | not %a@," i
+        Fmt.(hbox (list ~sep:sp int))
+        (Array.to_list p)
+        Fmt.(hbox (list ~sep:sp int))
+        (Array.to_list n))
+    t.clauses;
+  Fmt.pf ppf "costs: %a@]" Fmt.(hbox (list ~sep:sp int)) (Array.to_list t.cost)
+
+let satisfies t assignment =
+  Array.length assignment = t.n_cols
+  && Array.for_all
+       (fun (p, n) ->
+         Array.exists (fun j -> assignment.(j)) p
+         || Array.exists (fun j -> not assignment.(j)) n)
+       t.clauses
+
+let assignment_cost t assignment =
+  let c = ref 0 in
+  Array.iteri (fun j b -> if b then c := !c + t.cost.(j)) assignment;
+  !c
+
+type result = {
+  assignment : bool array option;
+  cost : int;
+  optimal : bool;
+  nodes : int;
+}
+
+type value =
+  | Unset
+  | True
+  | False
+
+exception Conflict
+exception Out_of_nodes
+
+(* Unit propagation on a value array, in place.  Raises [Conflict] when a
+   clause becomes unsatisfiable. *)
+let propagate t values =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p, n) ->
+        let satisfied =
+          Array.exists (fun j -> values.(j) = True) p
+          || Array.exists (fun j -> values.(j) = False) n
+        in
+        if not satisfied then begin
+          let unset_pos = Array.to_list p |> List.filter (fun j -> values.(j) = Unset) in
+          let unset_neg = Array.to_list n |> List.filter (fun j -> values.(j) = Unset) in
+          match (unset_pos, unset_neg) with
+          | [], [] -> raise Conflict
+          | [ j ], [] ->
+            values.(j) <- True;
+            changed := true
+          | [], [ j ] ->
+            values.(j) <- False;
+            changed := true
+          | _ -> ()
+        end)
+      t.clauses
+  done
+
+(* Lower bound: cost of the committed columns plus a MIS bound on the
+   purely positive residue.  Clauses with an unset complemented literal
+   can be satisfied for free, so only clauses whose remaining freedom is
+   positive-unset enter the unate subproblem. *)
+let lower_bound t values committed =
+  let residue =
+    Array.to_list t.clauses
+    |> List.filter_map (fun (p, n) ->
+           let satisfied =
+             Array.exists (fun j -> values.(j) = True) p
+             || Array.exists (fun j -> values.(j) = False) n
+           in
+           if satisfied then None
+           else if Array.exists (fun j -> values.(j) = Unset) n then None
+           else begin
+             let unset = Array.to_list p |> List.filter (fun j -> values.(j) = Unset) in
+             if unset = [] then None (* conflict handled by propagate *) else Some unset
+           end)
+  in
+  if residue = [] then committed
+  else begin
+    (* re-index the unset columns to build a unate matrix *)
+    let index = Hashtbl.create 16 in
+    let rev = ref [] in
+    let n = ref 0 in
+    List.iter
+      (List.iter (fun j ->
+           if not (Hashtbl.mem index j) then begin
+             Hashtbl.replace index j !n;
+             rev := j :: !rev;
+             incr n
+           end))
+      residue;
+    let cols = Array.of_list (List.rev !rev) in
+    let cost = Array.map (fun j -> t.cost.(j)) cols in
+    let rows = List.map (List.map (Hashtbl.find index)) residue in
+    let m = Covering.Matrix.create ~cost ~n_cols:!n rows in
+    committed + (Covering.Mis_bound.compute m).Covering.Mis_bound.bound
+  end
+
+let solve ?(max_nodes = 200_000) t =
+  let incumbent_cost = ref max_int in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let rec search values =
+    incr nodes;
+    if !nodes > max_nodes then raise Out_of_nodes;
+    match propagate t values with
+    | exception Conflict -> ()
+    | () ->
+      let committed = ref 0 in
+      Array.iteri (fun j v -> if v = True then committed := !committed + t.cost.(j)) values;
+      if !committed < !incumbent_cost then begin
+        let all_satisfied =
+          Array.for_all
+            (fun (p, n) ->
+              Array.exists (fun j -> values.(j) = True) p
+              || Array.exists (fun j -> values.(j) = False) n)
+            t.clauses
+        in
+        if all_satisfied then begin
+          (* unset columns cost nothing when set to 0 *)
+          incumbent_cost := !committed;
+          incumbent := Some (Array.map (fun v -> v = True) values)
+        end
+        else if lower_bound t values !committed < !incumbent_cost then begin
+          (* branch on the unset variable appearing in most unsatisfied
+             clauses; try the cheaper False side first (it may satisfy
+             complemented literals for free) *)
+          let score = Array.make t.n_cols 0 in
+          Array.iter
+            (fun (p, n) ->
+              let satisfied =
+                Array.exists (fun j -> values.(j) = True) p
+                || Array.exists (fun j -> values.(j) = False) n
+              in
+              if not satisfied then begin
+                Array.iter (fun j -> if values.(j) = Unset then score.(j) <- score.(j) + 1) p;
+                Array.iter (fun j -> if values.(j) = Unset then score.(j) <- score.(j) + 1) n
+              end)
+            t.clauses;
+          let pick = ref (-1) in
+          for j = t.n_cols - 1 downto 0 do
+            if values.(j) = Unset && (!pick < 0 || score.(j) > score.(!pick)) then pick := j
+          done;
+          if !pick >= 0 then begin
+            let j = !pick in
+            let with_false = Array.copy values in
+            with_false.(j) <- False;
+            search with_false;
+            let with_true = Array.copy values in
+            with_true.(j) <- True;
+            search with_true
+          end
+        end
+      end
+  in
+  let exhausted =
+    try
+      search (Array.make t.n_cols Unset);
+      false
+    with Out_of_nodes -> true
+  in
+  {
+    assignment = !incumbent;
+    cost = (if !incumbent = None then max_int else !incumbent_cost);
+    optimal = not exhausted;
+    nodes = !nodes;
+  }
+
+let brute_force t =
+  if t.n_cols > 20 then invalid_arg "Binate.brute_force: too many columns";
+  let best = ref None and best_cost = ref max_int in
+  for mask = 0 to (1 lsl t.n_cols) - 1 do
+    let assignment = Array.init t.n_cols (fun j -> mask land (1 lsl j) <> 0) in
+    let c = assignment_cost t assignment in
+    if c < !best_cost && satisfies t assignment then begin
+      best := Some assignment;
+      best_cost := c
+    end
+  done;
+  !best

@@ -1,0 +1,57 @@
+(** Binate covering (min-cost clause satisfaction).
+
+    The paper (§1–§2) situates unate covering inside the more general
+    {e Binate Covering Problem} solved by the same VLSI literature: each
+    row is now a clause that may also contain {e complemented} columns,
+
+    {v ⋁_{j ∈ P_i} x_j  ∨  ⋁_{j ∈ N_i} ¬x_j v}
+
+    and the task is a minimum-cost 0/1 assignment satisfying every clause
+    (applications: state minimisation, technology mapping, boolean
+    relations).  Unate covering is the special case [N_i = ∅].
+
+    This module is the repository's extension beyond the paper's scope: a
+    clause matrix with the classical BCP reductions (unit-clause
+    propagation, clause subsumption, binate column dominance) and a
+    branch-and-bound solver whose lower bound comes from the unate
+    sub-matrix (rows with no complemented entries), reusing the whole
+    unate machinery.  Infeasibility is possible in BCP — the solver
+    reports it instead of an assignment. *)
+
+type t
+(** A binate covering instance. *)
+
+val create :
+  ?cost:int array -> n_cols:int -> (int list * int list) list -> t
+(** [create ~n_cols clauses] with each clause = (positive column indices,
+    negative column indices).  Cost defaults to 1 per column; a variable
+    set to 0 costs nothing.
+    @raise Invalid_argument on empty clauses, out-of-range or duplicated
+    indices, non-positive costs, or a column appearing in both phases of
+    one clause (such a clause is a tautology — drop it first). *)
+
+val of_unate : Covering.Matrix.t -> t
+(** Embed a unate instance (all clauses positive). *)
+
+val n_rows : t -> int
+val n_cols : t -> int
+val cost : t -> int -> int
+val pp : Format.formatter -> t -> unit
+
+type result = {
+  assignment : bool array option;
+      (** satisfying assignment of minimum cost; [None] if infeasible *)
+  cost : int;  (** meaningful when [assignment] is [Some _] *)
+  optimal : bool;  (** proven within the node budget *)
+  nodes : int;
+}
+
+val solve : ?max_nodes:int -> t -> result
+(** Branch-and-bound with unit propagation, clause subsumption and a
+    unate-subproblem lower bound.  Default budget 200_000 nodes. *)
+
+val brute_force : t -> bool array option
+(** Exhaustive optimum over 2ⁿ assignments (≤ 20 columns); test oracle. *)
+
+val satisfies : t -> bool array -> bool
+val assignment_cost : t -> bool array -> int

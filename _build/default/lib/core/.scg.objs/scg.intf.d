@@ -1,0 +1,1 @@
+lib/core/scg.mli: Config Covering Logic Stats

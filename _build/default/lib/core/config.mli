@@ -1,0 +1,42 @@
+(** Tuning parameters of the ZDD_SCG solver.
+
+    Defaults follow the paper where it gives values (§3.7, §4) and sensible
+    choices where it does not (documented in DESIGN.md §5). *)
+
+type t = {
+  max_rows_implicit : int;
+      (** [MaxR]: stop implicit reductions once at most this many rows
+          remain (paper: 5000). *)
+  max_cols_implicit : int;
+      (** [MaxC]: the companion column guard (paper: 10000). *)
+  num_iter : int;
+      (** [NumIter]: number of constructive runs; the first is
+          deterministic, later ones randomise the column choice
+          (default 5). *)
+  best_col_start : int;
+      (** [BestCol] for the first run (paper: strict best = 1). *)
+  best_col_growth : int;
+      (** [BestCol] increment per run ("grows from run to run"). *)
+  dual_pen_max_cols : int;
+      (** [DualPen]: dual penalties only below this column count
+          (paper: 100). *)
+  alpha : float;  (** σ-rule weight (paper: 2). *)
+  c_hat : float;  (** promising-column reduced-cost threshold (0.001). *)
+  mu_hat : float;  (** promising-column dual threshold (0.999). *)
+  use_gimpel : bool;
+      (** apply Gimpel's reduction when computing the initial cyclic core
+          (default true). *)
+  use_penalties : bool;
+      (** apply the Lagrangian penalty conditions (3)–(4) during the
+          descent (default true); dual penalties (5)–(6) are governed by
+          [dual_pen_max_cols] (0 disables them).  Ablation knob. *)
+  warm_start : bool;
+      (** reuse the previous subproblem's multipliers as λ₀/μ₀ (§3.2,
+          default true).  Ablation knob. *)
+  seed : int;  (** RNG seed for the randomised runs (default 0x5C6). *)
+  subgradient : Lagrangian.Subgradient.config;
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

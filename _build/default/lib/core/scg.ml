@@ -1,0 +1,328 @@
+module Config = Config
+module Stats = Stats
+module Matrix = Covering.Matrix
+module Reduce = Covering.Reduce
+module Implicit = Covering.Implicit
+module Subgradient = Lagrangian.Subgradient
+module Penalties = Lagrangian.Penalties
+module Fixing = Lagrangian.Fixing
+
+let src = Logs.Src.create "scg" ~doc:"ZDD_SCG solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = {
+  solution : int list;
+  cost : int;
+  lower_bound : int;
+  proven_optimal : bool;
+  stats : Stats.t;
+}
+
+let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
+
+(* Multiplier memory across subproblems, keyed by original row/column
+   identifiers (§3.2: warm-start λ from the previous problem). *)
+module Warm = struct
+  type t = (int, float) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let lambda0 t m =
+    let missing = ref false in
+    let v =
+      Array.init (Matrix.n_rows m) (fun i ->
+          match Hashtbl.find_opt t (Matrix.row_id m i) with
+          | Some x -> x
+          | None ->
+            missing := true;
+            0.)
+    in
+    if !missing && Hashtbl.length t = 0 then None else Some v
+
+  let mu0 t m =
+    if Hashtbl.length t = 0 then None
+    else
+      Some
+        (Array.init (Matrix.n_cols m) (fun j ->
+             Option.value ~default:0. (Hashtbl.find_opt t (Matrix.col_id m j))))
+
+  let store_rows t m values =
+    Array.iteri (fun i v -> Hashtbl.replace t (Matrix.row_id m i) v) values
+
+  let store_cols t m values =
+    Array.iteri (fun j v -> Hashtbl.replace t (Matrix.col_id m j) v) values
+end
+
+(* Bookkeeping for solutions expressed as column identifiers of the saved
+   cyclic core A_e (virtual Gimpel identifiers of the initial reduction are
+   legal members). *)
+module Core_space = struct
+  type t = {
+    core : Matrix.t;
+    cost_by_id : (int, int) Hashtbl.t;
+    index_by_id : (int, int) Hashtbl.t;
+  }
+
+  let make core =
+    let cost_by_id = Hashtbl.create 64 and index_by_id = Hashtbl.create 64 in
+    for j = 0 to Matrix.n_cols core - 1 do
+      Hashtbl.replace cost_by_id (Matrix.col_id core j) (Matrix.cost core j);
+      Hashtbl.replace index_by_id (Matrix.col_id core j) j
+    done;
+    { core; cost_by_id; index_by_id }
+
+  let cost t ids =
+    List.fold_left (fun acc id -> acc + Hashtbl.find t.cost_by_id id) 0 ids
+
+  let irredundant t ids =
+    let idx = List.map (Hashtbl.find t.index_by_id) ids in
+    let idx = Matrix.irredundant t.core (List.sort_uniq Stdlib.compare idx) in
+    List.map (Matrix.col_id t.core) idx
+end
+
+(* One constructive descent from the cyclic core: alternate subgradient,
+   penalties, heuristic fixing and explicit reductions until the matrix is
+   empty or the path is bound-dominated.  Returns the candidate solutions
+   found (in core-identifier space) and the best lower bound certified for
+   the *full* core (i.e. from subgradient runs before any fixing). *)
+let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
+    ~(z_best : int ref) ~(best_ids : int list ref) ~stats_steps ~stats_fixes
+    ~stats_pen =
+  let lambda_mem = Warm.create () and mu_mem = Warm.create () in
+  let root_lb = ref 0. in
+  let consider ids =
+    let ids = Core_space.irredundant space ids in
+    let c = Core_space.cost space ids in
+    if c < !z_best then begin
+      z_best := c;
+      best_ids := ids;
+      Log.debug (fun k -> k "incumbent improved to %d" c)
+    end
+  in
+  let rec descend m committed_ids committed_cost ~first =
+    if Matrix.is_empty m then consider committed_ids
+    else begin
+      let lambda0 = if config.Config.warm_start then Warm.lambda0 lambda_mem m else None in
+      let mu0 = if config.Config.warm_start then Warm.mu0 mu_mem m else None in
+      let ub = !z_best - committed_cost in
+      let sg =
+        Subgradient.run ~config:config.Config.subgradient ?lambda0 ?mu0 ~ub m
+      in
+      stats_steps := !stats_steps + sg.Subgradient.steps;
+      Warm.store_rows lambda_mem m sg.Subgradient.lambda;
+      Warm.store_cols mu_mem m sg.Subgradient.mu;
+      if first then root_lb := sg.Subgradient.lower_bound;
+      (* the subgradient incumbent completes the committed prefix *)
+      let sol_ids = List.map (Matrix.col_id m) sg.Subgradient.best_solution in
+      consider (committed_ids @ sol_ids);
+      let path_lb = committed_cost + ceil_int sg.Subgradient.lower_bound in
+      if path_lb < !z_best then begin
+        (* penalties (§3.6) *)
+        let pen_lag =
+          if config.Config.use_penalties then
+            Penalties.lagrangian m ~lp_value:sg.Subgradient.lower_bound
+              ~reduced_costs:sg.Subgradient.reduced_costs
+              ~z_best:(!z_best - committed_cost)
+          else Penalties.nothing
+        in
+        let pen_dual =
+          Penalties.dual ~max_cols:config.Config.dual_pen_max_cols m
+            ~z_best:(!z_best - committed_cost)
+        in
+        let forced_out =
+          List.sort_uniq Stdlib.compare
+            (pen_lag.Penalties.forced_out @ pen_dual.Penalties.forced_out)
+        in
+        let forced_in =
+          List.sort_uniq Stdlib.compare
+            (pen_lag.Penalties.forced_in @ pen_dual.Penalties.forced_in)
+          |> List.filter (fun j -> not (List.mem j forced_out))
+        in
+        stats_pen := !stats_pen + List.length forced_in + List.length forced_out;
+        (* heuristic fixing (§3.7): promising columns plus one σ-best *)
+        let promising =
+          Fixing.promising ~c_hat:config.Config.c_hat ~mu_hat:config.Config.mu_hat m
+            ~reduced_costs:sg.Subgradient.reduced_costs ~mu:sg.Subgradient.mu
+          |> List.filter (fun j -> not (List.mem j forced_out))
+        in
+        let fixed = List.sort_uniq Stdlib.compare (forced_in @ promising) in
+        let fixed =
+          if fixed <> [] then fixed
+          else begin
+            let sigma =
+              Fixing.sigma ~alpha:config.Config.alpha
+                ~reduced_costs:sg.Subgradient.reduced_costs ~mu:sg.Subgradient.mu ()
+            in
+            let candidates =
+              Fixing.best_columns ~sigma ~k:(best_cols + List.length forced_out)
+              |> List.filter (fun j -> not (List.mem j forced_out))
+            in
+            match candidates with
+            | [] -> [] (* every column is forced out: path dead *)
+            | cs ->
+              let k = min best_cols (List.length cs) in
+              [ List.nth cs (if k <= 1 then 0 else rand k) ]
+          end
+        in
+        stats_fixes := !stats_fixes + List.length fixed;
+        if fixed = [] && forced_out = [] then () (* nothing to do: stop path *)
+        else begin
+          (* commit [fixed], drop [forced_out], then re-reduce *)
+          let keep_cols = Array.make (Matrix.n_cols m) true in
+          List.iter (fun j -> keep_cols.(j) <- false) forced_out;
+          List.iter (fun j -> keep_cols.(j) <- false) fixed;
+          let keep_rows = Array.make (Matrix.n_rows m) true in
+          List.iter
+            (fun j -> Array.iter (fun i -> keep_rows.(i) <- false) (Matrix.col m j))
+            fixed;
+          let feasible = ref true in
+          for i = 0 to Matrix.n_rows m - 1 do
+            if
+              keep_rows.(i)
+              && not (Array.exists (fun j -> keep_cols.(j)) (Matrix.row m i))
+            then feasible := false
+          done;
+          if not !feasible then () (* no better-than-incumbent completion *)
+          else begin
+            let committed_ids =
+              committed_ids @ List.map (Matrix.col_id m) fixed
+            in
+            let committed_cost =
+              committed_cost + List.fold_left (fun a j -> a + Matrix.cost m j) 0 fixed
+            in
+            let m = Matrix.submatrix m ~keep_rows ~keep_cols in
+            if Matrix.is_empty m then consider committed_ids
+            else begin
+              (* explicit reductions to the next stable point; Gimpel is
+                 disabled mid-descent so committed identifiers stay real *)
+              let red = Reduce.cyclic_core ~gimpel:false m in
+              let ess_ids = Reduce.lift red.Reduce.trace [] in
+              let committed_ids = committed_ids @ ess_ids in
+              let committed_cost = committed_cost + red.Reduce.fixed_cost in
+              if Matrix.is_empty red.Reduce.core then consider committed_ids
+              else descend red.Reduce.core committed_ids committed_cost ~first:false
+            end
+          end
+        end
+      end
+    end
+  in
+  descend space.Core_space.core [] 0 ~first:true;
+  !root_lb
+
+let solve ?(config = Config.default) input =
+  for j = 0 to Matrix.n_cols input - 1 do
+    if Matrix.col_id input j <> j then invalid_arg "Scg.solve: matrix already re-indexed"
+  done;
+  let t_start = Sys.time () in
+  (* ---- implicit phase ---- *)
+  let imp =
+    Implicit.reduce ~max_rows:config.max_rows_implicit
+      ~max_cols:config.max_cols_implicit (Implicit.of_matrix input)
+  in
+  let decoded, essential0 = Implicit.decode imp in
+  let essential0_cost =
+    List.fold_left (fun acc j -> acc + Matrix.cost input j) 0 essential0
+  in
+  (* ---- explicit reductions to the exact cyclic core ---- *)
+  let red = Reduce.cyclic_core ~gimpel:config.use_gimpel decoded in
+  let t_core = Sys.time () -. t_start in
+  let core = red.Reduce.core in
+  let finish ~core_ids ~lb_core_int ~steps ~iterations ~best_iteration ~fixes ~pen =
+    (* map a core-space solution back to input indices and report *)
+    let lifted = Reduce.lift red.Reduce.trace core_ids in
+    let full = List.sort_uniq Stdlib.compare (essential0 @ lifted) in
+    let full = Matrix.irredundant input full in
+    let cost = Matrix.cost_of input full in
+    let lower_bound = essential0_cost + red.Reduce.fixed_cost + lb_core_int in
+    let total = Sys.time () -. t_start in
+    let stats =
+      {
+        Stats.input_rows = Matrix.n_rows input;
+        input_cols = Matrix.n_cols input;
+        implicit_rows_left = Implicit.row_count imp;
+        core_rows = Matrix.n_rows core;
+        core_cols = Matrix.n_cols core;
+        essential_count = List.length essential0 + List.length (Reduce.lift red.Reduce.trace []);
+        cyclic_core_seconds = t_core;
+        total_seconds = total;
+        subgradient_steps = steps;
+        iterations;
+        best_iteration;
+        fixes;
+        penalty_fixes = pen;
+      }
+    in
+    {
+      solution = full;
+      cost;
+      lower_bound = min lower_bound cost;
+      proven_optimal = cost <= lower_bound;
+      stats;
+    }
+  in
+  if Matrix.is_empty core then
+    finish ~core_ids:[] ~lb_core_int:0 ~steps:0 ~iterations:0 ~best_iteration:0
+      ~fixes:0 ~pen:0
+  else begin
+    (* the oldest reduction of all (§2, "partitioning"): disconnected
+       blocks of the cyclic core are independent subproblems, solved
+       separately — their bounds add up, so optimality proofs compose *)
+    let components = Covering.Partition.split core in
+    let rng = Random.State.make [| config.seed |] in
+    let rand bound = Random.State.int rng bound in
+    let steps = ref 0 and fixes = ref 0 and pen = ref 0 in
+    let iterations = ref 0 in
+    let best_iteration = ref 1 in
+    let solve_component sub =
+      let space = Core_space.make sub in
+      (* prime the incumbent with the plain greedy so every run has a bound *)
+      let g = Covering.Greedy.solve_best sub in
+      let z_best = ref (Matrix.cost_of sub g) in
+      let best_ids = ref (List.map (Matrix.col_id sub) g) in
+      let best_lb = ref 0 in
+      (try
+         for iter = 0 to config.num_iter - 1 do
+           iterations := max !iterations (iter + 1);
+           let best_cols = config.best_col_start + (iter * config.best_col_growth) in
+           let before = !z_best in
+           let lb =
+             construct ~config ~rand ~best_cols ~space ~z_best ~best_ids
+               ~stats_steps:steps ~stats_fixes:fixes ~stats_pen:pen
+           in
+           if !z_best < before then best_iteration := max !best_iteration (iter + 1);
+           best_lb := max !best_lb (ceil_int lb);
+           if !z_best <= !best_lb then raise Exit
+         done
+       with Exit -> ());
+      (!best_ids, !best_lb)
+    in
+    let core_ids, lb_core_int =
+      List.fold_left
+        (fun (ids, lb) sub ->
+          let ids', lb' = solve_component sub in
+          (ids' @ ids, lb + lb'))
+        ([], 0) components
+    in
+    finish ~core_ids ~lb_core_int ~steps:!steps ~iterations:!iterations
+      ~best_iteration:!best_iteration ~fixes:!fixes ~pen:!pen
+  end
+
+let solve_logic ?config ?cost ~on ~dc () =
+  let bridge = Covering.From_logic.build ?cost ~on ~dc () in
+  let result = solve ?config bridge.Covering.From_logic.matrix in
+  (result, bridge)
+
+let solve_logic_implicit ?config ?cost ~on ~dc () =
+  let bridge = Covering.From_logic.build_implicit ?cost ~on ~dc () in
+  let result = solve ?config bridge.Covering.From_logic.imatrix in
+  (result, bridge)
+
+let solve_pla ?config pla ~output =
+  solve_logic ?config ~on:(Logic.Pla.onset pla output) ~dc:(Logic.Pla.dcset pla output) ()
+
+let solve_pla_multi ?config pla =
+  let bridge = Covering.From_logic.build_multi pla in
+  let result = solve ?config bridge.Covering.From_logic.mmatrix in
+  (result, bridge)

@@ -1,0 +1,74 @@
+(** ZDD_SCG — the paper's algorithm (Figure 2).
+
+    A greedy constructive heuristic for unate covering built from the
+    pieces in [Covering] and [Lagrangian]:
+
+    + encode the problem implicitly and run the ZDD reductions until the
+      cyclic core is reached or the matrix is small ([MaxR]);
+    + decode, run the explicit reductions (dominance, essentials, Gimpel);
+    + subgradient ascent on the Lagrangian dual gives multipliers λ, μ, a
+      lower bound and heuristic covers; if the incumbent matches ⌈LB⌉ the
+      solution is proven optimal and the algorithm stops;
+    + otherwise columns are fixed — those proven in/out by penalty
+      conditions, the "promising" ones (c̃ ≤ ĉ, μ ≥ μ̂), and always one
+      σ-best column — the matrix is re-reduced, and the subgradient phase
+      repeats until the matrix empties or the path is bound-dominated;
+    + the whole construction restarts [NumIter] times from the saved cyclic
+      core, choosing among the [BestCol] top-rated columns at random (the
+      window grows per run), and the incumbent is kept irredundant.
+
+    Solutions are reported as column indices of the input matrix, which
+    must be freshly built (identifiers = indices, as {!Covering.Matrix.create}
+    produces). *)
+
+module Config = Config
+(** @inline *)
+
+module Stats = Stats
+(** @inline *)
+
+type result = {
+  solution : int list;  (** column indices of the input matrix, sorted *)
+  cost : int;
+  lower_bound : int;  (** proven lower bound, ⌈·⌉ of the Lagrangian bound *)
+  proven_optimal : bool;  (** [cost = lower_bound] *)
+  stats : Stats.t;
+}
+
+val solve : ?config:Config.t -> Covering.Matrix.t -> result
+(** Solve a covering matrix.
+    @raise Invalid_argument if the matrix was already re-indexed. *)
+
+val solve_logic :
+  ?config:Config.t ->
+  ?cost:(Logic.Cube.t -> int) ->
+  on:Logic.Cover.t ->
+  dc:Logic.Cover.t ->
+  unit ->
+  result * Covering.From_logic.t
+(** Two-level minimisation end-to-end: primes, covering matrix, ZDD_SCG.
+    The returned bridge converts the solution back to a {!Logic.Cover.t}
+    via {!Covering.From_logic.cover_of_solution}. *)
+
+val solve_logic_implicit :
+  ?config:Config.t ->
+  ?cost:(Logic.Cube.t -> int) ->
+  on:Logic.Cover.t ->
+  dc:Logic.Cover.t ->
+  unit ->
+  result * Covering.From_logic.implicit_bridge
+(** Same, through the signature-based implicit construction
+    ({!Covering.From_logic.build_implicit}): no minterm enumeration, so
+    wide functions (> 24 inputs) are fine as long as the number of
+    distinct prime signatures stays moderate. *)
+
+val solve_pla :
+  ?config:Config.t -> Logic.Pla.t -> output:int -> result * Covering.From_logic.t
+(** {!solve_logic} on one output of a PLA. *)
+
+val solve_pla_multi :
+  ?config:Config.t -> Logic.Pla.t -> result * Covering.From_logic.multi
+(** Shared-product minimisation of a whole multi-output PLA: columns are
+    the output-tagged multi-output primes, rows are (minterm, output)
+    pairs, and the reported cost is the number of PLA product rows.  Use
+    {!Covering.From_logic.pla_of_multi_solution} to render the result. *)

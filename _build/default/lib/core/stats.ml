@@ -1,0 +1,40 @@
+type t = {
+  input_rows : int;
+  input_cols : int;
+  implicit_rows_left : float;
+  core_rows : int;
+  core_cols : int;
+  essential_count : int;
+  cyclic_core_seconds : float;
+  total_seconds : float;
+  subgradient_steps : int;
+  iterations : int;
+  best_iteration : int;
+  fixes : int;
+  penalty_fixes : int;
+}
+
+let zero =
+  {
+    input_rows = 0;
+    input_cols = 0;
+    implicit_rows_left = 0.;
+    core_rows = 0;
+    core_cols = 0;
+    essential_count = 0;
+    cyclic_core_seconds = 0.;
+    total_seconds = 0.;
+    subgradient_steps = 0;
+    iterations = 0;
+    best_iteration = 0;
+    fixes = 0;
+    penalty_fixes = 0;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>input %dx%d -> core %dx%d (essentials %d)@,\
+     CC %.2fs, total %.2fs, %d subgradient steps, %d runs (best at %d), %d fixes (%d by penalty)@]"
+    s.input_rows s.input_cols s.core_rows s.core_cols s.essential_count
+    s.cyclic_core_seconds s.total_seconds s.subgradient_steps s.iterations
+    s.best_iteration s.fixes s.penalty_fixes

@@ -1,0 +1,23 @@
+(** Run statistics of a ZDD_SCG solve, mirroring the columns the paper
+    reports: cyclic-core time (implicit + explicit), total time, sizes. *)
+
+type t = {
+  input_rows : int;
+  input_cols : int;
+  implicit_rows_left : float;  (** rows after the implicit phase *)
+  core_rows : int;  (** cyclic-core dimensions after explicit reductions *)
+  core_cols : int;
+  essential_count : int;  (** columns fixed by the reductions *)
+  cyclic_core_seconds : float;  (** the paper's CC(s) *)
+  total_seconds : float;  (** the paper's T(s) *)
+  subgradient_steps : int;  (** across all runs and fixing phases *)
+  iterations : int;  (** constructive runs actually performed *)
+  best_iteration : int;  (** run (1-based) on which the incumbent was last
+                             improved — the paper's MaxIter column; 0 when
+                             reductions alone solved the problem *)
+  fixes : int;  (** columns fixed heuristically (σ-rule + promising) *)
+  penalty_fixes : int;  (** columns fixed or removed by penalties *)
+}
+
+val zero : t
+val pp : Format.formatter -> t -> unit

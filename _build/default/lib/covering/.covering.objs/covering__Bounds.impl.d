@@ -1,0 +1,1 @@
+lib/covering/bounds.ml: Array Exact Fun List Matrix Mis_bound Stdlib

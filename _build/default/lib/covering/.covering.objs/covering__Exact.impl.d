@@ -1,0 +1,1 @@
+lib/covering/exact.ml: Array Fun Greedy List Matrix Mis_bound Reduce Stdlib

@@ -1,0 +1,1 @@
+lib/covering/exact.mli: Matrix

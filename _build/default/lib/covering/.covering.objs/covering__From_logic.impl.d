@@ -1,0 +1,1 @@
+lib/covering/from_logic.ml: Array Bdd Hashtbl List Logic Matrix Option Stdlib String

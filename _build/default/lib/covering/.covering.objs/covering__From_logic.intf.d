@@ -1,0 +1,1 @@
+lib/covering/from_logic.mli: Bdd Logic Matrix

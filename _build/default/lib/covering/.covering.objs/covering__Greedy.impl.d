@@ -1,0 +1,1 @@
+lib/covering/greedy.ml: Array Hashtbl List Matrix Option Stdlib

@@ -1,0 +1,1 @@
+lib/covering/implicit.ml: Array List Matrix Zdd

@@ -1,0 +1,1 @@
+lib/covering/implicit.mli: Matrix Zdd

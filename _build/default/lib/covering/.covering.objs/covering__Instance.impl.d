@@ -1,0 +1,1 @@
+lib/covering/instance.ml: Array Buffer List Matrix Printf String

@@ -1,0 +1,1 @@
+lib/covering/instance.mli: Matrix

@@ -1,0 +1,1 @@
+lib/covering/matrix.ml: Array Fmt Fun Hashtbl List Stdlib Zdd

@@ -1,0 +1,1 @@
+lib/covering/matrix.mli: Format Zdd

@@ -1,0 +1,1 @@
+lib/covering/mis_bound.mli: Matrix

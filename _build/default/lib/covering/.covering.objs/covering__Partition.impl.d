@@ -1,0 +1,1 @@
+lib/covering/partition.ml: Array Fun Hashtbl List Matrix Stdlib

@@ -1,0 +1,1 @@
+lib/covering/partition.mli: Matrix

@@ -1,0 +1,1 @@
+lib/covering/reduce.ml: Array Fun List Matrix Stdlib

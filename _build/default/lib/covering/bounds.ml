@@ -1,0 +1,46 @@
+let row_induced ?(max_nodes = 2000) m ~rows =
+  match rows with
+  | [] -> 0
+  | _ ->
+    let keep_rows = Array.make (Matrix.n_rows m) false in
+    List.iter (fun i -> keep_rows.(i) <- true) rows;
+    let keep_cols = Array.make (Matrix.n_cols m) false in
+    List.iter (fun i -> Array.iter (fun j -> keep_cols.(j) <- true) (Matrix.row m i)) rows;
+    let sub = Matrix.submatrix m ~keep_rows ~keep_cols in
+    let r = Exact.solve ~max_nodes sub in
+    if r.Exact.optimal then r.Exact.cost
+    else (* the unfinished search still certifies its own lower bound *)
+      max r.Exact.lower_bound (Mis_bound.compute sub).Mis_bound.bound
+
+let strengthened_mis ?(extra_rows = 4) ?max_nodes m =
+  let mis = Mis_bound.compute m in
+  let in_mis = Array.make (Matrix.n_rows m) false in
+  List.iter (fun i -> in_mis.(i) <- true) mis.Mis_bound.rows;
+  (* candidates: rows intersecting many independent rows — they constrain
+     the same columns and are the most likely to raise the bound *)
+  let intersects a b =
+    let ra = Matrix.row m a and rb = Matrix.row m b in
+    let nb = Array.length rb in
+    let rec go x y =
+      if x = Array.length ra || y = nb then false
+      else if ra.(x) = rb.(y) then true
+      else if ra.(x) < rb.(y) then go (x + 1) y
+      else go x (y + 1)
+    in
+    go 0 0
+  in
+  let scored =
+    List.init (Matrix.n_rows m) Fun.id
+    |> List.filter (fun i -> not in_mis.(i))
+    |> List.map (fun i ->
+           let s =
+             List.fold_left
+               (fun acc r -> if intersects i r then acc + 1 else acc)
+               0 mis.Mis_bound.rows
+           in
+           (s, i))
+    |> List.sort (fun a b -> Stdlib.compare b a)
+  in
+  let extra = List.filteri (fun k _ -> k < extra_rows) (List.map snd scored) in
+  let bound = row_induced ?max_nodes m ~rows:(mis.Mis_bound.rows @ extra) in
+  max bound mis.Mis_bound.bound

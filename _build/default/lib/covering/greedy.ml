@@ -1,0 +1,188 @@
+type rule =
+  | Cost_per_row
+  | Cost_per_log
+  | Cost_per_row_log
+  | Weighted_rows
+
+let all_rules = [ Cost_per_row; Cost_per_log; Cost_per_row_log; Weighted_rows ]
+
+let log2 x = log x /. log 2.
+
+let rate rule ~cost ~n_fresh ~row_weight =
+  let n = float_of_int n_fresh in
+  match rule with
+  | Cost_per_row -> cost /. n
+  | Cost_per_log -> cost /. log2 (n +. 1.)
+  | Cost_per_row_log -> cost /. (n *. log2 (n +. 1.))
+  | Weighted_rows -> cost /. row_weight
+
+let solve ?(rule = Cost_per_row) m =
+  let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
+  if n_rows = 0 then []
+  else begin
+    let covered = Array.make n_rows false in
+    let n_uncovered = ref n_rows in
+    let chosen = ref [] in
+    (* static row importance: rows covered by few columns weigh more; a
+       singleton row makes its column irresistible *)
+    let row_unit i =
+      let deg = Array.length (Matrix.row m i) in
+      if deg <= 1 then 1e9 else 1. /. float_of_int (deg - 1)
+    in
+    while !n_uncovered > 0 do
+      let best = ref (-1) and best_rate = ref infinity in
+      for j = 0 to n_cols - 1 do
+        let n_fresh = ref 0 and weight = ref 0. in
+        Array.iter
+          (fun i ->
+            if not covered.(i) then begin
+              incr n_fresh;
+              weight := !weight +. row_unit i
+            end)
+          (Matrix.col m j);
+        if !n_fresh > 0 then begin
+          let r =
+            rate rule ~cost:(float_of_int (Matrix.cost m j)) ~n_fresh:!n_fresh
+              ~row_weight:!weight
+          in
+          if r < !best_rate then begin
+            best_rate := r;
+            best := j
+          end
+        end
+      done;
+      assert (!best >= 0);
+      chosen := !best :: !chosen;
+      Array.iter
+        (fun i ->
+          if not covered.(i) then begin
+            covered.(i) <- true;
+            decr n_uncovered
+          end)
+        (Matrix.col m !best)
+    done;
+    Matrix.irredundant m (List.rev !chosen)
+  end
+
+let solve_best m =
+  let candidates = List.map (fun rule -> solve ~rule m) all_rules in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun best sol -> if Matrix.cost_of m sol < Matrix.cost_of m best then sol else best)
+      first rest
+
+let one_exchange m sol =
+  (* try to swap each chosen column for a strictly cheaper substitute that
+     covers all the rows the column covers uniquely *)
+  let n_rows = Matrix.n_rows m in
+  let times = Array.make n_rows 0 in
+  let in_sol = Hashtbl.create 16 in
+  List.iter
+    (fun j ->
+      Hashtbl.replace in_sol j ();
+      Array.iter (fun i -> times.(i) <- times.(i) + 1) (Matrix.col m j))
+    sol;
+  let improved = ref false in
+  let try_swap j =
+    let unique = Array.to_list (Matrix.col m j) |> List.filter (fun i -> times.(i) = 1) in
+    match unique with
+    | [] ->
+      (* redundant column: drop it *)
+      Hashtbl.remove in_sol j;
+      Array.iter (fun i -> times.(i) <- times.(i) - 1) (Matrix.col m j);
+      improved := true
+    | first :: _ ->
+      let unique_arr = Array.of_list unique in
+      let candidate = ref None in
+      Array.iter
+        (fun k ->
+          if
+            k <> j
+            && (not (Hashtbl.mem in_sol k))
+            && Matrix.cost m k < Matrix.cost m j
+            && Array.for_all
+                 (fun i -> Array.exists (fun i' -> i' = i) (Matrix.col m k))
+                 unique_arr
+          then
+            match !candidate with
+            | Some best when Matrix.cost m best <= Matrix.cost m k -> ()
+            | Some _ | None -> candidate := Some k)
+        (Matrix.row m first);
+      match !candidate with
+      | None -> ()
+      | Some k ->
+        Hashtbl.remove in_sol j;
+        Array.iter (fun i -> times.(i) <- times.(i) - 1) (Matrix.col m j);
+        Hashtbl.replace in_sol k ();
+        Array.iter (fun i -> times.(i) <- times.(i) + 1) (Matrix.col m k);
+        improved := true
+  in
+  List.iter (fun j -> if Hashtbl.mem in_sol j then try_swap j) sol;
+  let sol' = Hashtbl.fold (fun j () acc -> j :: acc) in_sol [] in
+  (List.sort Stdlib.compare sol', !improved)
+
+(* 2-for-1 exchange: replace two chosen columns by one column covering all
+   the rows only they cover — the move that actually pays off under
+   uniform costs, where single swaps can never be strictly cheaper. *)
+let two_for_one m sol =
+  let n_rows = Matrix.n_rows m in
+  let times = Array.make n_rows 0 in
+  List.iter
+    (fun j -> Array.iter (fun i -> times.(i) <- times.(i) + 1) (Matrix.col m j))
+    sol;
+  let in_sol = Hashtbl.create 16 in
+  List.iter (fun j -> Hashtbl.replace in_sol j ()) sol;
+  let covers_all k rows =
+    List.for_all (fun i -> Array.exists (fun i' -> i' = i) (Matrix.col m k)) rows
+  in
+  let covers j i = Array.exists (fun i' -> i' = i) (Matrix.col m j) in
+  (* rows that lose every chosen cover when both j1 and j2 leave *)
+  let orphans j1 j2 =
+    List.sort_uniq Stdlib.compare
+      (Array.to_list (Matrix.col m j1) @ Array.to_list (Matrix.col m j2))
+    |> List.filter (fun i ->
+           let by_pair = (if covers j1 i then 1 else 0) + if covers j2 i then 1 else 0 in
+           times.(i) = by_pair)
+  in
+  let rec try_pairs = function
+    | [] -> None
+    | j1 :: rest ->
+      let found =
+        List.find_map
+          (fun j2 ->
+            let need = orphans j1 j2 in
+            match need with
+            | [] -> None (* both redundant; irredundancy handles it *)
+            | first :: _ ->
+              let candidate =
+                Array.to_list (Matrix.row m first)
+                |> List.find_opt (fun k ->
+                       (not (Hashtbl.mem in_sol k))
+                       && Matrix.cost m k < Matrix.cost m j1 + Matrix.cost m j2
+                       && covers_all k need)
+              in
+              Option.map (fun k -> (j1, j2, k)) candidate)
+          rest
+      in
+      (match found with
+      | Some _ as r -> r
+      | None -> try_pairs rest)
+  in
+  match try_pairs sol with
+  | None -> (sol, false)
+  | Some (j1, j2, k) ->
+    (k :: List.filter (fun j -> j <> j1 && j <> j2) sol, true)
+
+let solve_exchange ?(rounds = 3) m =
+  let sol = ref (solve_best m) in
+  (try
+     for _ = 1 to rounds do
+       let sol', improved = one_exchange m !sol in
+       let sol'', improved' = two_for_one m sol' in
+       sol := Matrix.irredundant m sol'';
+       if not (improved || improved') then raise Exit
+     done
+   with Exit -> ());
+  Matrix.irredundant m !sol

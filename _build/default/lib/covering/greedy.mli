@@ -1,0 +1,37 @@
+(** Chvátal-style greedy covering heuristics.
+
+    The classical upper-bound procedure (Johnson/Lovász/Chvátal, paper §2):
+    repeatedly select the column minimising a rating [γ(c_j, n_j)] of its
+    cost [c_j] against the number [n_j] of still-uncovered rows it covers,
+    until feasible; then drop redundant columns.
+
+    The four rating rules of the paper's §3.5 are exposed so the Lagrangian
+    layer can reuse them with Lagrangian costs; here they run with the
+    plain integer costs. *)
+
+type rule =
+  | Cost_per_row  (** γ = c / n — Chvátal's rule *)
+  | Cost_per_log  (** γ = c / log₂(n+1) *)
+  | Cost_per_row_log  (** γ = c / (n·log₂(n+1)) *)
+  | Weighted_rows
+      (** γ = c / Σ_rows 1/(cover-count − 1): rows covered by few columns
+          weigh more (paper §3.5, fourth rule) *)
+
+val all_rules : rule list
+
+val rate : rule -> cost:float -> n_fresh:int -> row_weight:float -> float
+(** The rating value; lower is better.  [row_weight] is the denominator of
+    {!Weighted_rows} (ignored by the other rules). *)
+
+val solve : ?rule:rule -> Matrix.t -> int list
+(** A feasible, irredundant cover (column indices).  Default rule:
+    {!Cost_per_row}.  Deterministic (ties towards lower index). *)
+
+val solve_best : Matrix.t -> int list
+(** Run all four rules, return the cheapest result. *)
+
+val solve_exchange : ?rounds:int -> Matrix.t -> int list
+(** {!solve_best} followed by 1-exchange local search: try replacing each
+    chosen column with a cheaper column that preserves feasibility, then
+    re-run irredundancy; repeat up to [rounds] (default 3) times.  The
+    "Espresso strong"-grade baseline for pure-matrix instances. *)

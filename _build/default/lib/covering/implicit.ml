@@ -1,0 +1,81 @@
+type t = {
+  rows : Zdd.t;
+  n_cols : int;
+  cost : int array;
+  essential : int list;
+}
+
+let of_matrix m =
+  (* the implicit phase runs before any reduction, so identifiers must
+     still equal indices: otherwise decoded solutions would be ambiguous *)
+  for j = 0 to Matrix.n_cols m - 1 do
+    if Matrix.col_id m j <> j then
+      invalid_arg "Implicit.of_matrix: matrix already re-indexed"
+  done;
+  {
+    rows = Matrix.to_zdd m;
+    n_cols = Matrix.n_cols m;
+    cost = Array.init (Matrix.n_cols m) (Matrix.cost m);
+    essential = [];
+  }
+
+let of_rows ~n_cols ?cost rows =
+  let cost =
+    match cost with
+    | Some c ->
+      if Array.length c <> n_cols then invalid_arg "Implicit.of_rows: cost length mismatch";
+      Array.copy c
+    | None -> Array.make n_cols 1
+  in
+  List.iter
+    (fun v -> if v >= n_cols then invalid_arg "Implicit.of_rows: column out of range")
+    (Zdd.support rows);
+  if Zdd.contains_empty_set rows then invalid_arg "Implicit.of_rows: empty row";
+  { rows; n_cols; cost; essential = [] }
+
+let row_count t = Zdd.count t.rows
+let is_solved t = Zdd.is_empty t.rows
+
+let essential_step t =
+  match Zdd.singletons t.rows with
+  | [] -> None
+  | singles ->
+    let rows =
+      List.fold_left (fun rows v -> Zdd.subset0 rows v) t.rows singles
+    in
+    Some { t with rows; essential = t.essential @ singles }
+
+let dominance_step t =
+  let m = Zdd.minimal t.rows in
+  if Zdd.equal m t.rows then None else Some { t with rows = m }
+
+let reduce ?(max_rows = 5000) ?(max_cols = 10_000) t =
+  let small t =
+    Zdd.count t.rows <= float_of_int max_rows
+    && List.length (Zdd.support t.rows) <= max_cols
+  in
+  let rec go t =
+    if is_solved t || small t then t
+    else
+      match essential_step t with
+      | Some t' -> go t'
+      | None -> (
+        match dominance_step t with
+        | Some t' -> go t'
+        | None -> t)
+  in
+  (* always run at least one full fixpoint even when already small: cheap,
+     and it guarantees decoded cores saw essentiality at least once *)
+  let rec fixpoint t =
+    match essential_step t with
+    | Some t' -> fixpoint t'
+    | None -> (
+      match dominance_step t with
+      | Some t' -> fixpoint t'
+      | None -> t)
+  in
+  if small t then fixpoint t else go t
+
+let decode t =
+  let m = Matrix.of_sets ~cost:t.cost ~n_cols:t.n_cols t.rows in
+  (m, t.essential)

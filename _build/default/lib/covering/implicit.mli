@@ -1,0 +1,51 @@
+(** Implicit covering-problem representation and reductions.
+
+    The paper's [ZDD_Reductions] phase: the covering matrix is held as a
+    single ZDD whose member sets are the rows (each row = the set of column
+    indices covering it).  Under this encoding two of the classical
+    reductions are single canonical-DAG operations:
+
+    - {e row dominance}: a row that is a superset of another is redundant —
+      [Zdd.minimal] deletes all of them at once;
+    - {e essentiality}: singleton rows name essential columns —
+      [Zdd.singletons]; fixing column [v] then removes every row containing
+      [v] in one [Zdd.subset0].
+
+    Column dominance needs the transposed view and is left to the explicit
+    phase, exactly as the decode-when-small-enough switch of the paper's
+    Figure 2 intends ([MaxR]/[MaxC]). *)
+
+type t = {
+  rows : Zdd.t;  (** family of rows over column indices *)
+  n_cols : int;
+  cost : int array;
+  essential : int list;  (** column indices fixed so far, oldest first *)
+}
+
+val of_matrix : Matrix.t -> t
+(** Encode an explicit matrix.  The matrix must carry fresh identifiers
+    (identifiers = indices), which holds for matrices straight out of
+    {!Matrix.create}. *)
+
+val of_rows : n_cols:int -> ?cost:int array -> Zdd.t -> t
+(** Wrap a rows-family directly (cost defaults to uniform 1). *)
+
+val row_count : t -> float
+val is_solved : t -> bool
+
+val essential_step : t -> t option
+(** Fix all currently essential columns; [None] if there are none. *)
+
+val dominance_step : t -> t option
+(** Remove dominated (superset) rows; [None] if the family is already an
+    antichain. *)
+
+val reduce : ?max_rows:int -> ?max_cols:int -> t -> t
+(** Iterate essential/dominance steps until both are exhausted or the
+    matrix is small enough — the loop guard of Figure 2: at most
+    [max_rows] rows (paper [MaxR] = 5000) {e and} [max_cols] live columns
+    (paper [MaxC] = 10000). *)
+
+val decode : t -> Matrix.t * int list
+(** Explicit matrix (columns re-indexed to drop unused ones is {e not}
+    done — indices are preserved) and the essential column indices. *)

@@ -1,0 +1,145 @@
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse text =
+  let n_rows = ref (-1) and n_cols = ref (-1) in
+  let cost = ref None in
+  let rows = ref [] in
+  let fail lineno msg = failwith (Printf.sprintf "Instance: line %d: %s" lineno msg) in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let line = String.trim line in
+      if line <> "" then
+        match split_words line with
+        | [ "p"; "ucp"; r; c ] ->
+          n_rows := int_of_string r;
+          n_cols := int_of_string c
+        | "c" :: costs ->
+          if !n_cols < 0 then fail lineno "cost line before the p line";
+          let arr = Array.of_list (List.map int_of_string costs) in
+          if Array.length arr <> !n_cols then fail lineno "cost count mismatch";
+          cost := Some arr
+        | "r" :: cols ->
+          if !n_cols < 0 then fail lineno "row line before the p line";
+          let cols = List.map int_of_string cols in
+          if cols = [] then fail lineno "empty row";
+          rows := cols :: !rows
+        | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line))
+    (String.split_on_char '\n' text);
+  if !n_cols < 0 then failwith "Instance: missing p line";
+  let rows = List.rev !rows in
+  if !n_rows >= 0 && List.length rows <> !n_rows then
+    failwith
+      (Printf.sprintf "Instance: p line declares %d rows, found %d" !n_rows
+         (List.length rows));
+  try Matrix.create ?cost:!cost ~n_cols:!n_cols rows
+  with Invalid_argument m -> failwith ("Instance: " ^ m)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  try parse text
+  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+
+let to_string m =
+  let buf = Buffer.create 1_024 in
+  Buffer.add_string buf (Printf.sprintf "p ucp %d %d\n" (Matrix.n_rows m) (Matrix.n_cols m));
+  let uniform = ref true in
+  for j = 0 to Matrix.n_cols m - 1 do
+    if Matrix.cost m j <> 1 then uniform := false
+  done;
+  if not !uniform then begin
+    Buffer.add_char buf 'c';
+    for j = 0 to Matrix.n_cols m - 1 do
+      Buffer.add_string buf (Printf.sprintf " %d" (Matrix.cost m j))
+    done;
+    Buffer.add_char buf '\n'
+  end;
+  for i = 0 to Matrix.n_rows m - 1 do
+    Buffer.add_char buf 'r';
+    Array.iter (fun j -> Buffer.add_string buf (Printf.sprintf " %d" j)) (Matrix.row m i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let write_file path m =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Beasley OR-Library scp format                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_orlib text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map split_words
+    |> List.map (fun w ->
+           try int_of_string w
+           with Failure _ -> failwith (Printf.sprintf "Instance(orlib): bad token %S" w))
+  in
+  let rec take n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> failwith "Instance(orlib): unexpected end of input"
+    | x :: rest -> take (n - 1) (x :: acc) rest
+  in
+  match tokens with
+  | m :: n :: rest ->
+    if m < 0 || n <= 0 then failwith "Instance(orlib): bad dimensions";
+    let costs, rest = take n [] rest in
+    List.iter (fun c -> if c <= 0 then failwith "Instance(orlib): non-positive cost") costs;
+    let rows = ref [] in
+    let rest = ref rest in
+    for row = 1 to m do
+      match !rest with
+      | [] -> failwith "Instance(orlib): missing row"
+      | count :: more ->
+        if count <= 0 then
+          failwith (Printf.sprintf "Instance(orlib): row %d has no columns" row);
+        let cols, more = take count [] more in
+        List.iter
+          (fun j ->
+            if j < 1 || j > n then
+              failwith (Printf.sprintf "Instance(orlib): row %d column %d out of range" row j))
+          cols;
+        rows := List.map (fun j -> j - 1) cols :: !rows;
+        rest := more
+    done;
+    if !rest <> [] then failwith "Instance(orlib): trailing tokens";
+    (try Matrix.create ~cost:(Array.of_list costs) ~n_cols:n (List.rev !rows)
+     with Invalid_argument msg -> failwith ("Instance(orlib): " ^ msg))
+  | _ -> failwith "Instance(orlib): missing dimensions"
+
+let parse_orlib_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  try parse_orlib text
+  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+
+let to_orlib m =
+  let buf = Buffer.create 1_024 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Matrix.n_rows m) (Matrix.n_cols m));
+  for j = 0 to Matrix.n_cols m - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d " (Matrix.cost m j))
+  done;
+  Buffer.add_char buf '\n';
+  for i = 0 to Matrix.n_rows m - 1 do
+    let r = Matrix.row m i in
+    Buffer.add_string buf (Printf.sprintf "%d\n" (Array.length r));
+    Array.iter (fun j -> Buffer.add_string buf (Printf.sprintf "%d " (j + 1))) r;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

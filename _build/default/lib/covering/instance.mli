@@ -1,0 +1,33 @@
+(** Plain-text covering instances.
+
+    A small exchange format for raw UCP matrices (the pure-matrix
+    benchmarks of Tables 1–4 and user-supplied problems):
+
+    {v
+      # comment
+      p ucp <n_rows> <n_cols>
+      c <cost_0> <cost_1> ... <cost_{n_cols-1}>     (optional; default 1)
+      r <col> <col> ...                             (one line per row)
+    v} *)
+
+val parse : string -> Matrix.t
+(** @raise Failure with a line-tagged message on malformed input. *)
+
+val parse_file : string -> Matrix.t
+val to_string : Matrix.t -> string
+val write_file : string -> Matrix.t -> unit
+
+(** {1 OR-Library format}
+
+    Beasley's scp format (the de-facto standard for set-covering
+    instances, cf. the paper's reference [2]): whitespace-separated
+    integers — [m n], then [n] column costs, then for each of the [m]
+    rows a count followed by that many {e 1-based} column indices. *)
+
+val parse_orlib : string -> Matrix.t
+(** @raise Failure on malformed input (wrong counts, indices out of
+    range, rows without columns). *)
+
+val parse_orlib_file : string -> Matrix.t
+val to_orlib : Matrix.t -> string
+(** Inverse of {!parse_orlib} (indices re-based to 1). *)

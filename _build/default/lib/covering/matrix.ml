@@ -1,0 +1,228 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  rows : int array array;
+  cols : int array array;
+  cost : int array;
+  row_ids : int array;
+  col_ids : int array;
+}
+
+let cols_of_rows n_cols rows =
+  let counts = Array.make n_cols 0 in
+  Array.iter (fun r -> Array.iter (fun j -> counts.(j) <- counts.(j) + 1) r) rows;
+  let cols = Array.init n_cols (fun j -> Array.make counts.(j) 0) in
+  let fill = Array.make n_cols 0 in
+  Array.iteri
+    (fun i r ->
+      Array.iter
+        (fun j ->
+          cols.(j).(fill.(j)) <- i;
+          fill.(j) <- fill.(j) + 1)
+        r)
+    rows;
+  cols
+
+let create ?cost ~n_cols row_lists =
+  if n_cols < 0 then invalid_arg "Matrix.create: negative column count";
+  let cost =
+    match cost with
+    | Some c ->
+      if Array.length c <> n_cols then invalid_arg "Matrix.create: cost length mismatch";
+      Array.iter (fun x -> if x <= 0 then invalid_arg "Matrix.create: non-positive cost") c;
+      Array.copy c
+    | None -> Array.make n_cols 1
+  in
+  let rows =
+    Array.of_list
+      (List.map
+         (fun r ->
+           let a = Array.of_list (List.sort_uniq Stdlib.compare r) in
+           if Array.length a <> List.length r then
+             invalid_arg "Matrix.create: duplicate column in row";
+           if Array.length a = 0 then invalid_arg "Matrix.create: empty row";
+           Array.iter
+             (fun j -> if j < 0 || j >= n_cols then invalid_arg "Matrix.create: column out of range")
+             a;
+           a)
+         row_lists)
+  in
+  let n_rows = Array.length rows in
+  {
+    n_rows;
+    n_cols;
+    rows;
+    cols = cols_of_rows n_cols rows;
+    cost;
+    row_ids = Array.init n_rows Fun.id;
+    col_ids = Array.init n_cols Fun.id;
+  }
+
+let of_sets ?cost ~n_cols zdd =
+  create ?cost ~n_cols (Zdd.to_sets zdd)
+
+let to_zdd m = Zdd.of_sets (Array.to_list (Array.map Array.to_list m.rows))
+
+let n_rows m = m.n_rows
+let n_cols m = m.n_cols
+let row m i = m.rows.(i)
+let col m j = m.cols.(j)
+let cost m j = m.cost.(j)
+let row_id m i = m.row_ids.(i)
+let col_id m j = m.col_ids.(j)
+
+let col_index_of_id m id =
+  let found = ref None in
+  Array.iteri (fun j id' -> if id' = id then found := Some j) m.col_ids;
+  !found
+
+let is_empty m = m.n_rows = 0
+let nnz m = Array.fold_left (fun acc r -> acc + Array.length r) 0 m.rows
+
+let density m =
+  if m.n_rows = 0 || m.n_cols = 0 then 0.
+  else float_of_int (nnz m) /. (float_of_int m.n_rows *. float_of_int m.n_cols)
+
+let submatrix m ~keep_rows ~keep_cols =
+  if Array.length keep_rows <> m.n_rows || Array.length keep_cols <> m.n_cols then
+    invalid_arg "Matrix.submatrix: mask length mismatch";
+  (* new index of each kept column *)
+  let col_index = Array.make m.n_cols (-1) in
+  let n_cols' = ref 0 in
+  Array.iteri
+    (fun j keep ->
+      if keep then begin
+        col_index.(j) <- !n_cols';
+        incr n_cols'
+      end)
+    keep_cols;
+  let rows' = ref [] and row_ids' = ref [] in
+  for i = m.n_rows - 1 downto 0 do
+    if keep_rows.(i) then begin
+      let r =
+        Array.of_list
+          (List.filter_map
+             (fun j -> if keep_cols.(j) then Some col_index.(j) else None)
+             (Array.to_list m.rows.(i)))
+      in
+      if Array.length r = 0 then
+        invalid_arg "Matrix.submatrix: kept row loses every column";
+      rows' := r :: !rows';
+      row_ids' := m.row_ids.(i) :: !row_ids'
+    end
+  done;
+  let rows = Array.of_list !rows' in
+  let cost' = Array.make !n_cols' 0 and col_ids' = Array.make !n_cols' 0 in
+  Array.iteri
+    (fun j keep ->
+      if keep then begin
+        cost'.(col_index.(j)) <- m.cost.(j);
+        col_ids'.(col_index.(j)) <- m.col_ids.(j)
+      end)
+    keep_cols;
+  {
+    n_rows = Array.length rows;
+    n_cols = !n_cols';
+    rows;
+    cols = cols_of_rows !n_cols' rows;
+    cost = cost';
+    row_ids = Array.of_list !row_ids';
+    col_ids = col_ids';
+  }
+
+let add_virtual_column m ~cost ~id ~rows =
+  if cost <= 0 then invalid_arg "Matrix.add_virtual_column: non-positive cost";
+  let rows = List.sort_uniq Stdlib.compare rows in
+  List.iter
+    (fun i -> if i < 0 || i >= m.n_rows then invalid_arg "Matrix.add_virtual_column: row out of range")
+    rows;
+  let j = m.n_cols in
+  let rows_arr =
+    Array.mapi
+      (fun i r -> if List.mem i rows then Array.append r [| j |] else r)
+      m.rows
+  in
+  {
+    n_rows = m.n_rows;
+    n_cols = m.n_cols + 1;
+    rows = rows_arr;
+    cols = cols_of_rows (m.n_cols + 1) rows_arr;
+    cost = Array.append m.cost [| cost |];
+    row_ids = m.row_ids;
+    col_ids = Array.append m.col_ids [| id |];
+  }
+
+let covers m cols =
+  let hit = Array.make m.n_rows false in
+  List.iter
+    (fun j ->
+      if j < 0 || j >= m.n_cols then invalid_arg "Matrix.covers: column out of range";
+      Array.iter (fun i -> hit.(i) <- true) m.cols.(j))
+    cols;
+  Array.for_all Fun.id hit
+
+let cost_of m cols = List.fold_left (fun acc j -> acc + m.cost.(j)) 0 cols
+
+let cost_of_ids ~original ids =
+  List.fold_left
+    (fun acc id ->
+      match col_index_of_id original id with
+      | Some j -> acc + original.cost.(j)
+      | None -> invalid_arg "Matrix.cost_of_ids: unknown identifier")
+    0 ids
+
+let uncovered m cols =
+  let hit = Array.make m.n_rows false in
+  List.iter (fun j -> Array.iter (fun i -> hit.(i) <- true) m.cols.(j)) cols;
+  let acc = ref [] in
+  for i = m.n_rows - 1 downto 0 do
+    if not hit.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let irredundant m sol =
+  if not (covers m sol) then invalid_arg "Matrix.irredundant: not a cover";
+  let sol = List.sort_uniq Stdlib.compare sol in
+  let times_covered = Array.make m.n_rows 0 in
+  List.iter
+    (fun j -> Array.iter (fun i -> times_covered.(i) <- times_covered.(i) + 1) m.cols.(j))
+    sol;
+  (* try to drop columns, most expensive first (ties: higher index first so
+     the result is deterministic) *)
+  let order =
+    List.sort (fun a b -> Stdlib.compare (m.cost.(b), b) (m.cost.(a), a)) sol
+  in
+  let kept = Hashtbl.create 16 in
+  List.iter (fun j -> Hashtbl.replace kept j ()) sol;
+  List.iter
+    (fun j ->
+      let redundant = Array.for_all (fun i -> times_covered.(i) >= 2) m.cols.(j) in
+      if redundant then begin
+        Hashtbl.remove kept j;
+        Array.iter (fun i -> times_covered.(i) <- times_covered.(i) - 1) m.cols.(j)
+      end)
+    order;
+  List.filter (Hashtbl.mem kept) sol
+
+let transpose_check m =
+  assert (Array.length m.rows = m.n_rows);
+  assert (Array.length m.cols = m.n_cols);
+  Array.iteri
+    (fun i r ->
+      Array.iter
+        (fun j -> assert (Array.exists (fun i' -> i' = i) m.cols.(j)))
+        r;
+      (* sortedness *)
+      Array.iteri (fun k j -> if k > 0 then assert (r.(k - 1) < j)) r)
+    m.rows;
+  Array.iteri
+    (fun j c -> Array.iter (fun i -> assert (Array.exists (fun j' -> j' = j) m.rows.(i))) c)
+    m.cols
+
+let pp ppf m =
+  let ints = Fmt.(hbox (list ~sep:(any " ") int)) in
+  Fmt.pf ppf "@[<v>covering matrix %dx%d (nnz %d)@," m.n_rows m.n_cols (nnz m);
+  Array.iteri
+    (fun i r -> Fmt.pf ppf "row %d (id %d): %a@," i m.row_ids.(i) ints (Array.to_list r))
+    m.rows;
+  Fmt.pf ppf "costs: %a@]" ints (Array.to_list m.cost)

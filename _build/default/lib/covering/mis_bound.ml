@@ -1,0 +1,84 @@
+type t = {
+  rows : int list;
+  bound : int;
+}
+
+let min_row_cost m i =
+  Array.fold_left (fun acc j -> min acc (Matrix.cost m j)) max_int (Matrix.row m i)
+
+let intersects m i i' =
+  (* do rows i and i' share a column?  both arrays are sorted *)
+  let a = Matrix.row m i and b = Matrix.row m i' in
+  let na = Array.length a and nb = Array.length b in
+  let rec go x y =
+    if x = na || y = nb then false
+    else if a.(x) = b.(y) then true
+    else if a.(x) < b.(y) then go (x + 1) y
+    else go x (y + 1)
+  in
+  go 0 0
+
+let is_independent m rows =
+  let rec go = function
+    | [] -> true
+    | i :: rest -> List.for_all (fun i' -> not (intersects m i i')) rest && go rest
+  in
+  go rows
+
+let bound_of_rows m rows =
+  if not (is_independent m rows) then invalid_arg "Mis_bound.bound_of_rows: rows intersect";
+  List.fold_left (fun acc i -> acc + min_row_cost m i) 0 rows
+
+let compute m =
+  let n = Matrix.n_rows m in
+  if n = 0 then { rows = []; bound = 0 }
+  else begin
+    (* neighbour counts via column lists: rows sharing any column *)
+    let alive = Array.make n true in
+    let degree = Array.make n 0 in
+    let neighbours i =
+      let seen = Hashtbl.create 16 in
+      Array.iter
+        (fun j ->
+          Array.iter
+            (fun i' -> if i' <> i then Hashtbl.replace seen i' ())
+            (Matrix.col m j))
+        (Matrix.row m i);
+      seen
+    in
+    let neigh = Array.init n neighbours in
+    for i = 0 to n - 1 do
+      degree.(i) <- Hashtbl.length neigh.(i)
+    done;
+    let chosen = ref [] and bound = ref 0 in
+    let remaining = ref n in
+    while !remaining > 0 do
+      (* fewest live neighbours; ties: higher cheapest-cost, then low index *)
+      let best = ref (-1) in
+      for i = n - 1 downto 0 do
+        if alive.(i) then
+          match !best with
+          | -1 -> best := i
+          | b ->
+            let key i = (degree.(i), -min_row_cost m i, i) in
+            if key i < key b then best := i
+      done;
+      let i = !best in
+      chosen := i :: !chosen;
+      bound := !bound + min_row_cost m i;
+      alive.(i) <- false;
+      decr remaining;
+      Hashtbl.iter
+        (fun i' () ->
+          if alive.(i') then begin
+            alive.(i') <- false;
+            decr remaining;
+            (* removing i' lowers its neighbours' degrees *)
+            Hashtbl.iter
+              (fun i'' () -> if alive.(i'') then degree.(i'') <- degree.(i'') - 1)
+              neigh.(i')
+          end)
+        neigh.(i)
+    done;
+    { rows = List.rev !chosen; bound = !bound }
+  end

@@ -1,0 +1,29 @@
+(** Maximal-independent-set lower bound.
+
+    The classical VLSI covering bound (paper §2, §3.4): choose a set of
+    pairwise non-intersecting rows (no two share a column); any cover pays
+    at least the cheapest column of each such row, so
+
+    {v LB_MIS = Σ_{i ∈ MIS} min_{j : a_ij = 1} c_j v}
+
+    Finding a maximum independent set is itself NP-hard; as in the
+    literature a greedy maximal set is used (fewest-conflicts-first).
+    Proposition 1 of the paper places this bound at the bottom of the
+    hierarchy: LB_MIS ≤ LB_dual-ascent ≤ LB_Lagrangian ≤ LB_LP ≤ OPT, with
+    the first two equal under uniform costs. *)
+
+type t = {
+  rows : int list;  (** the independent rows (indices) *)
+  bound : int;  (** the lower bound value *)
+}
+
+val compute : Matrix.t -> t
+(** Greedy maximal independent set: repeatedly take the row intersecting
+    the fewest remaining rows (ties: larger cheapest-column cost, then
+    lower index), excluding its neighbours. *)
+
+val bound_of_rows : Matrix.t -> int list -> int
+(** The bound value of a given independent row set.
+    @raise Invalid_argument if the rows are not pairwise independent. *)
+
+val is_independent : Matrix.t -> int list -> bool

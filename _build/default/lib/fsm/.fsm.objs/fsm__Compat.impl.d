@@ -1,0 +1,1 @@
+lib/fsm/compat.ml: Array Fun List Machine Stdlib

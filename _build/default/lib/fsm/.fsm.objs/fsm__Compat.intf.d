@@ -1,0 +1,1 @@
+lib/fsm/compat.mli: Machine

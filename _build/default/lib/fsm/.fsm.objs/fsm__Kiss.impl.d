@@ -1,0 +1,1 @@
+lib/fsm/kiss.ml: Array Buffer List Logic Machine Option Printf String

@@ -1,0 +1,1 @@
+lib/fsm/machine.ml: Array Fmt Hashtbl List Logic Option Printf String

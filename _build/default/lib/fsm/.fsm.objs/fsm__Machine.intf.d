@@ -1,0 +1,1 @@
+lib/fsm/machine.mli: Format Logic

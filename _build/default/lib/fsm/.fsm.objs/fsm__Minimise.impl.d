@@ -1,0 +1,1 @@
+lib/fsm/minimise.ml: Array Binate Compat Fun List Logic Machine Option Random Stdlib String

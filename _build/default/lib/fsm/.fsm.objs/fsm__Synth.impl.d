@@ -1,0 +1,1 @@
+lib/fsm/synth.ml: Array Covering List Logic Machine Printf Scg String

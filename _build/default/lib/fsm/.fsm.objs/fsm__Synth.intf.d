@@ -1,0 +1,1 @@
+lib/fsm/synth.mli: Logic Machine Scg

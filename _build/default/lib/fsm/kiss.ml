@@ -1,0 +1,118 @@
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse text =
+  let ni = ref (-1) and no = ref (-1) in
+  let reset_name = ref None in
+  let rows = ref [] in
+  let fail lineno msg = failwith (Printf.sprintf "Kiss: line %d: %s" lineno msg) in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let line = String.trim line in
+      if line <> "" then
+        if line.[0] = '.' then begin
+          match split_words line with
+          | [ ".i"; n ] -> ni := int_of_string n
+          | [ ".o"; n ] -> no := int_of_string n
+          | [ ".s"; _ ] | [ ".p"; _ ] -> () (* advisory *)
+          | [ ".r"; name ] -> reset_name := Some name
+          | [ ".e" ] | [ ".end" ] -> ()
+          | _ -> fail lineno (Printf.sprintf "unrecognised directive %S" line)
+        end
+        else
+          match split_words line with
+          | [ input; src; next; output ] ->
+            if !ni < 0 || !no < 0 then fail lineno ".i/.o must precede transitions";
+            if String.length input <> !ni then fail lineno "input width mismatch";
+            if String.length output <> !no then fail lineno "output width mismatch";
+            let cube =
+              try Logic.Cube.of_string input with Invalid_argument m -> fail lineno m
+            in
+            rows := (cube, src, next, output) :: !rows
+          | _ -> fail lineno "expected `input state next output'"
+    )
+    (String.split_on_char '\n' text);
+  if !ni < 0 then failwith "Kiss: missing .i";
+  if !no < 0 then failwith "Kiss: missing .o";
+  let rows = List.rev !rows in
+  (* collect state names in order of first appearance; '-'/'*' are the
+     unspecified next-state markers, never states *)
+  let names = ref [] in
+  let add name =
+    if name <> "-" && name <> "*" && not (List.mem name !names) then
+      names := name :: !names
+  in
+  List.iter
+    (fun (_, src, next, _) ->
+      add src;
+      add next)
+    rows;
+  (match !reset_name with Some r -> add r | None -> ());
+  let states = Array.of_list (List.rev !names) in
+  let index name =
+    let rec go i =
+      if i >= Array.length states then failwith (Printf.sprintf "Kiss: unknown state %S" name)
+      else if states.(i) = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let transitions =
+    List.map
+      (fun (input, src, next, output) ->
+        {
+          Machine.input;
+          source = index src;
+          next = (if next = "-" || next = "*" then None else Some (index next));
+          output;
+        })
+      rows
+  in
+  let reset = Option.map index !reset_name in
+  try Machine.create ~ni:!ni ~no:!no ~states ?reset transitions
+  with Invalid_argument m -> failwith ("Kiss: " ^ m)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  try parse text
+  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+
+let to_string (m : Machine.t) =
+  let buf = Buffer.create 1_024 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" m.Machine.ni m.Machine.no);
+  Buffer.add_string buf
+    (Printf.sprintf ".p %d\n.s %d\n"
+       (List.length m.Machine.transitions)
+       (Array.length m.Machine.states));
+  (match m.Machine.reset with
+  | Some r -> Buffer.add_string buf (Printf.sprintf ".r %s\n" m.Machine.states.(r))
+  | None -> ());
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s\n"
+           (Logic.Cube.to_string tr.Machine.input)
+           m.Machine.states.(tr.Machine.source)
+           (match tr.Machine.next with
+           | Some s -> m.Machine.states.(s)
+           | None -> "-")
+           tr.Machine.output))
+    m.Machine.transitions;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let write_file path m =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc

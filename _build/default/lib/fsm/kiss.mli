@@ -1,0 +1,26 @@
+(** KISS2 file format for finite-state machines.
+
+    The Berkeley/SIS exchange format used by the classical state
+    minimisers (STAMINA et al.):
+
+    {v
+      .i 2
+      .o 1
+      .s 4          (optional; inferred from the transitions)
+      .p 8          (optional; advisory)
+      .r s0         (optional reset state)
+      0- s0 s1 0
+      1- s0 s2 -
+      ...
+      .e
+    v}
+
+    Each transition line is [input-cube  state  next-state  outputs];
+    ['-'] (or ['*']) as next state means unspecified. *)
+
+val parse : string -> Machine.t
+(** @raise Failure with a line-tagged message on malformed input. *)
+
+val parse_file : string -> Machine.t
+val to_string : Machine.t -> string
+val write_file : string -> Machine.t -> unit

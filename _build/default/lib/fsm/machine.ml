@@ -1,0 +1,110 @@
+type transition = {
+  input : Logic.Cube.t;
+  source : int;
+  next : int option;
+  output : string;
+}
+
+type t = {
+  ni : int;
+  no : int;
+  states : string array;
+  reset : int option;
+  transitions : transition list;
+}
+
+let valid_output no s =
+  String.length s = no
+  && String.for_all (function '0' | '1' | '-' | '~' -> true | _ -> false) s
+
+let create ~ni ~no ~states ?reset transitions =
+  let n = Array.length states in
+  if ni < 0 || no < 0 then invalid_arg "Machine.create: negative arity";
+  (match reset with
+  | Some r when r < 0 || r >= n -> invalid_arg "Machine.create: reset out of range"
+  | Some _ | None -> ());
+  List.iter
+    (fun tr ->
+      if Logic.Cube.nvars tr.input <> ni then
+        invalid_arg "Machine.create: input cube arity mismatch";
+      if tr.source < 0 || tr.source >= n then
+        invalid_arg "Machine.create: source state out of range";
+      (match tr.next with
+      | Some s when s < 0 || s >= n -> invalid_arg "Machine.create: next state out of range"
+      | Some _ | None -> ());
+      if not (valid_output no tr.output) then
+        invalid_arg "Machine.create: bad output pattern")
+    transitions;
+  (* determinism: within a state, input cubes must be pairwise disjoint *)
+  let by_state = Hashtbl.create n in
+  List.iter
+    (fun tr ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_state tr.source) in
+      List.iter
+        (fun other ->
+          if Logic.Cube.inter tr.input other <> None then
+            invalid_arg
+              (Printf.sprintf "Machine.create: overlapping input cubes in state %s"
+                 states.(tr.source)))
+        existing;
+      Hashtbl.replace by_state tr.source (tr.input :: existing))
+    transitions;
+  { ni; no; states; reset; transitions }
+
+let n_states m = Array.length m.states
+
+let step m ~state ~input =
+  let matching =
+    List.find_opt
+      (fun tr -> tr.source = state && Logic.Cube.covers_minterm tr.input input)
+      m.transitions
+  in
+  Option.map (fun tr -> (tr.next, tr.output)) matching
+
+let output_conflict ~no a b =
+  let conflict = ref false in
+  for k = 0 to no - 1 do
+    let ca = a.[k] and cb = b.[k] in
+    let specified c = c = '0' || c = '1' in
+    if specified ca && specified cb && ca <> cb then conflict := true
+  done;
+  !conflict
+
+let outputs_compatible m s t =
+  let ok = ref true in
+  for x = 0 to (1 lsl m.ni) - 1 do
+    match (step m ~state:s ~input:x, step m ~state:t ~input:x) with
+    | Some (_, oa), Some (_, ob) -> if output_conflict ~no:m.no oa ob then ok := false
+    | None, _ | _, None -> ()
+  done;
+  !ok
+
+let implied_pairs m s t =
+  let acc = ref [] in
+  for x = 0 to (1 lsl m.ni) - 1 do
+    match (step m ~state:s ~input:x, step m ~state:t ~input:x) with
+    | Some (Some a, _), Some (Some b, _) when a <> b ->
+      let pair = (min a b, max a b) in
+      if pair <> (min s t, max s t) && not (List.mem pair !acc) then acc := pair :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+let rename_states m names =
+  if Array.length names <> Array.length m.states then
+    invalid_arg "Machine.rename_states: state count mismatch";
+  { m with states = names }
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>machine: %d in, %d out, %d states%a@," m.ni m.no (n_states m)
+    (Fmt.option (fun ppf r -> Fmt.pf ppf ", reset %s" m.states.(r)))
+    m.reset;
+  List.iter
+    (fun tr ->
+      Fmt.pf ppf "%s %s -> %s / %s@,"
+        (Logic.Cube.to_string tr.input)
+        m.states.(tr.source)
+        (match tr.next with Some s -> m.states.(s) | None -> "-")
+        tr.output)
+    m.transitions;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,62 @@
+(** Incompletely specified Mealy machines.
+
+    The classical client of binate covering (the paper's reference [23],
+    Villa et al.): minimising the states of an incompletely specified
+    finite-state machine is a covering-with-closure problem.  This module
+    holds the machine representation and its semantics; {!Compat} computes
+    compatibility structure, {!Minimise} builds and solves the binate
+    instance, {!Kiss} reads and writes the KISS2 exchange format.
+
+    Transitions carry an input {e cube} (so one row covers many input
+    vectors), a source state, an optional next state and an output string
+    over ['0' '1' '-'].  A (state, input-vector) pair matched by no
+    transition is completely unspecified.  Within one state, transition
+    input cubes must be pairwise disjoint (checked) so the machine is
+    well-defined. *)
+
+type transition = {
+  input : Logic.Cube.t;
+  source : int;
+  next : int option;  (** [None]: next state unspecified *)
+  output : string;  (** length [no], over '0' '1' '-' *)
+}
+
+type t = private {
+  ni : int;  (** input bits *)
+  no : int;  (** output bits *)
+  states : string array;  (** state names; indices are the state ids *)
+  reset : int option;
+  transitions : transition list;
+}
+
+val create :
+  ni:int ->
+  no:int ->
+  states:string array ->
+  ?reset:int ->
+  transition list ->
+  t
+(** @raise Invalid_argument on arity mismatches, unknown state indices,
+    bad output strings, or overlapping input cubes within a state. *)
+
+val n_states : t -> int
+
+val step : t -> state:int -> input:int -> (int option * string) option
+(** One transition on an input vector (bitmask over [ni] bits):
+    [None] if no transition matches (fully unspecified); otherwise the
+    (possibly unspecified) next state and the output pattern. *)
+
+val output_conflict : no:int -> string -> string -> bool
+(** Do two output patterns disagree on some bit both specify? *)
+
+val outputs_compatible : t -> int -> int -> bool
+(** No input vector elicits conflicting specified outputs. *)
+
+val implied_pairs : t -> int -> int -> (int * int) list
+(** For states (s, t), the distinct unordered next-state pairs forced by
+    common inputs (excluding identical and (s,t) itself). *)
+
+val rename_states : t -> string array -> t
+(** Replace the state names (same count). *)
+
+val pp : Format.formatter -> t -> unit

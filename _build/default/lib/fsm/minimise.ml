@@ -1,0 +1,150 @@
+type result = {
+  machine : Machine.t;
+  chosen : int list list;
+  original_states : int;
+  minimised_states : int;
+  optimal : bool;
+  nodes : int;
+}
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(* Merge output patterns; compatibility guarantees no conflicts. *)
+let merge_outputs no patterns =
+  String.init no (fun k ->
+      let specified =
+        List.find_map
+          (fun o -> match o.[k] with ('0' | '1') as c -> Some c | _ -> None)
+          patterns
+      in
+      Option.value ~default:'-' specified)
+
+let rebuild (m : Machine.t) chosen =
+  let k = List.length chosen in
+  let arr = Array.of_list chosen in
+  let names =
+    Array.init k (fun i ->
+        String.concat "_" (List.map (fun s -> m.Machine.states.(s)) arr.(i)))
+  in
+  let state_of s =
+    let rec go i = if subset [ s ] arr.(i) then i else go (i + 1) in
+    go 0
+  in
+  let class_home d =
+    let rec go i =
+      if i >= k then invalid_arg "Minimise.rebuild: closure violated"
+      else if subset d arr.(i) then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let transitions = ref [] in
+  for i = k - 1 downto 0 do
+    for x = (1 lsl m.Machine.ni) - 1 downto 0 do
+      let steps =
+        List.filter_map (fun s -> Machine.step m ~state:s ~input:x) arr.(i)
+      in
+      if steps <> [] then begin
+        let successors =
+          List.filter_map (fun (next, _) -> next) steps |> List.sort_uniq Stdlib.compare
+        in
+        let output = merge_outputs m.Machine.no (List.map snd steps) in
+        let next = if successors = [] then None else Some (class_home successors) in
+        if next <> None || String.exists (fun c -> c = '0' || c = '1') output then begin
+          let input =
+            Logic.Cube.of_literals m.Machine.ni
+              (List.init m.Machine.ni (fun b -> (b, x land (1 lsl b) <> 0)))
+          in
+          transitions := { Machine.input; source = i; next; output } :: !transitions
+        end
+      end
+    done
+  done;
+  let reset = Option.map state_of m.Machine.reset in
+  Machine.create ~ni:m.Machine.ni ~no:m.Machine.no ~states:names ?reset !transitions
+
+let minimise ?(max_nodes = 200_000) ?limit (m : Machine.t) =
+  let n = Machine.n_states m in
+  if n = 0 then invalid_arg "Minimise.minimise: no states";
+  let t = Compat.analyse m in
+  let primes = Compat.prime_compatibles ?limit t in
+  let arr = Array.of_list primes in
+  let k = Array.length arr in
+  let cover_clauses =
+    List.init n (fun s ->
+        let pos =
+          List.filteri (fun _ _ -> true) (List.init k Fun.id)
+          |> List.filter (fun j -> List.mem s arr.(j))
+        in
+        (pos, []))
+  in
+  let closure_clauses =
+    List.concat
+      (List.init k (fun j ->
+           List.map
+             (fun d ->
+               let pos =
+                 List.init k Fun.id |> List.filter (fun j' -> subset d arr.(j'))
+               in
+               (pos, [ j ]))
+             (Compat.implied_classes t arr.(j))))
+  in
+  let instance = Binate.create ~n_cols:k (cover_clauses @ closure_clauses) in
+  let r = Binate.solve ~max_nodes instance in
+  match r.Binate.assignment with
+  | None ->
+    (* a closed cover always exists (all singletons of a completely
+       specified machine; in general the set of all maximal compatibles) *)
+    invalid_arg "Minimise.minimise: no closed cover found (raise the node budget)"
+  | Some a ->
+    let chosen = ref [] in
+    for j = k - 1 downto 0 do
+      if a.(j) then chosen := arr.(j) :: !chosen
+    done;
+    let reduced = rebuild m !chosen in
+    {
+      machine = reduced;
+      chosen = !chosen;
+      original_states = n;
+      minimised_states = List.length !chosen;
+      optimal = r.Binate.optimal;
+      nodes = r.Binate.nodes;
+    }
+
+let simulate_agrees ?(sequences = 50) ?(length = 20) (spec : Machine.t)
+    (impl : Machine.t) =
+  if spec.Machine.ni <> impl.Machine.ni || spec.Machine.no <> impl.Machine.no then false
+  else begin
+    let rng = Random.State.make [| 0xF5A |] in
+    let ok = ref true in
+    for _ = 1 to sequences do
+      let s = ref (Option.value ~default:0 spec.Machine.reset) in
+      let t = ref (Option.value ~default:0 impl.Machine.reset) in
+      (try
+         for _ = 1 to length do
+           let x = Random.State.int rng (1 lsl spec.Machine.ni) in
+           match Machine.step spec ~state:!s ~input:x with
+           | None -> raise Exit (* spec silent: nothing to check, lose tracking *)
+           | Some (next_s, out_s) -> (
+             match Machine.step impl ~state:!t ~input:x with
+             | None ->
+               if String.exists (fun c -> c = '0' || c = '1') out_s then begin
+                 ok := false;
+                 raise Exit
+               end
+               else raise Exit
+             | Some (next_t, out_t) ->
+               if Machine.output_conflict ~no:spec.Machine.no out_s out_t then begin
+                 ok := false;
+                 raise Exit
+               end;
+               (match (next_s, next_t) with
+               | Some a, Some b ->
+                 s := a;
+                 t := b
+               | _ -> raise Exit))
+         done
+       with Exit -> ())
+    done;
+    !ok
+  end

@@ -1,0 +1,34 @@
+(** ISFSM state minimisation as binate covering.
+
+    Variables: one per prime compatible.  Clauses:
+    - {e cover}: every original state lies in a chosen compatible;
+    - {e closure}: a chosen compatible's implied class must lie inside
+      some chosen compatible — [¬x_C ∨ ⋁_{C' ⊇ D} x_{C'}], the binate
+      part.
+
+    The optimum of this instance is the minimum number of states of any
+    reduced machine realising the specified behaviour (Grasselli–Luccio);
+    {!reduce} also rebuilds the reduced machine and {!simulate_agrees}
+    checks behavioural containment, which the tests lean on. *)
+
+type result = {
+  machine : Machine.t;  (** the reduced machine *)
+  chosen : int list list;  (** the selected compatibles (original ids) *)
+  original_states : int;
+  minimised_states : int;
+  optimal : bool;
+  nodes : int;  (** branch-and-bound nodes of the binate solve *)
+}
+
+val minimise : ?max_nodes:int -> ?limit:int -> Machine.t -> result
+(** [limit] caps the compatible enumeration (see
+    {!Compat.all_compatibles}); [max_nodes] the binate search.
+    @raise Invalid_argument when the machine has no states. *)
+
+val simulate_agrees : ?sequences:int -> ?length:int -> Machine.t -> Machine.t -> bool
+(** Randomised behavioural containment check: drive both machines from
+    their reset states (or state 0) with random input words; wherever the
+    {e first} machine's output is specified, the second must agree.  The
+    state correspondence follows each machine's own transitions, treating
+    an unspecified next state as "stay anywhere" — the check stops that
+    word there (conservative, no false alarms). *)

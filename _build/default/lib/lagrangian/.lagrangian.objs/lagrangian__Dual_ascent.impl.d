@@ -1,0 +1,1 @@
+lib/lagrangian/dual_ascent.ml: Array Covering Float Fun List Stdlib

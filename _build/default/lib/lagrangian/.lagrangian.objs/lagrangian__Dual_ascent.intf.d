@@ -1,0 +1,1 @@
+lib/lagrangian/dual_ascent.mli: Covering

@@ -1,0 +1,1 @@
+lib/lagrangian/fixing.ml: Array Covering Fun List Stdlib

@@ -1,0 +1,1 @@
+lib/lagrangian/fixing.mli: Covering

@@ -1,0 +1,1 @@
+lib/lagrangian/lag_greedy.ml: Array Covering List Stdlib

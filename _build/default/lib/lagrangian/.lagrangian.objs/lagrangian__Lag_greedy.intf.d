@@ -1,0 +1,1 @@
+lib/lagrangian/lag_greedy.mli: Covering

@@ -1,0 +1,1 @@
+lib/lagrangian/lp.ml: Array Covering Float

@@ -1,0 +1,1 @@
+lib/lagrangian/penalties.ml: Array Covering Dual_ascent List

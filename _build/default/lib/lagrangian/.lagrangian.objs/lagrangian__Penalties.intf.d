@@ -1,0 +1,1 @@
+lib/lagrangian/penalties.mli: Covering

@@ -1,0 +1,1 @@
+lib/lagrangian/pricing.ml: Array Covering Dual_ascent Float List Relax Stdlib Subgradient

@@ -1,0 +1,1 @@
+lib/lagrangian/pricing.mli: Covering Subgradient

@@ -1,0 +1,1 @@
+lib/lagrangian/relax.ml: Array Covering

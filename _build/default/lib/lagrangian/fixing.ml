@@ -1,0 +1,28 @@
+module Matrix = Covering.Matrix
+
+let default_c_hat = 0.001
+let default_mu_hat = 0.999
+let default_alpha = 2.
+
+let promising ?(c_hat = default_c_hat) ?(mu_hat = default_mu_hat) m ~reduced_costs ~mu =
+  let acc = ref [] in
+  for j = Matrix.n_cols m - 1 downto 0 do
+    if reduced_costs.(j) <= c_hat && mu.(j) >= mu_hat then acc := j :: !acc
+  done;
+  !acc
+
+let sigma ?(alpha = default_alpha) ~reduced_costs ~mu () =
+  Array.mapi (fun j c -> c -. (alpha *. mu.(j))) reduced_costs
+
+let best_columns ~sigma ~k =
+  let order = Array.init (Array.length sigma) Fun.id in
+  Array.sort (fun a b -> Stdlib.compare (sigma.(a), a) (sigma.(b), b)) order;
+  Array.to_list (Array.sub order 0 (min k (Array.length order)))
+
+let pick ?alpha ~best_cols ~rand m ~reduced_costs ~mu =
+  ignore m;
+  let sigma = sigma ?alpha ~reduced_costs ~mu () in
+  match best_columns ~sigma ~k:(max 1 best_cols) with
+  | [] -> invalid_arg "Fixing.pick: no columns"
+  | [ j ] -> j
+  | candidates -> List.nth candidates (rand (List.length candidates))

@@ -1,0 +1,23 @@
+(** Lagrangian greedy heuristics (paper §3.5, primal side).
+
+    Starting from the (unfeasible) Lagrangian solution — every column with
+    non-positive reduced cost — columns are added one at a time until the
+    cover is feasible, choosing the column minimising one of the paper's
+    four ratings of reduced cost against fresh-row count; finally redundant
+    columns are dropped (by true cost).  Reduced costs weigh row importance
+    through λ, which is why this beats the plain greedy once the
+    multipliers are good. *)
+
+val run :
+  ?rule:Covering.Greedy.rule ->
+  Covering.Matrix.t ->
+  reduced_costs:float array ->
+  int list
+(** A feasible irredundant cover (column indices).  Default rule
+    {!Covering.Greedy.Cost_per_row}.  For columns with negative reduced
+    cost the ratio rules would invert preference, so they are rated by
+    [c̃·n] instead (more coverage, more negative — the Balas–Ho
+    convention). *)
+
+val run_all_rules : Covering.Matrix.t -> reduced_costs:float array -> int list
+(** Best result across the four rules (by true cost). *)

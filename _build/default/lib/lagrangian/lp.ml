@@ -1,0 +1,149 @@
+module Matrix = Covering.Matrix
+
+type result = {
+  value : float;
+  primal : float array;
+  dual : float array;
+  iterations : int;
+}
+
+let eps = 1e-9
+
+(* Dense primal simplex, maximisation, standard form with slack basis.
+
+   Problem solved:  max  obj'x   s.t.  T x = rhs,  x ≥ 0,
+   with variables 0 .. n_var-1, constraints 0 .. n_con-1, and the last
+   n_con variables forming the initial (slack) basis.
+
+   The tableau rows store the constraint coefficients in terms of the
+   current basis; [zrow] stores the reduced costs c_j − c_B·B⁻¹A_j and
+   [zrhs] the current objective value. *)
+let simplex ~n_con ~n_var ~tableau ~rhs ~obj =
+  let basis = Array.init n_con (fun i -> n_var - n_con + i) in
+  let zrow = Array.copy obj in
+  (* initial basis is the slacks, whose objective coefficients are 0, so
+     the reduced costs start as the raw objective *)
+  let zrhs = ref 0. in
+  let iterations = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    (* Bland: entering = smallest index with positive reduced cost *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to n_var - 1 do
+         if zrow.(j) > eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then continue_ := false
+    else begin
+      let j = !entering in
+      (* ratio test; ties broken towards the smallest basis variable *)
+      let leaving = ref (-1) in
+      let best = ref infinity in
+      for i = 0 to n_con - 1 do
+        if tableau.(i).(j) > eps then begin
+          let ratio = rhs.(i) /. tableau.(i).(j) in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+          then begin
+            best := ratio;
+            leaving := i
+          end
+        end
+      done;
+      if !leaving < 0 then
+        invalid_arg "Lp.simplex: unbounded (impossible for a covering dual)";
+      let r = !leaving in
+      incr iterations;
+      (* pivot on (r, j) *)
+      let piv = tableau.(r).(j) in
+      for k = 0 to n_var - 1 do
+        tableau.(r).(k) <- tableau.(r).(k) /. piv
+      done;
+      rhs.(r) <- rhs.(r) /. piv;
+      for i = 0 to n_con - 1 do
+        if i <> r then begin
+          let f = tableau.(i).(j) in
+          if Float.abs f > 0. then begin
+            for k = 0 to n_var - 1 do
+              tableau.(i).(k) <- tableau.(i).(k) -. (f *. tableau.(r).(k))
+            done;
+            rhs.(i) <- rhs.(i) -. (f *. rhs.(r))
+          end
+        end
+      done;
+      let f = zrow.(j) in
+      for k = 0 to n_var - 1 do
+        zrow.(k) <- zrow.(k) -. (f *. tableau.(r).(k))
+      done;
+      zrhs := !zrhs +. (f *. rhs.(r));
+      basis.(r) <- j
+    end
+  done;
+  (basis, zrow, rhs, !zrhs, !iterations)
+
+let solve m =
+  let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
+  if n_rows = 0 then
+    { value = 0.; primal = Array.make n_cols 0.; dual = [||]; iterations = 0 }
+  else begin
+    (* dual of the covering LP: one constraint per covering column, one
+       structural variable per covering row, one slack per constraint *)
+    let n_con = n_cols in
+    let n_var = n_rows + n_cols in
+    let tableau = Array.make_matrix n_con n_var 0. in
+    let rhs = Array.make n_con 0. in
+    for j = 0 to n_cols - 1 do
+      Array.iter (fun i -> tableau.(j).(i) <- 1.) (Matrix.col m j);
+      tableau.(j).(n_rows + j) <- 1. (* slack *);
+      rhs.(j) <- float_of_int (Matrix.cost m j)
+    done;
+    let obj = Array.init n_var (fun v -> if v < n_rows then 1. else 0.) in
+    let basis, zrow, final_rhs, value, iterations = simplex ~n_con ~n_var ~tableau ~rhs ~obj in
+    (* dual variables m*: value of each structural variable in the basis *)
+    let dual = Array.make n_rows 0. in
+    Array.iteri (fun i v -> if v < n_rows then dual.(v) <- final_rhs.(i)) basis;
+    (* the covering LP's primal p* is the multiplier vector of this LP,
+       read off the slack columns' reduced costs *)
+    let primal = Array.init n_cols (fun j -> -.zrow.(n_rows + j)) in
+    { value; primal; dual; iterations }
+  end
+
+let check ?(eps = 1e-6) m r =
+  let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
+  if n_rows = 0 then r.value = 0.
+  else begin
+    let primal_ok =
+      Array.for_all (fun p -> p >= -.eps && p <= 1. +. eps) r.primal
+      && (let ok = ref true in
+          for i = 0 to n_rows - 1 do
+            let s = Array.fold_left (fun acc j -> acc +. r.primal.(j)) 0. (Matrix.row m i) in
+            if s < 1. -. eps then ok := false
+          done;
+          !ok)
+    in
+    let dual_ok =
+      Array.for_all (fun v -> v >= -.eps) r.dual
+      && (let ok = ref true in
+          for j = 0 to n_cols - 1 do
+            let s = Array.fold_left (fun acc i -> acc +. r.dual.(i)) 0. (Matrix.col m j) in
+            if s > float_of_int (Matrix.cost m j) +. eps then ok := false
+          done;
+          !ok)
+    in
+    let primal_value =
+      let v = ref 0. in
+      for j = 0 to n_cols - 1 do
+        v := !v +. (r.primal.(j) *. float_of_int (Matrix.cost m j))
+      done;
+      !v
+    in
+    let dual_value = Array.fold_left ( +. ) 0. r.dual in
+    primal_ok && dual_ok
+    && Float.abs (primal_value -. r.value) < eps *. (1. +. Float.abs r.value)
+    && Float.abs (dual_value -. r.value) < eps *. (1. +. Float.abs r.value)
+  end

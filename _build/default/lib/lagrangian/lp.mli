@@ -1,0 +1,35 @@
+(** Exact linear-programming relaxation of unate covering.
+
+    Proposition 1 of the paper tops its bound hierarchy with [z_P*], the
+    optimum of the linear relaxation (P).  The subgradient method only
+    approaches that value from below; this module computes it exactly with
+    a dense primal simplex applied to the {e dual} problem
+
+    {v max e'm   s.t.  A'm + s = c,   m, s ≥ 0 v}
+
+    which is in standard form with an immediate basic feasible solution
+    (m = 0, s = c) — no phase-1 needed.  By strong duality its optimum
+    equals [z_P*], and the simplex multipliers of the slack columns recover
+    the fractional primal cover p*.
+
+    Bland's rule is used throughout, trading speed for guaranteed
+    termination; the solver is intended for matrices up to a few hundred
+    rows/columns (tests, bound studies, ablations), not for the inner loop
+    of the heuristic — that is the whole point of the paper's Lagrangian
+    approach. *)
+
+type result = {
+  value : float;  (** z_P* — the tightest bound of Proposition 1 *)
+  primal : float array;  (** p*, per column of the covering matrix, in [0,1] *)
+  dual : float array;  (** m*, per row — an optimal multiplier vector *)
+  iterations : int;  (** simplex pivots *)
+}
+
+val solve : Covering.Matrix.t -> result
+(** @raise Invalid_argument on an empty matrix with columns (nothing to
+    bound) — an empty matrix with no rows yields value 0. *)
+
+val check : ?eps:float -> Covering.Matrix.t -> result -> bool
+(** Certificate check: primal feasibility ([Ap ≥ 1−ε], [0 ≤ p ≤ 1+ε]),
+    dual feasibility ([A'm ≤ c+ε], [m ≥ −ε]) and matching objectives —
+    strong duality verified a posteriori. *)

@@ -1,0 +1,111 @@
+module Matrix = Covering.Matrix
+
+type config = {
+  core_per_row : int;
+  rounds : int;
+  subgradient : Subgradient.config;
+}
+
+let default_config =
+  {
+    core_per_row = 5;
+    rounds = 6;
+    subgradient = { Subgradient.default_config with Subgradient.max_steps = 150 };
+  }
+
+(* Select the active core at multipliers λ:
+   - every column whose reduced cost is negative (or nearly so) — those
+     are exactly the columns the full Lagrangian bound depends on, so
+     excluding them would make the core bound diverge from the valid one;
+   - the [core_per_row] lowest reduced-cost columns of each row;
+   - each row's cheapest column (so covers of the core cover the whole
+     problem). *)
+let select_core config m lambda =
+  let reduced = Relax.lagrangian_costs m lambda in
+  let keep = Array.make (Matrix.n_cols m) false in
+  for j = 0 to Matrix.n_cols m - 1 do
+    if reduced.(j) <= 0.1 then keep.(j) <- true
+  done;
+  for i = 0 to Matrix.n_rows m - 1 do
+    let cols = Array.copy (Matrix.row m i) in
+    Array.sort (fun a b -> Stdlib.compare (reduced.(a), a) (reduced.(b), b)) cols;
+    Array.iteri (fun k j -> if k < config.core_per_row then keep.(j) <- true) cols;
+    (* cheapest by true cost, for guaranteed feasibility of covers *)
+    let cheapest =
+      Array.fold_left
+        (fun best j -> if Matrix.cost m j < Matrix.cost m best then j else best)
+        (Matrix.row m i).(0) (Matrix.row m i)
+    in
+    keep.(cheapest) <- true
+  done;
+  keep
+
+let run ?(config = default_config) ?ub m =
+  let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
+  if n_rows = 0 then Subgradient.run ?ub m
+  else begin
+    let lambda = ref (Dual_ascent.to_lambda (Dual_ascent.run m)) in
+    let best_lb = ref neg_infinity in
+    let best_lambda = ref (Array.copy !lambda) in
+    let best_sol = ref None in
+    let best_cost = ref (match ub with Some u -> u | None -> max_int) in
+    let steps = ref 0 in
+    let mu_full = Array.make n_cols 0. in
+    (try
+       for _round = 1 to config.rounds do
+         let keep = select_core config m !lambda in
+         let sub =
+           Matrix.submatrix m ~keep_rows:(Array.make n_rows true) ~keep_cols:keep
+         in
+         (* λ entries transfer directly: rows are unchanged *)
+         let mu0 =
+           Array.init (Matrix.n_cols sub) (fun j -> mu_full.(Matrix.col_id sub j))
+         in
+         let out =
+           Subgradient.run ~config:config.subgradient ~lambda0:!lambda ~mu0
+             ?ub:(if !best_cost = max_int then None else Some !best_cost)
+             sub
+         in
+         steps := !steps + out.Subgradient.steps;
+         lambda := Array.copy out.Subgradient.lambda;
+         Array.iteri
+           (fun j v -> mu_full.(Matrix.col_id sub j) <- v)
+           out.Subgradient.mu;
+         (* covers of the core are covers of the full matrix *)
+         let sol = List.map (Matrix.col_id sub) out.Subgradient.best_solution in
+         let cost = Matrix.cost_of m sol in
+         if cost < !best_cost then begin
+           best_cost := cost;
+           best_sol := Some sol
+         end;
+         (* the valid bound: evaluate the same λ on the full matrix *)
+         let full = Relax.evaluate m !lambda in
+         if full.Relax.value > !best_lb then begin
+           best_lb := full.Relax.value;
+           best_lambda := Array.copy !lambda
+         end;
+         if float_of_int !best_cost <= Float.ceil (!best_lb -. 1e-6) +. 1e-9 then
+           raise Exit
+       done
+     with Exit -> ());
+    let best_sol =
+      match !best_sol with
+      | Some s -> Matrix.irredundant m s
+      | None ->
+        let g = Covering.Greedy.solve_best m in
+        g
+    in
+    let lb = if !best_lb = neg_infinity then 0. else !best_lb in
+    {
+      Subgradient.lambda = !best_lambda;
+      mu = mu_full;
+      lower_bound = lb;
+      upper_dual = Relax.dual_lagrangian_value m ~mu:mu_full;
+      best_solution = best_sol;
+      best_cost = Matrix.cost_of m best_sol;
+      steps = !steps;
+      proven_optimal =
+        Matrix.cost_of m best_sol <= int_of_float (Float.ceil (lb -. 1e-6));
+      reduced_costs = Relax.lagrangian_costs m !best_lambda;
+    }
+  end

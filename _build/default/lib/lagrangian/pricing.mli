@@ -1,0 +1,30 @@
+(** Subgradient optimisation with dynamic column pricing.
+
+    For large instances, running the subgradient method over every column
+    wastes most of its time on columns that will never enter a good
+    solution.  Caprara, Fischetti and Toth (paper §2, reference [6]) keep
+    only a {e core} of promising columns active, optimise the multipliers
+    on that submatrix, and periodically {e price}: recompute the reduced
+    costs of {e all} columns at the current λ and pull the attractive ones
+    into the core.
+
+    Soundness notes baked into this implementation:
+    - the reported {!Lagrangian.Subgradient.outcome.lower_bound} is always
+      re-evaluated on the {e full} matrix (a bound computed on a column
+      subset would be invalid — dropping columns can only raise the
+      subproblem's optimum);
+    - every active submatrix keeps, for each row, its cheapest covering
+      column, so the subproblem always stays feasible and its heuristic
+      covers are covers of the full problem. *)
+
+type config = {
+  core_per_row : int;  (** active columns kept per row, by reduced cost (default 5) *)
+  rounds : int;  (** pricing rounds (default 6) *)
+  subgradient : Subgradient.config;  (** per-round budget *)
+}
+
+val default_config : config
+
+val run : ?config:config -> ?ub:int -> Covering.Matrix.t -> Subgradient.outcome
+(** Multipliers, bound and incumbent for the full matrix.  The outcome's
+    [reduced_costs] and [mu] are full-length. *)

@@ -1,0 +1,93 @@
+module Matrix = Covering.Matrix
+
+type eval = {
+  reduced_costs : float array;
+  in_solution : bool array;
+  value : float;
+  subgradient : float array;
+  violated : int;
+}
+
+let check_lambda m lambda =
+  if Array.length lambda <> Matrix.n_rows m then
+    invalid_arg "Relax: multiplier length mismatch";
+  Array.iter (fun l -> if l < 0. then invalid_arg "Relax: negative multiplier") lambda
+
+let lagrangian_costs m lambda =
+  check_lambda m lambda;
+  Array.init (Matrix.n_cols m) (fun j ->
+      Array.fold_left
+        (fun acc i -> acc -. lambda.(i))
+        (float_of_int (Matrix.cost m j))
+        (Matrix.col m j))
+
+let evaluate m lambda =
+  let reduced_costs = lagrangian_costs m lambda in
+  let n_cols = Matrix.n_cols m and n_rows = Matrix.n_rows m in
+  let in_solution = Array.map (fun c -> c <= 0.) reduced_costs in
+  let value = ref 0. in
+  for j = 0 to n_cols - 1 do
+    if in_solution.(j) then value := !value +. reduced_costs.(j)
+  done;
+  for i = 0 to n_rows - 1 do
+    value := !value +. lambda.(i)
+  done;
+  let subgradient =
+    Array.init n_rows (fun i ->
+        let covered =
+          Array.fold_left
+            (fun acc j -> if in_solution.(j) then acc + 1 else acc)
+            0 (Matrix.row m i)
+        in
+        1. -. float_of_int covered)
+  in
+  let violated = Array.fold_left (fun acc s -> if s > 0. then acc + 1 else acc) 0 subgradient in
+  { reduced_costs; in_solution; value = !value; subgradient; violated }
+
+let min_covering_costs m =
+  Array.init (Matrix.n_rows m) (fun i ->
+      Array.fold_left
+        (fun acc j -> min acc (float_of_int (Matrix.cost m j)))
+        infinity (Matrix.row m i))
+
+let dual_value m_vec = Array.fold_left ( +. ) 0. m_vec
+
+let dual_feasible ?(eps = 1e-9) m m_vec =
+  Array.length m_vec = Matrix.n_rows m
+  && Array.for_all (fun v -> v >= -.eps) m_vec
+  && (let ok = ref true in
+      for j = 0 to Matrix.n_cols m - 1 do
+        let s = Array.fold_left (fun acc i -> acc +. m_vec.(i)) 0. (Matrix.col m j) in
+        if s > float_of_int (Matrix.cost m j) +. eps then ok := false
+      done;
+      !ok)
+
+(* Inner maximiser of (LD): m_i = c̄_i when ẽ_i > 0, else 0. *)
+let dual_inner m ~mu =
+  if Array.length mu <> Matrix.n_cols m then invalid_arg "Relax: mu length mismatch";
+  let caps = min_covering_costs m in
+  Array.init (Matrix.n_rows m) (fun i ->
+      let e_tilde =
+        Array.fold_left (fun acc j -> acc -. mu.(j)) 1. (Matrix.row m i)
+      in
+      if e_tilde > 0. then caps.(i) else 0.)
+
+let dual_lagrangian_value m ~mu =
+  let inner = dual_inner m ~mu in
+  let v = ref 0. in
+  for i = 0 to Matrix.n_rows m - 1 do
+    let e_tilde = Array.fold_left (fun acc j -> acc -. mu.(j)) 1. (Matrix.row m i) in
+    if e_tilde > 0. then v := !v +. (e_tilde *. inner.(i))
+  done;
+  for j = 0 to Matrix.n_cols m - 1 do
+    v := !v +. (mu.(j) *. float_of_int (Matrix.cost m j))
+  done;
+  !v
+
+let dual_lagrangian_subgradient m ~mu =
+  let inner = dual_inner m ~mu in
+  Array.init (Matrix.n_cols m) (fun j ->
+      Array.fold_left
+        (fun acc i -> acc -. inner.(i))
+        (float_of_int (Matrix.cost m j))
+        (Matrix.col m j))

@@ -1,0 +1,45 @@
+(** The Lagrangian relaxation of unate covering (paper §3.1).
+
+    For multipliers λ ≥ 0 (one per row), the Lagrangian problem
+
+    {v min  c̃'p + λ'e    s.t.  0 ≤ p ≤ e,    c̃ = c − A'λ v}
+
+    has the trivial integer optimum p_j = 1 ⟺ c̃_j ≤ 0, of value
+
+    {v z_LP(λ) = Σ_j min(c̃_j, 0) + Σ_i λ_i ≤ z_P* ≤ z_UCP* v}
+
+    This module evaluates that relaxation; {!Subgradient} drives λ. *)
+
+type eval = {
+  reduced_costs : float array;  (** c̃, per column *)
+  in_solution : bool array;  (** the relaxed optimum p*, per column *)
+  value : float;  (** z_LP(λ) — a lower bound on the optimum *)
+  subgradient : float array;  (** s = e − A p*, per row *)
+  violated : int;  (** number of uncovered rows under p* *)
+}
+
+val lagrangian_costs : Covering.Matrix.t -> float array -> float array
+(** [c̃_j = c_j − Σ_{i ∈ rows(j)} λ_i]. *)
+
+val evaluate : Covering.Matrix.t -> float array -> eval
+(** Full evaluation at λ. @raise Invalid_argument on length mismatch or a
+    negative multiplier. *)
+
+val min_covering_costs : Covering.Matrix.t -> float array
+(** [c̄_i = min_{j : a_ij = 1} c_j] — the dual variable caps of problem (D). *)
+
+val dual_value : float array -> float
+(** [w(m) = Σ m_i] — objective of the dual problem. *)
+
+val dual_feasible : ?eps:float -> Covering.Matrix.t -> float array -> bool
+(** Is [m ≥ 0] with [A'm ≤ c] (within [eps], default 1e-9)?  Any feasible
+    [m] is a valid multiplier vector with [z_LP(m) = w(m)] (paper §3.3). *)
+
+val dual_lagrangian_value : Covering.Matrix.t -> mu:float array -> float
+(** The dual-side relaxation (LD) of §3.3: for μ ≥ 0 (one per column),
+    [w_LD(μ) = Σ_i max(ẽ_i, 0)·c̄_i + Σ_j μ_j c_j] with [ẽ = e − Aμ];
+    an {e upper} bound on z_P*. *)
+
+val dual_lagrangian_subgradient : Covering.Matrix.t -> mu:float array -> float array
+(** Subgradient of [w_LD] at μ: [g_j = c_j − Σ_i a_ij m*_i] where [m*] is
+    the inner maximiser. *)

@@ -1,0 +1,180 @@
+module Matrix = Covering.Matrix
+module Greedy = Covering.Greedy
+
+type config = {
+  max_steps : int;
+  halve_after : int;
+  t0 : float;
+  t_min : float;
+  delta : float;
+  heuristic_period : int;
+}
+
+let default_config =
+  {
+    max_steps = 500;
+    halve_after = 20;
+    t0 = 2.0;
+    t_min = 0.005;
+    delta = 0.01;
+    heuristic_period = 10;
+  }
+
+type outcome = {
+  lambda : float array;
+  mu : float array;
+  lower_bound : float;
+  upper_dual : float;
+  best_solution : int list;
+  best_cost : int;
+  steps : int;
+  proven_optimal : bool;
+  reduced_costs : float array;
+}
+
+let eps = 1e-9
+
+let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
+
+let run ?(config = default_config) ?lambda0 ?mu0 ?ub ?on_step m =
+  let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
+  if n_rows = 0 then
+    {
+      lambda = [||];
+      mu = Array.make n_cols 0.;
+      lower_bound = 0.;
+      upper_dual = 0.;
+      best_solution = [];
+      best_cost = 0;
+      steps = 0;
+      proven_optimal = true;
+      reduced_costs = Array.init n_cols (fun j -> float_of_int (Matrix.cost m j));
+    }
+  else begin
+    let lambda =
+      match lambda0 with
+      | Some l ->
+        if Array.length l <> n_rows then invalid_arg "Subgradient.run: lambda0 length";
+        Array.map (fun x -> Float.max x 0.) l
+      | None -> Dual_ascent.to_lambda (Dual_ascent.run m)
+    in
+    (* incumbent from the plain greedy (also seeds μ₀) *)
+    let seed_sol = Greedy.solve_best m in
+    let best_solution = ref seed_sol in
+    let best_cost = ref (Matrix.cost_of m seed_sol) in
+    (match ub with
+    | Some u when u < !best_cost ->
+      (* caller knows a better bound but no solution; keep the solution,
+         use the bound for the step-size estimate only *)
+      ()
+    | Some _ | None -> ());
+    let ub_hint = match ub with Some u -> float_of_int u | None -> infinity in
+    let mu =
+      match mu0 with
+      | Some v ->
+        if Array.length v <> n_cols then invalid_arg "Subgradient.run: mu0 length";
+        Array.map (fun x -> Float.min (Float.max x 0.) 1.) v
+      | None ->
+        let ind = Array.make n_cols 0. in
+        List.iter (fun j -> ind.(j) <- 1.) seed_sol;
+        ind
+    in
+    let best_lambda = ref (Array.copy lambda) in
+    let best_reduced = ref (Relax.lagrangian_costs m lambda) in
+    let lower_bound = ref neg_infinity in
+    let best_mu = ref (Array.copy mu) in
+    let upper_dual = ref (Relax.dual_lagrangian_value m ~mu) in
+    let t = ref config.t0 in
+    let since_improve = ref 0 in
+    let steps = ref 0 in
+    let stop = ref false in
+    let try_solution sol =
+      let cost = Matrix.cost_of m sol in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best_solution := sol
+      end
+    in
+    while (not !stop) && !steps < config.max_steps do
+      incr steps;
+      let ev = Relax.evaluate m lambda in
+      (* track the best bound and the multipliers achieving it *)
+      if ev.Relax.value > !lower_bound +. eps then begin
+        lower_bound := ev.Relax.value;
+        best_lambda := Array.copy lambda;
+        best_reduced := Array.copy ev.Relax.reduced_costs;
+        since_improve := 0
+      end
+      else incr since_improve;
+      (match on_step with
+      | Some f -> f ~step:!steps ~value:ev.Relax.value ~best:!lower_bound
+      | None -> ());
+      if !since_improve >= config.halve_after then begin
+        t := !t /. 2.;
+        since_improve := 0
+      end;
+      (* periodic Lagrangian heuristic (§3.5) *)
+      if !steps = 1 || !steps mod config.heuristic_period = 0 then
+        try_solution (Lag_greedy.run m ~reduced_costs:ev.Relax.reduced_costs);
+      (* a feasible relaxed solution is a cover worth keeping *)
+      if ev.Relax.violated = 0 then begin
+        let sol = ref [] in
+        Array.iteri (fun j b -> if b then sol := j :: !sol) ev.Relax.in_solution;
+        if !sol <> [] && Matrix.covers m !sol then
+          try_solution (Matrix.irredundant m !sol)
+      end;
+      (* stopping rules.  The incumbent test uses the integer gap; the
+         δ test measures convergence of λ against the continuous
+         estimates of z_P* only — mixing the integer incumbent into it
+         would stop long before the bound is tight. *)
+      let ub_est = Float.min (float_of_int !best_cost) (Float.min !upper_dual ub_hint) in
+      if float_of_int !best_cost <= float_of_int (ceil_int !lower_bound) +. eps then
+        stop := true (* incumbent equals ⌈LB⌉: proven optimal *)
+      else if Float.min !upper_dual ub_hint -. !lower_bound < config.delta then
+        stop := true
+      else if !t < config.t_min then stop := true
+      else begin
+        (* primal update: formula (2) *)
+        let s = ev.Relax.subgradient in
+        let norm2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. s in
+        if norm2 < eps then stop := true
+        else begin
+          let scale = !t *. Float.abs (ub_est -. ev.Relax.value) /. norm2 in
+          for i = 0 to n_rows - 1 do
+            lambda.(i) <- Float.max 0. (lambda.(i) +. (scale *. s.(i)))
+          done
+        end;
+        (* dual-side update: descend on w_LD, clamping μ into [0,1] (the
+           optimal μ equals the fractional primal optimum, which lives
+           there) *)
+        let w = Relax.dual_lagrangian_value m ~mu in
+        if w < !upper_dual -. eps then begin
+          upper_dual := w;
+          best_mu := Array.copy mu
+        end;
+        let g = Relax.dual_lagrangian_subgradient m ~mu in
+        let gnorm2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. g in
+        if gnorm2 >= eps then begin
+          let lb_ref = Float.max !lower_bound 0. in
+          let scale = !t *. Float.abs (w -. lb_ref) /. gnorm2 in
+          for j = 0 to n_cols - 1 do
+            mu.(j) <- Float.min 1. (Float.max 0. (mu.(j) -. (scale *. g.(j))))
+          done
+        end
+      end
+    done;
+    (* final refresh of the incumbent at the best multipliers *)
+    try_solution (Lag_greedy.run_all_rules m ~reduced_costs:!best_reduced);
+    let lb = if !lower_bound = neg_infinity then 0. else !lower_bound in
+    {
+      lambda = !best_lambda;
+      mu = !best_mu;
+      lower_bound = lb;
+      upper_dual = !upper_dual;
+      best_solution = !best_solution;
+      best_cost = !best_cost;
+      steps = !steps;
+      proven_optimal = !best_cost <= ceil_int lb;
+      reduced_costs = !best_reduced;
+    }
+  end

@@ -1,0 +1,54 @@
+(** Subgradient ascent on the Lagrangian dual (paper §3.2–§3.3).
+
+    Drives the multipliers λ by the paper's formula (2),
+
+    {v λ_{k+1} = max(λ_k + t_k · s_k · |UB − z_k| / ‖s_k‖², 0) v}
+
+    with the decreasing step coefficient [t_k] halved whenever the best
+    bound has not improved for [halve_after] consecutive steps.  The dual
+    side (LD) is driven symmetrically: its multipliers μ descend on the
+    upper bound [w_LD(μ)], which in turn tightens the [UB] estimate used by
+    the primal side — the mutual-improvement scheme of §3.3.
+
+    Along the way the Lagrangian greedy heuristic is invoked periodically
+    to refresh the incumbent cover, and the three stopping rules of §3.2
+    apply: gap below [delta], step below [t_min], or — costs being integer
+    — an incumbent matching ⌈LB⌉, which proves optimality. *)
+
+type config = {
+  max_steps : int;  (** hard iteration cap (default 500) *)
+  halve_after : int;  (** the paper's N_t (default 20) *)
+  t0 : float;  (** initial step coefficient (default 2.0) *)
+  t_min : float;  (** stop when t_k drops below (default 0.005) *)
+  delta : float;  (** stop when the continuous gap falls below (default 0.01) *)
+  heuristic_period : int;  (** greedy refresh cadence in steps (default 10) *)
+}
+
+val default_config : config
+
+type outcome = {
+  lambda : float array;  (** multipliers achieving the best bound *)
+  mu : float array;  (** best dual-side multipliers (≈ fractional primal) *)
+  lower_bound : float;  (** best z_LP(λ) observed *)
+  upper_dual : float;  (** best (lowest) w_LD(μ) — an upper bound on z_P* *)
+  best_solution : int list;  (** incumbent cover, column indices *)
+  best_cost : int;
+  steps : int;  (** subgradient steps performed *)
+  proven_optimal : bool;  (** best_cost = ⌈lower_bound⌉ *)
+  reduced_costs : float array;  (** c̃ at [lambda] *)
+}
+
+val run :
+  ?config:config ->
+  ?lambda0:float array ->
+  ?mu0:float array ->
+  ?ub:int ->
+  ?on_step:(step:int -> value:float -> best:float -> unit) ->
+  Covering.Matrix.t ->
+  outcome
+(** [lambda0] defaults to the dual-ascent vector (§3.5); [mu0] to the
+    indicator of a greedy cover (§3.3: "the initial estimate for μ₀ is
+    determined by a primal heuristic"); [ub] primes the incumbent cost
+    without providing a solution; [on_step] observes every iteration —
+    [value] is the oscillating z_LP(λ_k), [best] the monotone best bound
+    (the behaviour §3.2 describes). *)

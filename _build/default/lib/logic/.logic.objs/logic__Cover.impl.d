@@ -1,0 +1,1 @@
+lib/logic/cover.ml: Array Bdd Cube Fmt List Option

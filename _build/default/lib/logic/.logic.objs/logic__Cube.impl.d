@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Bdd Bitvec Format Fun List Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/isop.ml: Bdd Cover Cube Hashtbl Primes Zdd

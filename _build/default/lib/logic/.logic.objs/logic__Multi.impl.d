@@ -1,0 +1,1 @@
+lib/logic/multi.ml: Array Bdd Cover Cube Float Fmt Hashtbl List Pla Primes Stdlib

@@ -1,0 +1,1 @@
+lib/logic/multi.mli: Cube Format Pla

@@ -1,0 +1,1 @@
+lib/logic/pla.ml: Array Buffer Cover Cube List Printf String

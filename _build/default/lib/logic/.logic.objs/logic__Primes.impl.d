@@ -1,0 +1,1 @@
+lib/logic/primes.ml: Bdd Cover Cube Hashtbl Lazy List Zdd

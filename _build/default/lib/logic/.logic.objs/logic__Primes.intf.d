@@ -1,0 +1,1 @@
+lib/logic/primes.mli: Bdd Cover Cube Zdd

@@ -1,0 +1,1 @@
+lib/logic/qm.ml: Cover Cube Float Hashtbl List Set

@@ -1,0 +1,58 @@
+(** Fixed-width bit vectors backed by an int array.
+
+    The two-level logic layer stores cubes in positional-cube notation,
+    which needs cheap bitwise operations over vectors wider than a native
+    int (Berkeley PLAs go up to 128 inputs = 256 positions).  This module
+    provides exactly the operations the cube algebra needs; it is not a
+    general-purpose bitset. *)
+
+type t
+(** A vector of [length t] bits.  Mutable; the cube layer copies before
+    mutating to preserve value semantics at its own interface. *)
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits. @raise Invalid_argument if
+    [n < 0]. *)
+
+val create_full : int -> t
+(** All-one vector of [n] bits. *)
+
+val length : t -> int
+val copy : t -> t
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+(** {1 Bulk logic — all operands must have equal length} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val andnot : t -> t -> t
+(** [andnot a b] is [a ∧ ¬b]. *)
+
+(** {1 Predicates} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val is_zero : t -> bool
+val is_full : t -> bool
+val subset : t -> t -> bool
+(** [subset a b] iff every bit set in [a] is set in [b]. *)
+
+val disjoint : t -> t -> bool
+val popcount : t -> int
+
+(** {1 Traversal} *)
+
+val iter_ones : t -> (int -> unit) -> unit
+(** Visit the indices of set bits in increasing order. *)
+
+val fold_ones : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+val to_string : t -> string
+(** MSB-less rendering: character [i] of the result is bit [i] ('0'/'1'). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}. @raise Invalid_argument on other characters. *)

@@ -1,0 +1,63 @@
+(* Minato-Morreale ISOP recursion on the interval [l, u].
+
+   Given l ≤ u, returns (cubes, f) with l ≤ f ≤ u and f the function of the
+   cube set.  Split on x, the smaller top variable:
+   - the x̄ branch must cover l₀ ∧ ¬u₁ (minterms that may not appear under
+     x = 1) within u₀; symmetrically for the x branch;
+   - whatever those two covers leave of l₀/l₁ is handed to the
+     variable-free remainder, allowed inside u₀ ∧ u₁. *)
+
+let memo : (int * int, Zdd.t * Bdd.t) Hashtbl.t = Hashtbl.create 4_096
+
+let top2 l u =
+  match (Bdd.is_zero l || Bdd.is_one l, Bdd.is_zero u || Bdd.is_one u) with
+  | false, false -> min (Bdd.top_var l) (Bdd.top_var u)
+  | false, true -> Bdd.top_var l
+  | true, false -> Bdd.top_var u
+  | true, true -> invalid_arg "Isop.top2: constants"
+
+let cof f v =
+  if Bdd.is_zero f || Bdd.is_one f then (f, f)
+  else
+    let var, hi, lo = Bdd.cofactors f in
+    if var = v then (hi, lo) else (f, f)
+
+let rec isop l u =
+  if Bdd.is_zero l then (Zdd.empty, Bdd.zero)
+  else if Bdd.is_one u then (Zdd.base, Bdd.one)
+  else
+    match Hashtbl.find_opt memo (Bdd.hash l, Bdd.hash u) with
+    | Some r -> r
+    | None ->
+      let v = top2 l u in
+      let pos_var, neg_var = Cube.zdd_literal_vars v in
+      let l1, l0 = cof l v and u1, u0 = cof u v in
+      let c0, f0 = isop (Bdd.bdiff l0 u1) u0 in
+      let c1, f1 = isop (Bdd.bdiff l1 u0) u1 in
+      let rest0 = Bdd.bdiff l0 f0 and rest1 = Bdd.bdiff l1 f1 in
+      let cd, fd = isop (Bdd.bor rest0 rest1) (Bdd.band u0 u1) in
+      let cubes =
+        Zdd.union cd (Zdd.union (Zdd.change c0 neg_var) (Zdd.change c1 pos_var))
+      in
+      let f =
+        Bdd.bor fd
+          (Bdd.bor
+             (Bdd.band (Bdd.nvar v) f0)
+             (Bdd.band (Bdd.var v) f1))
+      in
+      let r = (cubes, f) in
+      Hashtbl.add memo (Bdd.hash l, Bdd.hash u) r;
+      r
+
+let compute ~on ~dc =
+  Hashtbl.reset memo;
+  let cubes, f = isop on (Bdd.bor on dc) in
+  (* sanity: the interval property is part of the algorithm's contract *)
+  assert (Bdd.implies on f);
+  assert (Bdd.implies f (Bdd.bor on dc));
+  cubes
+
+let compute_cubes ~nvars ~on ~dc =
+  Primes.to_cubes ~nvars (compute ~on:(Cover.to_bdd on) ~dc:(Cover.to_bdd dc))
+
+let cover ~nvars ~on ~dc = Cover.of_cubes nvars (compute_cubes ~nvars ~on ~dc)

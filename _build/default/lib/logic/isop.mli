@@ -1,0 +1,23 @@
+(** Irredundant sum-of-products from a BDD (Minato–Morreale ISOP).
+
+    Computes, for an incompletely specified function given as an interval
+    [L ≤ f ≤ U] of BDDs, a cover by cubes that is {e irredundant by
+    construction}: each cube covers some minterm of [L] no other cube
+    covers.  The recursion splits on the top variable and distributes the
+    still-uncovered part between the x̄-cubes, the x-cubes and the
+    variable-free remainder.
+
+    This is the classical ZDD-era alternative to espresso's iterative
+    improvement: a single deterministic pass, no expansion loop, and
+    usually within a few cubes of espresso's result.  ZDD_SCG uses neither
+    (it covers with {e primes}), but the suite exposes ISOP as a baseline
+    and as a quick upper bound. *)
+
+val compute : on:Bdd.t -> dc:Bdd.t -> Zdd.t
+(** Cube set (literal encoding of {!Cube.zdd_literal_vars}) with
+    [on ≤ cover ≤ on ∨ dc]. *)
+
+val compute_cubes : nvars:int -> on:Cover.t -> dc:Cover.t -> Cube.t list
+(** Convenience: covers in, cubes out. *)
+
+val cover : nvars:int -> on:Cover.t -> dc:Cover.t -> Cover.t

@@ -1,0 +1,171 @@
+type kind =
+  | F
+  | FD
+  | FR
+  | FDR
+
+type t = {
+  ni : int;
+  no : int;
+  kind : kind;
+  input_labels : string array;
+  output_labels : string array;
+  rows : (Cube.t * string) list;
+}
+
+let kind_of_string = function
+  | "f" -> F
+  | "fd" -> FD
+  | "fr" -> FR
+  | "fdr" -> FDR
+  | s -> failwith (Printf.sprintf "Pla: unsupported .type %S" s)
+
+let string_of_kind = function
+  | F -> "f"
+  | FD -> "fd"
+  | FR -> "fr"
+  | FDR -> "fdr"
+
+let default_labels prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse text =
+  let ni = ref (-1)
+  and no = ref (-1)
+  and kind = ref FD
+  and ilb = ref None
+  and ob = ref None
+  and rows = ref []
+  and declared_p = ref None in
+  let lines = String.split_on_char '\n' text in
+  let fail lineno msg = failwith (Printf.sprintf "Pla: line %d: %s" lineno msg) in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let line = String.trim line in
+      if line <> "" then
+        if line.[0] = '.' then begin
+          match split_words line with
+          | [ ".i"; n ] -> ni := int_of_string n
+          | [ ".o"; n ] -> no := int_of_string n
+          | [ ".p"; n ] -> declared_p := Some (int_of_string n)
+          | ".type" :: [ k ] -> kind := kind_of_string k
+          | ".ilb" :: labels -> ilb := Some (Array.of_list labels)
+          | ".ob" :: labels -> ob := Some (Array.of_list labels)
+          | [ ".e" ] | [ ".end" ] -> ()
+          | ".phase" :: _ | ".pair" :: _ | ".symbolic" :: _ ->
+            fail lineno "unsupported directive"
+          | _ -> fail lineno (Printf.sprintf "unrecognised directive %S" line)
+        end
+        else begin
+          if !ni < 0 then fail lineno ".i must precede cube lines";
+          if !no < 0 then fail lineno ".o must precede cube lines";
+          match split_words line with
+          | [ input; output ] when !no > 0 ->
+            if String.length input <> !ni then fail lineno "input plane width mismatch";
+            if String.length output <> !no then fail lineno "output plane width mismatch";
+            let cube =
+              try Cube.of_string input
+              with Invalid_argument m -> fail lineno m
+            in
+            String.iter
+              (fun c ->
+                match c with
+                | '0' | '1' | '-' | '~' -> ()
+                | _ -> fail lineno "invalid output plane character")
+              output;
+            rows := (cube, output) :: !rows
+          | [ input ] when !no = 0 ->
+            ignore (Cube.of_string input);
+            fail lineno "zero-output PLA has no function to read"
+          | _ -> fail lineno "expected `<input-plane> <output-plane>'"
+        end)
+    lines;
+  if !ni < 0 then failwith "Pla: missing .i";
+  if !no < 0 then failwith "Pla: missing .o";
+  let rows = List.rev !rows in
+  (match !declared_p with
+  | Some p when p <> List.length rows ->
+    (* espresso treats .p as advisory; we only warn via Logs-free means *)
+    ()
+  | Some _ | None -> ());
+  {
+    ni = !ni;
+    no = !no;
+    kind = !kind;
+    input_labels = (match !ilb with Some l -> l | None -> default_labels "x" !ni);
+    output_labels = (match !ob with Some l -> l | None -> default_labels "f" !no);
+    rows;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  try parse text
+  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+
+let to_string t =
+  let buf = Buffer.create 1_024 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" t.ni t.no);
+  Buffer.add_string buf (Printf.sprintf ".type %s\n" (string_of_kind t.kind));
+  Buffer.add_string buf (Printf.sprintf ".p %d\n" (List.length t.rows));
+  List.iter
+    (fun (cube, out) ->
+      Buffer.add_string buf (Cube.to_string cube);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf out;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let output_count_check t =
+  List.iter
+    (fun (_, out) ->
+      if String.length out <> t.no then failwith "Pla: output plane width mismatch")
+    t.rows
+
+let select t k wanted =
+  Cover.of_cubes t.ni
+    (List.filter_map
+       (fun (cube, out) -> if List.mem out.[k] wanted then Some cube else None)
+       t.rows)
+
+let onset t k = select t k [ '1' ]
+
+let dcset t k =
+  match t.kind with
+  | FD | FDR -> select t k [ '-'; '~' ]
+  | F | FR -> Cover.empty t.ni
+
+let offset t k =
+  match t.kind with
+  | FR | FDR -> select t k [ '0' ]
+  | F | FD -> Cover.complement (Cover.union (onset t k) (dcset t k))
+
+let single_output ~ni ~on ~dc =
+  if Cover.nvars on <> ni || Cover.nvars dc <> ni then
+    invalid_arg "Pla.single_output: arity mismatch";
+  let rows =
+    List.map (fun c -> (c, "1")) (Cover.cubes on)
+    @ List.map (fun c -> (c, "-")) (Cover.cubes dc)
+  in
+  {
+    ni;
+    no = 1;
+    kind = FD;
+    input_labels = default_labels "x" ni;
+    output_labels = default_labels "f" 1;
+    rows;
+  }

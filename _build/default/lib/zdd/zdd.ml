@@ -1,0 +1,457 @@
+(* Hash-consed ZDD engine (Minato's zero-suppressed DDs).
+
+   Canonical form: no node has [hi == empty] (zero-suppression) and every
+   (var, hi, lo) triple is unique.  [empty] is the family {}, [base] is {∅}.
+
+   The subset/superset operations ([no_sup_set], [no_sub_set], [minimal],
+   [maximal]) implement implicit dominance removal; their recursions follow
+   the standard cube-set algebra (see e.g. Coudert, "Two-level logic
+   minimization: an overview", INTEGRATION 1994). *)
+
+type elt = int
+type t = { tag : int; node : node }
+
+and node =
+  | Empty
+  | Base
+  | Node of { var : elt; hi : t; lo : t }
+
+let empty = { tag = 0; node = Empty }
+let base = { tag = 1; node = Base }
+
+let is_empty f = f.tag = 0
+let is_base f = f.tag = 1
+let equal f g = f == g
+let compare f g = Stdlib.compare f.tag g.tag
+let hash f = f.tag
+
+module Triple = struct
+  type t = int * int * int
+
+  let equal (a, b, c) (a', b', c') = a = a' && b = b' && c = c'
+  let hash (a, b, c) = (a * 0x9e3779b1) lxor (b * 0x85ebca77) lxor (c * 0xc2b2ae3d)
+end
+
+module Unique = Hashtbl.Make (Triple)
+
+let unique : t Unique.t = Unique.create 65_536
+let next_tag = ref 2
+
+let mk var hi lo =
+  if is_empty hi then lo
+  else
+    let key = (var, hi.tag, lo.tag) in
+    match Unique.find_opt unique key with
+    | Some n -> n
+    | None ->
+      let n = { tag = !next_tag; node = Node { var; hi; lo } } in
+      incr next_tag;
+      Unique.add unique key n;
+      n
+
+let node_count () = Unique.length unique
+
+let top_var f =
+  match f.node with
+  | Node { var; _ } -> var
+  | Empty | Base -> invalid_arg "Zdd.top_var: constant"
+
+let singleton v =
+  if v < 0 then invalid_arg "Zdd.singleton: negative element";
+  mk v base empty
+
+let of_set elems =
+  let sorted = List.sort_uniq Stdlib.compare elems in
+  List.iter (fun v -> if v < 0 then invalid_arg "Zdd.of_set: negative element") sorted;
+  List.fold_left (fun acc v -> mk v acc empty) base (List.rev sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Caches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Pair = struct
+  type t = int * int
+
+  let equal (a, b) (a', b') = a = a' && b = b'
+  let hash (a, b) = (a * 0x9e3779b1) lxor b
+end
+
+module Cache2 = Hashtbl.Make (Pair)
+module Cache1 = Hashtbl.Make (Int)
+
+let union_cache : t Cache2.t = Cache2.create 65_536
+let inter_cache : t Cache2.t = Cache2.create 65_536
+let diff_cache : t Cache2.t = Cache2.create 65_536
+let product_cache : t Cache2.t = Cache2.create 65_536
+let nosup_cache : t Cache2.t = Cache2.create 65_536
+let nosub_cache : t Cache2.t = Cache2.create 65_536
+let minimal_cache : t Cache1.t = Cache1.create 4_096
+let maximal_cache : t Cache1.t = Cache1.create 4_096
+let count_cache : float Cache1.t = Cache1.create 4_096
+
+let clear_caches () =
+  Cache2.reset union_cache;
+  Cache2.reset inter_cache;
+  Cache2.reset diff_cache;
+  Cache2.reset product_cache;
+  Cache2.reset nosup_cache;
+  Cache2.reset nosub_cache;
+  Cache1.reset minimal_cache;
+  Cache1.reset maximal_cache;
+  Cache1.reset count_cache
+
+(* Cofactors of [f] with respect to [v], assuming [v <= top_var f]:
+   [hi] = sets containing v (with v removed), [lo] = sets without v. *)
+let cof f v =
+  match f.node with
+  | Node { var; hi; lo } when var = v -> (hi, lo)
+  | Empty | Base | Node _ -> (empty, f)
+
+let top2 f g =
+  match (f.node, g.node) with
+  | Node { var = a; _ }, Node { var = b; _ } -> if a < b then a else b
+  | Node { var = a; _ }, (Empty | Base) -> a
+  | (Empty | Base), Node { var = b; _ } -> b
+  | (Empty | Base), (Empty | Base) -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Boolean family algebra                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec union f g =
+  if f == g then f
+  else if is_empty f then g
+  else if is_empty g then f
+  else begin
+    let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
+    match Cache2.find_opt union_cache key with
+    | Some r -> r
+    | None ->
+      let v = top2 f g in
+      let f1, f0 = cof f v and g1, g0 = cof g v in
+      let r = mk v (union f1 g1) (union f0 g0) in
+      Cache2.add union_cache key r;
+      r
+  end
+
+let rec inter f g =
+  if f == g then f
+  else if is_empty f || is_empty g then empty
+  else if is_base f then if contains_empty_set g then base else empty
+  else if is_base g then if contains_empty_set f then base else empty
+  else begin
+    let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
+    match Cache2.find_opt inter_cache key with
+    | Some r -> r
+    | None ->
+      let v = top2 f g in
+      let f1, f0 = cof f v and g1, g0 = cof g v in
+      let r = mk v (inter f1 g1) (inter f0 g0) in
+      Cache2.add inter_cache key r;
+      r
+  end
+
+and contains_empty_set f =
+  match f.node with
+  | Empty -> false
+  | Base -> true
+  | Node { lo; _ } -> contains_empty_set lo
+
+let rec diff f g =
+  if f == g || is_empty f then empty
+  else if is_empty g then f
+  else begin
+    let key = (f.tag, g.tag) in
+    match Cache2.find_opt diff_cache key with
+    | Some r -> r
+    | None ->
+      let r =
+        match (f.node, g.node) with
+        | Empty, _ -> empty
+        | Base, _ -> if contains_empty_set g then empty else base
+        | Node { var; hi; lo }, Base ->
+          (* g = {∅}: remove the empty set, which lives down the lo spine *)
+          mk var hi (diff lo g)
+        | Node _, (Empty | Node _) ->
+          (* split on the smaller top variable of the two operands *)
+          let v = top2 f g in
+          let f1, f0 = cof f v and g1, g0 = cof g v in
+          mk v (diff f1 g1) (diff f0 g0)
+      in
+      Cache2.add diff_cache key r;
+      r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Element-wise operations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec subset1 f v =
+  match f.node with
+  | Empty | Base -> empty
+  | Node { var; hi; lo } ->
+    if var = v then hi else if var > v then empty else mk var (subset1 hi v) (subset1 lo v)
+
+let rec subset0 f v =
+  match f.node with
+  | Empty | Base -> f
+  | Node { var; hi; lo } ->
+    if var = v then lo else if var > v then f else mk var (subset0 hi v) (subset0 lo v)
+
+let rec change f v =
+  match f.node with
+  | Empty -> empty
+  | Base -> singleton v
+  | Node { var; hi; lo } ->
+    if var = v then mk var lo hi
+    else if var > v then mk v f empty
+    else mk var (change hi v) (change lo v)
+
+let project_out f v = union (subset0 f v) (subset1 f v)
+let restrict_without = subset0
+
+(* ------------------------------------------------------------------ *)
+(* Unate cube-set algebra                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec product f g =
+  if is_empty f || is_empty g then empty
+  else if is_base f then g
+  else if is_base g then f
+  else begin
+    let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
+    match Cache2.find_opt product_cache key with
+    | Some r -> r
+    | None ->
+      let v = top2 f g in
+      let f1, f0 = cof f v and g1, g0 = cof g v in
+      let hi = union (product f1 g1) (union (product f1 g0) (product f0 g1)) in
+      let r = mk v hi (product f0 g0) in
+      Cache2.add product_cache key r;
+      r
+  end
+
+let rec no_sup_set a b =
+  (* { s ∈ a : no t ∈ b with t ⊆ s } *)
+  if is_empty a || is_empty b then a
+  else if contains_empty_set b then empty
+  else if is_base a then a (* b has no ∅, and only ∅ ⊆ ∅ *)
+  else if a == b then empty
+  else begin
+    let key = (a.tag, b.tag) in
+    match Cache2.find_opt nosup_cache key with
+    | Some r -> r
+    | None ->
+      let r =
+        match (a.node, b.node) with
+        | Node { var = va; hi = ha; lo = la }, Node { var = vb; hi = _; lo = lb }
+          when va = vb ->
+          let hb = (match b.node with Node { hi; _ } -> hi | _ -> assert false) in
+          let hi = no_sup_set (no_sup_set ha lb) hb in
+          let lo = no_sup_set la lb in
+          mk va hi lo
+        | Node { var = va; hi = ha; lo = la }, Node { var = vb; _ } when va < vb ->
+          mk va (no_sup_set ha b) (no_sup_set la b)
+        | Node _, Node { lo = lb; _ } ->
+          (* vb < va: members of b containing vb subsume nothing in a *)
+          no_sup_set a lb
+        | (Empty | Base | Node _), (Empty | Base) -> assert false
+        | (Empty | Base), Node _ -> assert false
+      in
+      Cache2.add nosup_cache key r;
+      r
+  end
+
+let rec no_sub_set a b =
+  (* { s ∈ a : no t ∈ b with s ⊆ t } *)
+  if is_empty a || is_empty b then a
+  else if is_base a then empty (* ∅ ⊆ every member of the non-empty b *)
+  else if a == b then empty
+  else begin
+    let key = (a.tag, b.tag) in
+    match Cache2.find_opt nosub_cache key with
+    | Some r -> r
+    | None ->
+      let r =
+        match (a.node, b.node) with
+        | Node { var = va; hi = ha; lo = la }, Node { var = vb; hi = hb; lo = lb }
+          when va = vb ->
+          mk va (no_sub_set ha hb) (no_sub_set la (union lb hb))
+        | Node { var = va; hi = ha; lo = la }, Node { var = vb; _ } when va < vb ->
+          (* sets containing va cannot be ⊆ any t ∈ b (no t has va), so the
+             whole hi branch survives verbatim *)
+          mk va ha (no_sub_set la b)
+        | Node _, Node { hi = hb; lo = lb; _ } ->
+          (* vb < va: s lacks vb, so s ⊆ t∪{vb} iff s ⊆ t *)
+          no_sub_set a (union hb lb)
+        | Node _, Base ->
+          (* only ∅ is a subset of ∅: drop it from a if present *)
+          diff a b
+        | (Empty | Base | Node _), Empty | (Empty | Base), (Base | Node _) ->
+          assert false
+      in
+      Cache2.add nosub_cache key r;
+      r
+  end
+
+let sup_set a b = diff a (no_sup_set a b)
+let sub_set a b = diff a (no_sub_set a b)
+
+let rec minimal f =
+  match f.node with
+  | Empty | Base -> f
+  | Node { var; hi; lo } -> (
+    match Cache1.find_opt minimal_cache f.tag with
+    | Some r -> r
+    | None ->
+      let lo' = minimal lo in
+      let hi' = no_sup_set (minimal hi) lo' in
+      let r = mk var hi' lo' in
+      Cache1.add minimal_cache f.tag r;
+      r)
+
+let rec maximal f =
+  match f.node with
+  | Empty | Base -> f
+  | Node { var; hi; lo } -> (
+    match Cache1.find_opt maximal_cache f.tag with
+    | Some r -> r
+    | None ->
+      let hi' = maximal hi in
+      let lo' = no_sub_set (maximal lo) hi' in
+      let r = mk var hi' lo' in
+      Cache1.add maximal_cache f.tag r;
+      r)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let count f =
+  let rec go f =
+    match f.node with
+    | Empty -> 0.
+    | Base -> 1.
+    | Node { hi; lo; _ } -> (
+      match Cache1.find_opt count_cache f.tag with
+      | Some c -> c
+      | None ->
+        let c = go hi +. go lo in
+        Cache1.add count_cache f.tag c;
+        c)
+  in
+  go f
+
+let rec singletons f =
+  match f.node with
+  | Empty | Base -> []
+  | Node { var; hi; lo } ->
+    if contains_empty_set hi then var :: singletons lo else singletons lo
+
+let support f =
+  let seen : unit Cache1.t = Cache1.create 256 in
+  let acc = ref [] in
+  let rec go f =
+    match f.node with
+    | Empty | Base -> ()
+    | Node { var; hi; lo } ->
+      if not (Cache1.mem seen f.tag) then begin
+        Cache1.add seen f.tag ();
+        acc := var :: !acc;
+        go hi;
+        go lo
+      end
+  in
+  go f;
+  List.sort_uniq Stdlib.compare !acc
+
+let min_card f =
+  let memo : int Cache1.t = Cache1.create 256 in
+  let rec go f =
+    match f.node with
+    | Empty -> max_int
+    | Base -> 0
+    | Node { hi; lo; _ } -> (
+      match Cache1.find_opt memo f.tag with
+      | Some c -> c
+      | None ->
+        let via_hi =
+          let h = go hi in
+          if h = max_int then max_int else h + 1
+        in
+        let c = min via_hi (go lo) in
+        Cache1.add memo f.tag c;
+        c)
+  in
+  if is_empty f then invalid_arg "Zdd.min_card: empty family";
+  go f
+
+let rec choose f =
+  match f.node with
+  | Empty -> raise Not_found
+  | Base -> []
+  | Node { var; hi; lo } -> if is_empty lo then var :: choose hi else choose lo
+
+let rec mem s f =
+  match (s, f.node) with
+  | [], _ -> contains_empty_set f
+  | _, (Empty | Base) -> false
+  | v :: rest, Node { var; hi; lo } ->
+    let s = List.sort_uniq Stdlib.compare (v :: rest) in
+    (match s with
+    | [] -> assert false
+    | v :: rest ->
+      if var = v then mem rest hi else if var > v then false else mem s lo)
+
+let iter_sets f k =
+  let rec go prefix f =
+    match f.node with
+    | Empty -> ()
+    | Base -> k (List.rev prefix)
+    | Node { var; hi; lo } ->
+      go (var :: prefix) hi;
+      go prefix lo
+  in
+  go [] f
+
+let fold_sets f ~init ~f:step =
+  let acc = ref init in
+  iter_sets f (fun s -> acc := step !acc s);
+  !acc
+
+let to_sets f = List.rev (fold_sets f ~init:[] ~f:(fun acc s -> s :: acc))
+
+let of_sets sets = List.fold_left (fun acc s -> union acc (of_set s)) empty sets
+
+let size f =
+  let seen : unit Cache1.t = Cache1.create 256 in
+  let n = ref 0 in
+  let rec go f =
+    match f.node with
+    | Empty | Base -> ()
+    | Node { hi; lo; _ } ->
+      if not (Cache1.mem seen f.tag) then begin
+        Cache1.add seen f.tag ();
+        incr n;
+        go hi;
+        go lo
+      end
+  in
+  go f;
+  !n
+
+let pp ppf f =
+  let max_shown = 24 in
+  let shown = ref 0 in
+  let pp_set ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) s
+  in
+  Fmt.pf ppf "@[<hov 1>{";
+  (try
+     iter_sets f (fun s ->
+         if !shown >= max_shown then raise Exit;
+         if !shown > 0 then Fmt.pf ppf ";@ ";
+         pp_set ppf s;
+         incr shown)
+   with Exit -> Fmt.pf ppf ";@ ...");
+  Fmt.pf ppf "}@]"

@@ -1,0 +1,1 @@
+test/test_benchsuite.ml: Alcotest Array Bdd Benchsuite Covering Fun Hashtbl Lagrangian List Logic Option Printf Stdlib

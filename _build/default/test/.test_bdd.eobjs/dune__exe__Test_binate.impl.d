@@ -1,0 +1,1 @@
+test/test_binate.ml: Alcotest Array Binate Covering Fun List QCheck QCheck_alcotest Random Test_support

@@ -1,0 +1,1 @@
+test/test_espresso.ml: Alcotest Array Bdd Covering Espresso List Logic Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Fsm Hashtbl List Logic Printf QCheck QCheck_alcotest Random Scg String

@@ -1,0 +1,1 @@
+test/test_lagrangian.ml: Alcotest Array Covering Exact Float Fun Greedy Lagrangian List Matrix Mis_bound QCheck QCheck_alcotest Random Test_support

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Bdd Bitvec Cover Cube Filename Isop List Logic Pla Primes QCheck QCheck_alcotest Qm Random String Sys Zdd

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Covering Fmt Fun List Logic Printf QCheck QCheck_alcotest Random Scg String

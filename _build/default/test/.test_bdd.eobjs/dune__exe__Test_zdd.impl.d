@@ -1,0 +1,1 @@
+test/test_zdd.ml: Alcotest Int List QCheck QCheck_alcotest Set Stdlib String Zdd

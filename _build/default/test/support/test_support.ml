@@ -1,0 +1,40 @@
+(* Shared generators for the covering-layer test suites. *)
+
+module Matrix = Covering.Matrix
+
+(* A random feasible covering matrix: [n_rows] rows over [n_cols] columns,
+   density roughly [density], every row non-empty by construction. *)
+let random_matrix rng ?(uniform = false) ~n_rows ~n_cols ~density () =
+  let rows =
+    List.init n_rows (fun _ ->
+        let r =
+          List.filter
+            (fun _ -> Random.State.float rng 1.0 < density)
+            (List.init n_cols Fun.id)
+        in
+        if r = [] then [ Random.State.int rng n_cols ] else r)
+  in
+  let cost =
+    Array.init n_cols (fun _ -> if uniform then 1 else 1 + Random.State.int rng 5)
+  in
+  Matrix.create ~cost ~n_cols rows
+
+(* QCheck wrapper: a seed-driven arbitrary so shrinking stays trivial. *)
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+let small_matrix_of_seed ?uniform seed =
+  let rng = Random.State.make [| seed |] in
+  let n_rows = 2 + Random.State.int rng 8 in
+  let n_cols = 2 + Random.State.int rng 8 in
+  random_matrix rng ?uniform ~n_rows ~n_cols ~density:0.35 ()
+
+let medium_matrix_of_seed ?uniform seed =
+  let rng = Random.State.make [| seed |] in
+  let n_rows = 10 + Random.State.int rng 25 in
+  let n_cols = 8 + Random.State.int rng 16 in
+  random_matrix rng ?uniform ~n_rows ~n_cols ~density:0.2 ()
+
+(* The worked bound-hierarchy instances live in the benchmark suite so the
+   examples and benches share them; re-exported here for the test files. *)
+let fig1_matrix = Benchsuite.Worked.fig1
+let c5_matrix = Benchsuite.Worked.c5

@@ -1,0 +1,104 @@
+(* Tests for the binate covering extension: solver against brute force on
+   random clause systems, unate embedding against the unate exact solver,
+   and the classic infeasible/implication corner cases. *)
+
+module TS = Test_support
+
+let check = Alcotest.(check bool)
+
+let random_binate seed =
+  let rng = Random.State.make [| seed |] in
+  let n_cols = 2 + Random.State.int rng 7 in
+  let n_clauses = 1 + Random.State.int rng 10 in
+  let clause _ =
+    let lits =
+      List.filter_map
+        (fun j ->
+          match Random.State.int rng 4 with
+          | 0 -> Some (j, true)
+          | 1 -> Some (j, false)
+          | _ -> None)
+        (List.init n_cols Fun.id)
+    in
+    let lits = if lits = [] then [ (Random.State.int rng n_cols, true) ] else lits in
+    ( List.filter_map (fun (j, pos) -> if pos then Some j else None) lits,
+      List.filter_map (fun (j, pos) -> if pos then None else Some j) lits )
+  in
+  let cost = Array.init n_cols (fun _ -> 1 + Random.State.int rng 4) in
+  Binate.create ~cost ~n_cols (List.init n_clauses clause)
+
+let prop_solve_matches_brute_force =
+  QCheck.Test.make ~name:"binate B&B = brute force" ~count:200 TS.arb_seed (fun seed ->
+      let t = random_binate seed in
+      let r = Binate.solve t in
+      let bf = Binate.brute_force t in
+      r.Binate.optimal
+      &&
+      match (r.Binate.assignment, bf) with
+      | None, None -> true
+      | Some a, Some b ->
+        Binate.satisfies t a
+        && Binate.assignment_cost t a = Binate.assignment_cost t b
+        && r.Binate.cost = Binate.assignment_cost t a
+      | Some _, None | None, Some _ -> false)
+
+let prop_unate_embedding_agrees =
+  QCheck.Test.make ~name:"of_unate agrees with the unate exact solver" ~count:100
+    TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let unate_opt = Covering.Matrix.cost_of m (Covering.Exact.brute_force m) in
+      let r = Binate.solve (Binate.of_unate m) in
+      r.Binate.optimal && r.Binate.cost = unate_opt)
+
+let test_implication_chain () =
+  (* x0; x0 → x1; x1 → x2 : all three must be set *)
+  let t =
+    Binate.create ~n_cols:3 [ ([ 0 ], []); ([ 1 ], [ 0 ]); ([ 2 ], [ 1 ]) ]
+  in
+  let r = Binate.solve t in
+  (match r.Binate.assignment with
+  | Some a -> Alcotest.(check (array bool)) "all true" [| true; true; true |] a
+  | None -> Alcotest.fail "expected feasible");
+  Alcotest.(check int) "cost 3" 3 r.Binate.cost
+
+let test_infeasible () =
+  (* x0 and ¬x0 *)
+  let t = Binate.create ~n_cols:1 [ ([ 0 ], []); ([], [ 0 ]) ] in
+  let r = Binate.solve t in
+  check "infeasible" true (r.Binate.assignment = None);
+  check "proven" true r.Binate.optimal;
+  check "brute agrees" true (Binate.brute_force t = None)
+
+let test_free_negative () =
+  (* ¬x0 ∨ ¬x1 alone: the zero assignment is optimal at cost 0 *)
+  let t = Binate.create ~cost:[| 5; 7 |] ~n_cols:2 [ ([], [ 0; 1 ]) ] in
+  let r = Binate.solve t in
+  Alcotest.(check int) "cost 0" 0 r.Binate.cost
+
+let test_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  check "empty clause" true
+    (raises (fun () -> ignore (Binate.create ~n_cols:2 [ ([], []) ])));
+  check "tautology" true
+    (raises (fun () -> ignore (Binate.create ~n_cols:2 [ ([ 0 ], [ 0 ]) ])));
+  check "range" true (raises (fun () -> ignore (Binate.create ~n_cols:2 [ ([ 2 ], []) ])))
+
+let test_node_budget () =
+  let t = random_binate 4242 in
+  let r = Binate.solve ~max_nodes:1 t in
+  check "budget respected" true (r.Binate.nodes <= 2)
+
+let () =
+  Alcotest.run "binate"
+    [
+      ( "solver",
+        [
+          QCheck_alcotest.to_alcotest prop_solve_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_unate_embedding_agrees;
+          Alcotest.test_case "implication chain" `Quick test_implication_chain;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "free negative" `Quick test_free_negative;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "node budget" `Quick test_node_budget;
+        ] );
+    ]

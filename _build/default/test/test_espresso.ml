@@ -1,0 +1,176 @@
+(* Tests for the espresso-style baseline: each phase preserves function
+   semantics (BDD oracle), outputs are prime/irredundant where promised,
+   and the full loop competes sanely with the exact covering optimum. *)
+
+module Cube = Logic.Cube
+module Cover = Logic.Cover
+
+let check = Alcotest.(check bool)
+
+let cover_of_strings n strs = Cover.of_cubes n (List.map Cube.of_string strs)
+
+let same_function ~dc f g =
+  (* equal modulo don't-cares: f ∧ ¬dc ≡ g ∧ ¬dc and both inside on∪dc is
+     checked separately; here we compare care-set behaviour *)
+  let fb = Cover.to_bdd f and gb = Cover.to_bdd g and db = Cover.to_bdd dc in
+  Bdd.equal (Bdd.bdiff fb db) (Bdd.bdiff gb db)
+
+let random_on_dc seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 3 + Random.State.int rng 3 in
+  let cube () =
+    Cube.of_string
+      (String.init n (fun _ ->
+           match Random.State.int rng 3 with
+           | 0 -> '0'
+           | 1 -> '1'
+           | _ -> '-'))
+  in
+  let on = Cover.of_cubes n (List.init (2 + Random.State.int rng 5) (fun _ -> cube ())) in
+  let dc = Cover.of_cubes n (List.init (Random.State.int rng 3) (fun _ -> cube ())) in
+  (n, on, dc)
+
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+let is_prime ~on ~dc c =
+  let care = Cover.union on dc in
+  Cover.covers_cube care c
+  && List.for_all
+       (fun (i, _) -> not (Cover.covers_cube care (Cube.raise_var c i)))
+       (Cube.literals c)
+
+let prop_expand_primes =
+  QCheck.Test.make ~name:"expand yields primes, function preserved" ~count:100 arb_seed
+    (fun seed ->
+      let _, on, dc = random_on_dc seed in
+      let off = Cover.complement (Cover.union on dc) in
+      let e = Espresso.expand ~off on in
+      same_function ~dc on e
+      && List.for_all (fun c -> is_prime ~on ~dc c) (Cover.cubes e))
+
+let prop_irredundant_semantics =
+  QCheck.Test.make ~name:"irredundant preserves and is irredundant" ~count:100 arb_seed
+    (fun seed ->
+      let n, on, dc = random_on_dc seed in
+      let f = Espresso.irredundant ~dc on in
+      same_function ~dc on f
+      && List.for_all
+           (fun c ->
+             let rest =
+               Cover.of_cubes n
+                 (List.filter (fun d -> not (Cube.equal d c)) (Cover.cubes f))
+             in
+             not (Cover.covers_cube (Cover.union rest dc) c))
+           (Cover.cubes f))
+
+let prop_reduce_semantics =
+  QCheck.Test.make ~name:"reduce preserves the function" ~count:100 arb_seed (fun seed ->
+      let _, on, dc = random_on_dc seed in
+      let f = Espresso.reduce ~dc on in
+      same_function ~dc on f)
+
+let prop_minimise_valid =
+  QCheck.Test.make ~name:"minimise: valid, within ON∪DC, covers ON" ~count:80 arb_seed
+    (fun seed ->
+      let _, on, dc = random_on_dc seed in
+      let r = Espresso.minimise ~on ~dc () in
+      let care = Cover.union on dc in
+      Cover.covers care r.Espresso.cover
+      && Cover.covers (Cover.union r.Espresso.cover dc) on)
+
+let prop_strong_no_worse =
+  QCheck.Test.make ~name:"strong mode never worse than normal" ~count:60 arb_seed
+    (fun seed ->
+      let _, on, dc = random_on_dc seed in
+      let normal = Espresso.minimise ~mode:Espresso.Normal ~on ~dc () in
+      let strong = Espresso.minimise ~mode:Espresso.Strong ~on ~dc () in
+      strong.Espresso.cost <= normal.Espresso.cost)
+
+let prop_exact_no_worse_than_espresso =
+  (* the paper's headline comparison: the covering-based solvers meet or
+     beat espresso's product count on every instance *)
+  QCheck.Test.make ~name:"exact covering <= espresso products" ~count:50 arb_seed
+    (fun seed ->
+      let _, on, dc = random_on_dc seed in
+      let e = Espresso.minimise ~mode:Espresso.Strong ~on ~dc () in
+      let b = Covering.From_logic.build ~on ~dc () in
+      let x = Covering.Exact.solve b.Covering.From_logic.matrix in
+      (not x.Covering.Exact.optimal) || x.Covering.Exact.cost <= e.Espresso.cost)
+
+let test_minimise_majority () =
+  let on = cover_of_strings 3 [ "110"; "101"; "011"; "111" ] in
+  let r = Espresso.minimise ~on ~dc:(Cover.empty 3) () in
+  Alcotest.(check int) "three primes" 3 r.Espresso.cost
+
+let test_minimise_with_dc () =
+  (* ON {11}, DC {10}: espresso should find the single product 1- *)
+  let on = cover_of_strings 2 [ "11" ] in
+  let dc = cover_of_strings 2 [ "10" ] in
+  let r = Espresso.minimise ~on ~dc () in
+  Alcotest.(check int) "one product" 1 r.Espresso.cost
+
+let test_minimise_tautology () =
+  let on = cover_of_strings 2 [ "1-"; "0-" ] in
+  let r = Espresso.minimise ~on ~dc:(Cover.empty 2) () in
+  Alcotest.(check int) "tautology is one cube" 1 r.Espresso.cost;
+  check "universal" true (Cover.is_tautology r.Espresso.cover)
+
+let test_minimise_all_outputs () =
+  let pla =
+    Logic.Pla.parse ".i 3\n.o 2\n.type fd\n11- 11\n--1 01\n00- 10\n.e\n"
+  in
+  let r = Espresso.minimise_all pla in
+  Alcotest.(check int) "two covers" 2 (Array.length r.Espresso.covers);
+  (* each per-output cover realises its output *)
+  List.iter
+    (fun k ->
+      let on = Logic.Pla.onset pla k and dc = Logic.Pla.dcset pla k in
+      check
+        (Printf.sprintf "output %d covered" k)
+        true
+        (Cover.covers (Cover.union r.Espresso.covers.(k) dc) on))
+    [ 0; 1 ];
+  check "distinct products counted" true (r.Espresso.distinct_products >= 2)
+
+let test_minimise_deterministic () =
+  let on = cover_of_strings 3 [ "1-0"; "-10"; "01-"; "0-1" ] in
+  let a = Espresso.minimise ~on ~dc:(Cover.empty 3) () in
+  let b = Espresso.minimise ~on ~dc:(Cover.empty 3) () in
+  check "same cover" true (Cover.equal_semantics a.Espresso.cover b.Espresso.cover);
+  Alcotest.(check int) "same cost" a.Espresso.cost b.Espresso.cost
+
+let test_minimise_empty () =
+  let r = Espresso.minimise ~on:(Cover.empty 3) ~dc:(Cover.empty 3) () in
+  Alcotest.(check int) "empty function" 0 r.Espresso.cost
+
+let test_last_gasp_example () =
+  (* a cover where reduce+expand plateaus; last gasp must not break it *)
+  let on = cover_of_strings 3 [ "1-0"; "-10"; "01-"; "0-1" ] in
+  let dc = Cover.empty 3 in
+  let off = Cover.complement on in
+  let g = Espresso.last_gasp ~off ~dc on in
+  check "function preserved" true (same_function ~dc on g)
+
+let () =
+  Alcotest.run "espresso"
+    [
+      ( "phases",
+        [
+          QCheck_alcotest.to_alcotest prop_expand_primes;
+          QCheck_alcotest.to_alcotest prop_irredundant_semantics;
+          QCheck_alcotest.to_alcotest prop_reduce_semantics;
+          Alcotest.test_case "last gasp" `Quick test_last_gasp_example;
+        ] );
+      ( "minimise",
+        [
+          QCheck_alcotest.to_alcotest prop_minimise_valid;
+          QCheck_alcotest.to_alcotest prop_strong_no_worse;
+          QCheck_alcotest.to_alcotest prop_exact_no_worse_than_espresso;
+          Alcotest.test_case "majority" `Quick test_minimise_majority;
+          Alcotest.test_case "with dc" `Quick test_minimise_with_dc;
+          Alcotest.test_case "tautology" `Quick test_minimise_tautology;
+          Alcotest.test_case "all outputs" `Quick test_minimise_all_outputs;
+          Alcotest.test_case "deterministic" `Quick test_minimise_deterministic;
+          Alcotest.test_case "empty" `Quick test_minimise_empty;
+        ] );
+    ]

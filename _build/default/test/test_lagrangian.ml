@@ -1,0 +1,375 @@
+(* Tests for the Lagrangian engine: relaxation values, dual ascent,
+   subgradient bounds, penalties and the Proposition-1 bound hierarchy,
+   with the exact solver as the oracle throughout. *)
+
+open Covering
+module TS = Test_support
+module L = Lagrangian
+
+let check = Alcotest.(check bool)
+
+let optimum m = Matrix.cost_of m (Exact.brute_force m)
+
+(* ------------------------------------------------------------------ *)
+(* Relaxation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_relax_zero_multipliers () =
+  let m = TS.fig1_matrix () in
+  let lambda = Array.make (Matrix.n_rows m) 0. in
+  let ev = L.Relax.evaluate m lambda in
+  (* with λ = 0 nothing is attractive: value 0, everything violated *)
+  Alcotest.(check (float 1e-9)) "value" 0. ev.L.Relax.value;
+  Alcotest.(check int) "violated" (Matrix.n_rows m) ev.L.Relax.violated;
+  Array.iteri
+    (fun j c ->
+      Alcotest.(check (float 1e-9)) "cost" (float_of_int (Matrix.cost m j)) c)
+    ev.L.Relax.reduced_costs
+
+let test_relax_value_formula () =
+  let m = TS.c5_matrix () in
+  let lambda = Array.make 5 0.5 in
+  let ev = L.Relax.evaluate m lambda in
+  (* each column: cost 1, covered rows 2 → c̃ = 0 → in solution, value
+     contribution 0; plus Σλ = 2.5 *)
+  Alcotest.(check (float 1e-9)) "value 2.5" 2.5 ev.L.Relax.value;
+  check "all selected" true (Array.for_all Fun.id ev.L.Relax.in_solution)
+
+let prop_lagrangian_value_is_lower_bound =
+  QCheck.Test.make ~name:"z_LP(λ) <= optimum for random λ" ~count:200
+    (QCheck.pair TS.arb_seed TS.arb_seed) (fun (seed, lseed) ->
+      let m = TS.small_matrix_of_seed seed in
+      let rng = Random.State.make [| lseed |] in
+      let lambda =
+        Array.init (Matrix.n_rows m) (fun _ -> Random.State.float rng 3.0)
+      in
+      let ev = L.Relax.evaluate m lambda in
+      ev.L.Relax.value <= float_of_int (optimum m) +. 1e-6)
+
+let prop_dual_feasible_value_equals_lagrangian =
+  QCheck.Test.make ~name:"dual-feasible m: z_LP(m) = w(m)" ~count:150 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let da = L.Dual_ascent.run m in
+      let ev = L.Relax.evaluate m da.L.Dual_ascent.m in
+      Float.abs (ev.L.Relax.value -. da.L.Dual_ascent.value) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Dual ascent                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_dual_ascent_feasible =
+  QCheck.Test.make ~name:"dual ascent output is dual feasible" ~count:200 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let da = L.Dual_ascent.run m in
+      L.Relax.dual_feasible m da.L.Dual_ascent.m)
+
+let prop_dual_ascent_bound =
+  QCheck.Test.make ~name:"dual ascent <= optimum" ~count:200 TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      (L.Dual_ascent.run m).L.Dual_ascent.value <= float_of_int (optimum m) +. 1e-6)
+
+let prop_dual_ascent_dominates_mis =
+  (* Proposition 1: LB_MIS <= LB_DA always *)
+  QCheck.Test.make ~name:"dual ascent >= MIS bound" ~count:200 TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let mis = (Mis_bound.compute m).Mis_bound.bound in
+      (L.Dual_ascent.run m).L.Dual_ascent.value >= float_of_int mis -. 1e-6)
+
+let test_dual_ascent_fig1 () =
+  let m = TS.fig1_matrix () in
+  let da = L.Dual_ascent.run m in
+  check "dual feasible" true (L.Relax.dual_feasible m da.L.Dual_ascent.m);
+  check "beats MIS" true (da.L.Dual_ascent.value >= 2. -. 1e-9)
+
+let prop_uniform_dual_integer_rounds_to_independent_set =
+  (* under uniform costs an integer dual solution is an independent set;
+     dual ascent with uniform costs produces 0/1 values *)
+  QCheck.Test.make ~name:"uniform costs: dual ascent is 0/1" ~count:150 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed ~uniform:true seed in
+      let da = L.Dual_ascent.run m in
+      Array.for_all
+        (fun v -> Float.abs v < 1e-9 || Float.abs (v -. 1.) < 1e-9)
+        da.L.Dual_ascent.m)
+
+(* ------------------------------------------------------------------ *)
+(* Lagrangian greedy                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lag_greedy_feasible =
+  QCheck.Test.make ~name:"lagrangian greedy covers" ~count:150 TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let da = L.Dual_ascent.run m in
+      let rc = L.Relax.lagrangian_costs m da.L.Dual_ascent.m in
+      List.for_all
+        (fun rule ->
+          let sol = L.Lag_greedy.run ~rule m ~reduced_costs:rc in
+          Matrix.covers m sol)
+        Greedy.all_rules)
+
+(* ------------------------------------------------------------------ *)
+(* Subgradient                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_subgradient_bounds_bracket_optimum =
+  QCheck.Test.make ~name:"subgradient: LB <= opt <= incumbent" ~count:100 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let opt = optimum m in
+      let sg = L.Subgradient.run m in
+      Matrix.covers m sg.L.Subgradient.best_solution
+      && sg.L.Subgradient.best_cost >= opt
+      && sg.L.Subgradient.lower_bound <= float_of_int opt +. 1e-6)
+
+let prop_subgradient_beats_dual_ascent =
+  (* Proposition 1: a properly initialised Lagrangian bound dominates the
+     dual-ascent bound (it starts there and only improves) *)
+  QCheck.Test.make ~name:"subgradient LB >= dual ascent LB" ~count:100 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let da = (L.Dual_ascent.run m).L.Dual_ascent.value in
+      let sg = L.Subgradient.run m in
+      sg.L.Subgradient.lower_bound >= da -. 1e-6)
+
+let prop_subgradient_proof_is_sound =
+  QCheck.Test.make ~name:"proven_optimal implies truly optimal" ~count:100 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let sg = L.Subgradient.run m in
+      (not sg.L.Subgradient.proven_optimal) || sg.L.Subgradient.best_cost = optimum m)
+
+let test_subgradient_c5 () =
+  (* C5: LP bound 2.5 → ⌈LB⌉ = 3 = optimum; subgradient should prove it *)
+  let m = TS.c5_matrix () in
+  let sg = L.Subgradient.run m in
+  Alcotest.(check int) "optimum 3" 3 sg.L.Subgradient.best_cost;
+  check "lb reaches 2.5-ish" true (sg.L.Subgradient.lower_bound > 2.0);
+  check "proven" true sg.L.Subgradient.proven_optimal
+
+let test_subgradient_fig1_hierarchy () =
+  (* the full Figure-1 story: MIS=1 < DA=2 <= Lagrangian LB <= 2.5 < OPT=3 *)
+  let m = TS.fig1_matrix () in
+  let mis = (Mis_bound.compute m).Mis_bound.bound in
+  let da = (L.Dual_ascent.run m).L.Dual_ascent.value in
+  let sg = L.Subgradient.run m in
+  Alcotest.(check int) "MIS 1" 1 mis;
+  check "DA >= 2" true (da >= 2. -. 1e-9);
+  check "LB >= DA" true (sg.L.Subgradient.lower_bound >= da -. 1e-6);
+  check "LB <= 2.5" true (sg.L.Subgradient.lower_bound <= 2.5 +. 1e-6);
+  Alcotest.(check int) "optimum 3" 3 sg.L.Subgradient.best_cost
+
+let test_subgradient_empty () =
+  let m = Matrix.create ~n_cols:2 [] in
+  let sg = L.Subgradient.run m in
+  Alcotest.(check int) "cost 0" 0 sg.L.Subgradient.best_cost;
+  check "proven" true sg.L.Subgradient.proven_optimal
+
+(* ------------------------------------------------------------------ *)
+(* Exact LP relaxation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_known_values () =
+  let lp m = (L.Lp.solve m).L.Lp.value in
+  Alcotest.(check (float 1e-6)) "c5" 2.5 (lp (TS.c5_matrix ()));
+  Alcotest.(check (float 1e-6)) "fig1" 2.5 (lp (TS.fig1_matrix ()));
+  (* a totally unimodular instance: LP = IP *)
+  let interval = Matrix.create ~n_cols:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2 ] ] in
+  Alcotest.(check (float 1e-6)) "interval" 2. (lp interval)
+
+let prop_lp_certificate =
+  QCheck.Test.make ~name:"LP solution carries a valid certificate" ~count:150
+    TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      L.Lp.check m (L.Lp.solve m))
+
+let prop_proposition1_chain =
+  (* the full bound hierarchy: MIS <= DA <= subgradient LB <= LP <= OPT *)
+  QCheck.Test.make ~name:"Proposition 1: MIS <= DA <= SG <= LP <= OPT" ~count:80
+    TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let mis = float_of_int (Mis_bound.compute m).Mis_bound.bound in
+      let da = (L.Dual_ascent.run m).L.Dual_ascent.value in
+      let sg = (L.Subgradient.run m).L.Subgradient.lower_bound in
+      let lp = (L.Lp.solve m).L.Lp.value in
+      let opt = float_of_int (optimum m) in
+      mis <= da +. 1e-6 && da <= lp +. 1e-6 && sg <= lp +. 1e-6 && lp <= opt +. 1e-6)
+
+let prop_lp_dual_is_valid_multiplier =
+  (* any optimal dual is an optimal Lagrangian multiplier vector (§3.3) *)
+  QCheck.Test.make ~name:"LP dual evaluates to the LP value as lambda" ~count:80
+    TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let r = L.Lp.solve m in
+      let clipped = Array.map (fun x -> Float.max x 0.) r.L.Lp.dual in
+      let ev = L.Relax.evaluate m clipped in
+      Float.abs (ev.L.Relax.value -. r.L.Lp.value) < 1e-6)
+
+let prop_lp_empty_matrix () =
+  let m = Matrix.create ~n_cols:3 [] in
+  Alcotest.(check (float 0.)) "empty LP" 0. (L.Lp.solve m).L.Lp.value
+
+(* ------------------------------------------------------------------ *)
+(* Pricing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pricing_bounds_valid =
+  QCheck.Test.make ~name:"pricing: LB and incumbent bracket the optimum" ~count:60
+    TS.arb_seed (fun seed ->
+      let m = TS.medium_matrix_of_seed seed in
+      let out = L.Pricing.run m in
+      let e = Exact.solve m in
+      Matrix.covers m out.L.Subgradient.best_solution
+      && ((not e.Exact.optimal)
+         || (out.L.Subgradient.best_cost >= e.Exact.cost
+            && out.L.Subgradient.lower_bound <= float_of_int e.Exact.cost +. 1e-6)))
+
+let prop_pricing_close_to_plain =
+  (* the priced bound must not collapse: within 10% of the full-matrix
+     subgradient bound on these sizes *)
+  QCheck.Test.make ~name:"pricing bound close to the full bound" ~count:30 TS.arb_seed
+    (fun seed ->
+      let m = TS.medium_matrix_of_seed seed in
+      let plain = (L.Subgradient.run m).L.Subgradient.lower_bound in
+      let priced = (L.Pricing.run m).L.Subgradient.lower_bound in
+      priced >= (0.9 *. plain) -. 1e-6)
+
+let test_pricing_empty () =
+  let m = Matrix.create ~n_cols:2 [] in
+  Alcotest.(check int) "cost 0" 0 (L.Pricing.run m).L.Subgradient.best_cost
+
+(* ------------------------------------------------------------------ *)
+(* Penalties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Oracle check: a forced-in column belongs to some optimal solution
+   whenever the incumbent is beatable; a forced-out column is absent from
+   every solution strictly better than z_best.  We verify the contrapositive
+   with brute force: removing a forced-in column may not allow a solution
+   cheaper than z_best; forcing a forced-out column in may not either. *)
+let penalties_sound m z_best (o : L.Penalties.outcome) =
+  let n = Matrix.n_cols m in
+  let all_covers =
+    (* enumerate all covers with cost < z_best *)
+    let acc = ref [] in
+    for mask = 0 to (1 lsl n) - 1 do
+      let cols = List.filter (fun j -> mask land (1 lsl j) <> 0) (List.init n Fun.id) in
+      if Matrix.cost_of m cols < z_best && Matrix.covers m cols then acc := cols :: !acc
+    done;
+    !acc
+  in
+  List.for_all
+    (fun j -> List.for_all (fun sol -> List.mem j sol) all_covers)
+    o.L.Penalties.forced_in
+  && List.for_all
+       (fun j -> List.for_all (fun sol -> not (List.mem j sol)) all_covers)
+       o.L.Penalties.forced_out
+
+let prop_lagrangian_penalties_sound =
+  QCheck.Test.make ~name:"lagrangian penalties are sound" ~count:150 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let sg = L.Subgradient.run m in
+      let z_best = sg.L.Subgradient.best_cost in
+      let o =
+        L.Penalties.lagrangian m ~lp_value:sg.L.Subgradient.lower_bound
+          ~reduced_costs:sg.L.Subgradient.reduced_costs ~z_best
+      in
+      penalties_sound m z_best o)
+
+let prop_dual_penalties_sound =
+  QCheck.Test.make ~name:"dual penalties are sound" ~count:100 TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let z_best = optimum m + 1 in
+      let o = L.Penalties.dual m ~z_best in
+      penalties_sound m z_best o)
+
+let test_penalties_apply () =
+  let m = TS.fig1_matrix () in
+  (* cook an outcome by hand: force col 5 out, col 0 in *)
+  let o = { L.Penalties.forced_in = [ 0 ]; forced_out = [ 5 ] } in
+  match L.Penalties.apply m o with
+  | None -> Alcotest.fail "expected feasible reduction"
+  | Some (m', ids) ->
+    Alcotest.(check (list int)) "ids" [ 0 ] ids;
+    check "rows shrank" true (Matrix.n_rows m' < Matrix.n_rows m);
+    check "col 5 gone" true (Matrix.col_index_of_id m' 5 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Fixing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixing_sigma_and_pick () =
+  let m = TS.c5_matrix () in
+  let rc = [| 0.5; 0.1; 0.9; 0.2; 0.7 |] in
+  let mu = [| 0.9; 0.1; 0.0; 0.8; 0.3 |] in
+  let sigma = L.Fixing.sigma ~reduced_costs:rc ~mu () in
+  (* σ = c̃ − 2μ *)
+  Alcotest.(check (float 1e-9)) "sigma0" (-1.3) sigma.(0);
+  let best = L.Fixing.best_columns ~sigma ~k:2 in
+  Alcotest.(check (list int)) "two best" [ 3; 0 ] best;
+  let j = L.Fixing.pick ~best_cols:1 ~rand:(fun _ -> 0) m ~reduced_costs:rc ~mu in
+  Alcotest.(check int) "deterministic pick" 3 j
+
+let test_fixing_promising () =
+  let m = TS.c5_matrix () in
+  let rc = [| 0.0005; 0.5; -0.2; 0.001; 0.002 |] in
+  let mu = [| 1.0; 1.0; 0.9995; 0.5; 1.0 |] in
+  let p = L.Fixing.promising m ~reduced_costs:rc ~mu in
+  Alcotest.(check (list int)) "promising" [ 0; 2 ] p
+
+let () =
+  Alcotest.run "lagrangian"
+    [
+      ( "relax",
+        [
+          Alcotest.test_case "zero multipliers" `Quick test_relax_zero_multipliers;
+          Alcotest.test_case "value formula" `Quick test_relax_value_formula;
+          QCheck_alcotest.to_alcotest prop_lagrangian_value_is_lower_bound;
+          QCheck_alcotest.to_alcotest prop_dual_feasible_value_equals_lagrangian;
+        ] );
+      ( "dual ascent",
+        [
+          QCheck_alcotest.to_alcotest prop_dual_ascent_feasible;
+          QCheck_alcotest.to_alcotest prop_dual_ascent_bound;
+          QCheck_alcotest.to_alcotest prop_dual_ascent_dominates_mis;
+          Alcotest.test_case "fig1" `Quick test_dual_ascent_fig1;
+          QCheck_alcotest.to_alcotest prop_uniform_dual_integer_rounds_to_independent_set;
+        ] );
+      ("lag greedy", [ QCheck_alcotest.to_alcotest prop_lag_greedy_feasible ]);
+      ( "subgradient",
+        [
+          QCheck_alcotest.to_alcotest prop_subgradient_bounds_bracket_optimum;
+          QCheck_alcotest.to_alcotest prop_subgradient_beats_dual_ascent;
+          QCheck_alcotest.to_alcotest prop_subgradient_proof_is_sound;
+          Alcotest.test_case "c5" `Quick test_subgradient_c5;
+          Alcotest.test_case "fig1 hierarchy" `Quick test_subgradient_fig1_hierarchy;
+          Alcotest.test_case "empty" `Quick test_subgradient_empty;
+        ] );
+      ( "lp",
+        [
+          Alcotest.test_case "known values" `Quick test_lp_known_values;
+          QCheck_alcotest.to_alcotest prop_lp_certificate;
+          QCheck_alcotest.to_alcotest prop_proposition1_chain;
+          QCheck_alcotest.to_alcotest prop_lp_dual_is_valid_multiplier;
+          Alcotest.test_case "empty matrix" `Quick prop_lp_empty_matrix;
+        ] );
+      ( "pricing",
+        [
+          QCheck_alcotest.to_alcotest prop_pricing_bounds_valid;
+          QCheck_alcotest.to_alcotest prop_pricing_close_to_plain;
+          Alcotest.test_case "empty" `Quick test_pricing_empty;
+        ] );
+      ( "penalties",
+        [
+          QCheck_alcotest.to_alcotest prop_lagrangian_penalties_sound;
+          QCheck_alcotest.to_alcotest prop_dual_penalties_sound;
+          Alcotest.test_case "apply" `Quick test_penalties_apply;
+        ] );
+      ( "fixing",
+        [
+          Alcotest.test_case "sigma and pick" `Quick test_fixing_sigma_and_pick;
+          Alcotest.test_case "promising" `Quick test_fixing_promising;
+        ] );
+    ]

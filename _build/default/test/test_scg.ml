@@ -1,0 +1,212 @@
+(* End-to-end tests for the ZDD_SCG solver: feasibility and bound
+   soundness on random matrices (exact solver as oracle), optimality on
+   structured instances, and the PLA → primes → covering → solution
+   pipeline. *)
+
+open Covering
+module TS = Test_support
+
+let check = Alcotest.(check bool)
+
+let optimum m = Matrix.cost_of m (Exact.brute_force m)
+
+let fast_config =
+  {
+    Scg.Config.default with
+    Scg.Config.num_iter = 3;
+    subgradient = { Lagrangian.Subgradient.default_config with max_steps = 120 };
+  }
+
+let prop_scg_feasible_and_bracketed =
+  QCheck.Test.make ~name:"scg: cover, LB <= opt <= cost" ~count:80 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let opt = optimum m in
+      let r = Scg.solve ~config:fast_config m in
+      Matrix.covers m r.Scg.solution
+      && Matrix.cost_of m r.Scg.solution = r.Scg.cost
+      && r.Scg.cost >= opt
+      && r.Scg.lower_bound <= opt)
+
+let prop_scg_proof_sound =
+  QCheck.Test.make ~name:"scg: proven_optimal implies optimal" ~count:80 TS.arb_seed
+    (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let r = Scg.solve ~config:fast_config m in
+      (not r.Scg.proven_optimal) || r.Scg.cost = optimum m)
+
+let prop_scg_hits_optimum_small =
+  (* on these tiny instances the heuristic should essentially always land
+     on the optimum (the paper's experience on the easy set) *)
+  QCheck.Test.make ~name:"scg finds the optimum on small instances" ~count:60
+    TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed seed in
+      let r = Scg.solve ~config:fast_config m in
+      r.Scg.cost = optimum m)
+
+let prop_scg_uniform =
+  QCheck.Test.make ~name:"scg on uniform costs" ~count:60 TS.arb_seed (fun seed ->
+      let m = TS.small_matrix_of_seed ~uniform:true seed in
+      let r = Scg.solve ~config:fast_config m in
+      Matrix.covers m r.Scg.solution && r.Scg.cost >= optimum m)
+
+let test_scg_c5 () =
+  let r = Scg.solve (TS.c5_matrix ()) in
+  Alcotest.(check int) "cost 3" 3 r.Scg.cost;
+  check "proven" true r.Scg.proven_optimal;
+  Alcotest.(check int) "lb 3" 3 r.Scg.lower_bound
+
+let test_scg_fig1 () =
+  let r = Scg.solve (TS.fig1_matrix ()) in
+  Alcotest.(check int) "cost 3" 3 r.Scg.cost;
+  check "proven" true r.Scg.proven_optimal
+
+let test_scg_fully_reducible () =
+  (* reductions alone solve it; no subgradient phase should be needed *)
+  let m = Matrix.create ~n_cols:3 [ [ 2 ]; [ 1; 2 ]; [ 0; 1 ] ] in
+  let r = Scg.solve m in
+  check "proven" true r.Scg.proven_optimal;
+  Alcotest.(check int) "no iterations" 0 r.Scg.stats.Scg.Stats.iterations
+
+let test_scg_partitioned_core () =
+  (* two disjoint odd cycles: componentwise bounds compose — each block
+     proves ceil(2.5) = 3, so the total 6 is proven even though the joint
+     LP bound (5) would not reach it *)
+  let rows5 base = List.init 5 (fun i -> [ base + i; base + ((i + 1) mod 5) ]) in
+  let m = Matrix.create ~n_cols:10 (rows5 0 @ rows5 5) in
+  let r = Scg.solve m in
+  Alcotest.(check int) "cost 6" 6 r.Scg.cost;
+  Alcotest.(check int) "lb 6" 6 r.Scg.lower_bound;
+  check "proven via partitioning" true r.Scg.proven_optimal
+
+let test_scg_deterministic () =
+  let m = TS.medium_matrix_of_seed 77 in
+  let r1 = Scg.solve m and r2 = Scg.solve m in
+  Alcotest.(check int) "same cost" r1.Scg.cost r2.Scg.cost;
+  Alcotest.(check (list int)) "same solution" r1.Scg.solution r2.Scg.solution;
+  let other_seed = { Scg.Config.default with Scg.Config.seed = 999 } in
+  let r3 = Scg.solve ~config:other_seed m in
+  check "other seed still feasible" true (Matrix.covers m r3.Scg.solution)
+
+let test_scg_medium_vs_exact () =
+  List.iter
+    (fun seed ->
+      let m = TS.medium_matrix_of_seed seed in
+      let e = Exact.solve m in
+      let r = Scg.solve m in
+      check "feasible" true (Matrix.covers m r.Scg.solution);
+      check "lb sound" true (r.Scg.lower_bound <= e.Exact.cost);
+      (* heuristic stays close: within one unit on these sizes *)
+      check "near optimal" true (r.Scg.cost <= e.Exact.cost + 1))
+    [ 11; 23; 37; 58; 71 ]
+
+let test_scg_unused_columns () =
+  (* columns covering nothing must be ignored, not crash anything *)
+  let m = Matrix.create ~n_cols:6 [ [ 0; 1 ]; [ 1; 5 ] ] in
+  (* columns 2, 3, 4 cover no row *)
+  let r = Scg.solve m in
+  check "covers" true (Matrix.covers m r.Scg.solution);
+  Alcotest.(check int) "cost 1" 1 r.Scg.cost;
+  check "proven" true r.Scg.proven_optimal
+
+let test_scg_single_row () =
+  let m = Matrix.create ~cost:[| 5; 2; 9 |] ~n_cols:3 [ [ 0; 1; 2 ] ] in
+  let r = Scg.solve m in
+  Alcotest.(check (list int)) "cheapest column" [ 1 ] r.Scg.solution;
+  Alcotest.(check int) "cost 2" 2 r.Scg.cost
+
+let test_scg_rejects_reindexed () =
+  let m = TS.small_matrix_of_seed 3 in
+  let sub =
+    Matrix.submatrix m
+      ~keep_rows:(Array.make (Matrix.n_rows m) true)
+      ~keep_cols:(Array.init (Matrix.n_cols m) (fun j -> j <> 0))
+  in
+  match Scg.solve sub with
+  | exception Invalid_argument _ -> ()
+  | _ ->
+    (* only fails if column 0 covered nothing; then ids are still 0.. *)
+    check "ok" true true
+
+(* ------------------------------------------------------------------ *)
+(* Logic pipeline                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_scg_logic_pipeline () =
+  (* f = majority(x0,x1,x2): minimal SOP is 3 products *)
+  let on =
+    Logic.Cover.of_cubes 3
+      [
+        Logic.Cube.of_string "11-";
+        Logic.Cube.of_string "1-1";
+        Logic.Cube.of_string "-11";
+      ]
+  in
+  let r, bridge = Scg.solve_logic ~on ~dc:(Logic.Cover.empty 3) () in
+  Alcotest.(check int) "three products" 3 r.Scg.cost;
+  check "proven" true r.Scg.proven_optimal;
+  let cover = From_logic.cover_of_solution bridge r.Scg.solution in
+  check "semantics" true (Logic.Cover.equal_semantics cover on)
+
+let test_scg_pla_pipeline () =
+  let pla =
+    Logic.Pla.parse ".i 4\n.o 1\n.type fd\n1111 1\n0000 1\n11-- -\n--11 -\n.e\n"
+  in
+  let r, bridge = Scg.solve_pla pla ~output:0 in
+  check "feasible" true
+    (From_logic.verify_solution bridge r.Scg.solution);
+  check "at most 2 products" true (r.Scg.cost <= 2)
+
+let test_scg_implicit_pipeline () =
+  (* 28 inputs — impossible for the minterm-expansion path *)
+  let n = 28 in
+  let on =
+    Logic.Cover.of_cubes n
+      [
+        Logic.Cube.of_literals n [ (0, true); (5, true) ];
+        Logic.Cube.of_literals n [ (0, false); (9, true) ];
+        Logic.Cube.of_literals n [ (5, true); (9, true) ];
+      ]
+  in
+  let r, bridge = Scg.solve_logic_implicit ~on ~dc:(Logic.Cover.empty n) () in
+  Alcotest.(check int) "two products" 2 r.Scg.cost;
+  check "proven" true r.Scg.proven_optimal;
+  check "verified by BDD" true (From_logic.verify_implicit bridge r.Scg.solution)
+
+let test_scg_xor_pipeline () =
+  (* xor of 3 variables: every minterm is its own prime → cost 4 *)
+  let cubes =
+    [ "001"; "010"; "100"; "111" ] |> List.map Logic.Cube.of_string
+  in
+  let on = Logic.Cover.of_cubes 3 cubes in
+  let r, _ = Scg.solve_logic ~on ~dc:(Logic.Cover.empty 3) () in
+  Alcotest.(check int) "four products" 4 r.Scg.cost;
+  check "proven" true r.Scg.proven_optimal
+
+let () =
+  Alcotest.run "scg"
+    [
+      ( "matrix solving",
+        [
+          QCheck_alcotest.to_alcotest prop_scg_feasible_and_bracketed;
+          QCheck_alcotest.to_alcotest prop_scg_proof_sound;
+          QCheck_alcotest.to_alcotest prop_scg_hits_optimum_small;
+          QCheck_alcotest.to_alcotest prop_scg_uniform;
+          Alcotest.test_case "c5" `Quick test_scg_c5;
+          Alcotest.test_case "fig1" `Quick test_scg_fig1;
+          Alcotest.test_case "fully reducible" `Quick test_scg_fully_reducible;
+          Alcotest.test_case "partitioned core" `Quick test_scg_partitioned_core;
+          Alcotest.test_case "deterministic" `Quick test_scg_deterministic;
+          Alcotest.test_case "medium vs exact" `Slow test_scg_medium_vs_exact;
+          Alcotest.test_case "reindex guard" `Quick test_scg_rejects_reindexed;
+          Alcotest.test_case "unused columns" `Quick test_scg_unused_columns;
+          Alcotest.test_case "single row" `Quick test_scg_single_row;
+        ] );
+      ( "logic pipeline",
+        [
+          Alcotest.test_case "majority" `Quick test_scg_logic_pipeline;
+          Alcotest.test_case "pla" `Quick test_scg_pla_pipeline;
+          Alcotest.test_case "xor3" `Quick test_scg_xor_pipeline;
+          Alcotest.test_case "implicit wide" `Quick test_scg_implicit_pipeline;
+        ] );
+    ]
