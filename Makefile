@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke doc examples clean
 
 all: build
 
@@ -19,6 +19,12 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --table fig1 --table 1 --table 3
+
+# tight-budget sanity sweep: the easy aggregate plus the reduction-engine
+# comparison (legacy vs incremental), leaving BENCH_reduce.json behind
+bench-smoke:
+	dune exec bench/main.exe -- --table easy --table reduce --reduce-reps 5 \
+	  --reduce-json BENCH_reduce.json
 
 doc:
 	dune build @doc

@@ -473,6 +473,256 @@ let run_pricing () =
   hline 86
 
 (* ------------------------------------------------------------------ *)
+(* Reduction engines head to head (legacy passes vs incremental)      *)
+(* ------------------------------------------------------------------ *)
+
+(* The two workloads of Reduce in the solver: one cyclic-core extraction
+   from the raw matrix, and the re-reduction after every descent commit.
+   The replay reproduces the latter deterministically — fix the
+   best-covering column, drop its rows, re-reduce, repeat until empty.
+   The legacy path pays a full submatrix rebuild plus a from-scratch
+   reduction per commit; the incremental path keeps one persistent
+   engine and commits in place, which is the point of the design. *)
+
+let matrices_identical a b =
+  Matrix.n_rows a = Matrix.n_rows b
+  && Matrix.n_cols a = Matrix.n_cols b
+  && (let ok = ref true in
+      for i = 0 to Matrix.n_rows a - 1 do
+        if Matrix.row_id a i <> Matrix.row_id b i || Matrix.row a i <> Matrix.row b i
+        then ok := false
+      done;
+      for j = 0 to Matrix.n_cols a - 1 do
+        if
+          Matrix.col_id a j <> Matrix.col_id b j
+          || Matrix.cost a j <> Matrix.cost b j
+          || Matrix.col a j <> Matrix.col b j
+        then ok := false
+      done;
+      !ok)
+
+let core_fingerprint m =
+  Hashtbl.hash
+    ( Matrix.n_rows m,
+      Matrix.n_cols m,
+      Array.init (Matrix.n_rows m) (fun i -> (Matrix.row_id m i, Matrix.row m i)),
+      Array.init (Matrix.n_cols m) (fun j -> (Matrix.col_id m j, Matrix.cost m j)) )
+
+(* One descent replay: returns (per-step fingerprints, total fixed
+   cost) so runs of the two engines can be cross-checked.  [verify]
+   false skips the fingerprinting, leaving only the genuine workflow —
+   that is what the timing loops run. *)
+let descent_replay ~reduce ~verify m0 =
+  let fps = ref [] and fixed = ref 0 in
+  let rec go m =
+    if not (Matrix.is_empty m) then begin
+      (* deterministic stand-in for the Lagrangian fixing step: commit
+         the column covering the most rows (ties: cheaper, then lower) *)
+      let best = ref 0 in
+      for j = 1 to Matrix.n_cols m - 1 do
+        let lj = Array.length (Matrix.col m j)
+        and lb = Array.length (Matrix.col m !best) in
+        if
+          lj > lb
+          || (lj = lb && Matrix.cost m j < Matrix.cost m !best)
+        then best := j
+      done;
+      let j = !best in
+      let keep_cols = Array.init (Matrix.n_cols m) (fun k -> k <> j) in
+      let keep_rows = Array.make (Matrix.n_rows m) true in
+      Array.iter (fun i -> keep_rows.(i) <- false) (Matrix.col m j);
+      let m' = Matrix.submatrix m ~keep_rows ~keep_cols in
+      if not (Matrix.is_empty m') then begin
+        let red = reduce ~gimpel:false m' in
+        fixed := !fixed + red.Covering.Reduce.fixed_cost;
+        if verify then fps := core_fingerprint red.Covering.Reduce.core :: !fps;
+        go red.Covering.Reduce.core
+      end
+    end
+  in
+  go m0;
+  (!fps, !fixed)
+
+(* Same walk on the persistent engine: one conversion up front, then
+   in-place commits — the column choice sees the same lengths and costs
+   in the same order, so both replays fix the same columns. *)
+let descent_replay_engine ~verify core =
+  let e = Covering.Reduce2.engine ~gimpel:false (Covering.Sparse.of_matrix core) in
+  let s = Covering.Reduce2.sparse e in
+  let fps = ref [] in
+  let rec go () =
+    if Covering.Sparse.rows_alive s > 0 then begin
+      let best = ref (-1) in
+      for j = 0 to Covering.Sparse.n_cols s - 1 do
+        if Covering.Sparse.col_alive s j then
+          if !best < 0 then best := j
+          else begin
+            let lj = Covering.Sparse.col_len s j
+            and lb = Covering.Sparse.col_len s !best in
+            if
+              lj > lb
+              || (lj = lb && Covering.Sparse.cost s j < Covering.Sparse.cost s !best)
+            then best := j
+          end
+      done;
+      let j = !best in
+      Covering.Reduce2.commit_col e j;
+      if Covering.Sparse.rows_alive s > 0 then begin
+        Covering.Reduce2.run e;
+        if verify then
+          fps := core_fingerprint (Covering.Sparse.to_matrix s) :: !fps;
+        go ()
+      end
+    end
+  in
+  go ();
+  (!fps, Covering.Reduce2.fixed_cost e)
+
+(* batched best-of-3 timing: single runs sit at the clock's granularity
+   on the small instances, so average [reps] runs per sample *)
+let time_reps ~reps f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    let t = (Sys.time () -. t0) /. float_of_int reps in
+    if t < !best then best := t
+  done;
+  !best
+
+let run_reduce ~reps ~json_path () =
+  pr "@.== Reduction engines — legacy passes vs incremental worklist ==@.";
+  pr "initial = one cyclic-core extraction; descent = re-reduction after@.";
+  pr "each commit of a full greedy descent (reduction calls only, best of %d)@." reps;
+  hline 92;
+  pr "%-10s | %9s %9s %7s | %5s %9s %9s %7s | %7s@." "name" "init-old" "init-new"
+    "ratio" "steps" "desc-old" "desc-new" "ratio" "total";
+  hline 92;
+  let rows = ref [] in
+  let all_ok = ref true in
+  List.iter
+    (fun inst ->
+      let m = Registry.matrix inst in
+      (* correctness first: cores, traces and fixed costs must coincide *)
+      let legacy = Covering.Reduce.cyclic_core ~gimpel:true m in
+      let incr = Covering.Reduce2.cyclic_core ~gimpel:true m in
+      let identical =
+        matrices_identical legacy.Covering.Reduce.core incr.Covering.Reduce.core
+        && legacy.Covering.Reduce.fixed_cost = incr.Covering.Reduce.fixed_cost
+      in
+      let t_init_old =
+        time_reps ~reps (fun () -> ignore (Covering.Reduce.cyclic_core ~gimpel:true m))
+      in
+      let t_init_new =
+        time_reps ~reps (fun () -> ignore (Covering.Reduce2.cyclic_core ~gimpel:true m))
+      in
+      let core = legacy.Covering.Reduce.core in
+      let legacy_reduce ~gimpel m = Covering.Reduce.cyclic_core ~gimpel m in
+      let fps_old, fixed_old = descent_replay ~reduce:legacy_reduce ~verify:true core in
+      let fps_new, fixed_new = descent_replay_engine ~verify:true core in
+      let identical = identical && fps_old = fps_new && fixed_old = fixed_new in
+      if not identical then all_ok := false;
+      let t_desc_old =
+        time_reps ~reps (fun () ->
+            ignore (descent_replay ~reduce:legacy_reduce ~verify:false core))
+      in
+      let t_desc_new =
+        time_reps ~reps (fun () -> ignore (descent_replay_engine ~verify:false core))
+      in
+      let steps = List.length fps_old in
+      let total_old = t_init_old +. t_desc_old
+      and total_new = t_init_new +. t_desc_new in
+      let ratio a b = if b > 0. then a /. b else Float.nan in
+      pr "%-10s | %9.5f %9.5f %6.2fx | %5d %9.5f %9.5f %6.2fx | %6.2fx%s@."
+        inst.Registry.name t_init_old t_init_new
+        (ratio t_init_old t_init_new)
+        steps t_desc_old t_desc_new
+        (ratio t_desc_old t_desc_new)
+        (ratio total_old total_new)
+        (if identical then "" else "  MISMATCH");
+      csv_emit
+        [
+          "reduce"; inst.Registry.name; "legacy"; string_of_int fixed_old;
+          string_of_bool identical; "";
+          Printf.sprintf "%.6f" total_old;
+          Printf.sprintf "steps=%d" steps;
+        ];
+      csv_emit
+        [
+          "reduce"; inst.Registry.name; "incremental"; string_of_int fixed_new;
+          string_of_bool identical; "";
+          Printf.sprintf "%.6f" total_new;
+          Printf.sprintf "steps=%d" steps;
+        ];
+      rows :=
+        ( inst.Registry.name,
+          Matrix.n_rows m,
+          Matrix.n_cols m,
+          t_init_old,
+          t_init_new,
+          steps,
+          t_desc_old,
+          t_desc_new,
+          identical )
+        :: !rows)
+    (Registry.difficult ());
+  hline 92;
+  let rows = List.rev !rows in
+  let speedups =
+    List.map
+      (fun (_, _, _, io, inw, _, dold, dn, _) -> (io +. dold) /. (inw +. dn))
+      rows
+  in
+  let geomean xs =
+    exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+  in
+  let gm = geomean speedups and mn = List.fold_left min infinity speedups in
+  let sum f = List.fold_left (fun a r -> a +. f r) 0. rows in
+  let agg =
+    sum (fun (_, _, _, io, _, _, d_old, _, _) -> io +. d_old)
+    /. sum (fun (_, _, _, _, inw, _, _, d_new, _) -> inw +. d_new)
+  in
+  pr
+    "total-reduction speedup: suite aggregate %.2fx, geometric mean %.2fx, \
+     minimum %.2fx@."
+    agg gm mn;
+  pr "results %s@."
+    (if !all_ok then "identical on every instance" else "MISMATCHED");
+  (* machine-readable mirror for CI trend tracking *)
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"mode\": \"reduce\",\n  \"suite\": \"difficult\",\n  \"reps\": %d,\n" reps;
+  p "  \"identical_results\": %b,\n" !all_ok;
+  p "  \"aggregate_total_speedup\": %.4f,\n" agg;
+  p "  \"geomean_total_speedup\": %.4f,\n  \"min_total_speedup\": %.4f,\n" gm mn;
+  p "  \"instances\": [\n";
+  List.iteri
+    (fun idx (name, nr, nc, io, inw, steps, d_old, d_new, identical) ->
+      p
+        "    {\"name\": %S, \"rows\": %d, \"cols\": %d, \"identical\": %b,\n\
+        \     \"initial\": {\"legacy_s\": %.6f, \"incremental_s\": %.6f, \
+         \"speedup\": %.4f},\n\
+        \     \"descent\": {\"steps\": %d, \"legacy_s\": %.6f, \"incremental_s\": \
+         %.6f, \"speedup\": %.4f},\n\
+        \     \"total\": {\"legacy_s\": %.6f, \"incremental_s\": %.6f, \"speedup\": \
+         %.4f}}%s\n"
+        name nr nc identical io inw
+        (if inw > 0. then io /. inw else Float.nan)
+        steps d_old d_new
+        (if d_new > 0. then d_old /. d_new else Float.nan)
+        (io +. d_old) (inw +. d_new)
+        ((io +. d_old) /. (inw +. d_new))
+        (if idx = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  pr "wrote %s@." json_path;
+  if not !all_ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -541,8 +791,9 @@ let run_timing () =
 
 let usage () =
   pr
-    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|all] [--verbose] [--timing]@,\
-    \       [--exact-nodes-difficult N] [--exact-nodes-challenging N] [--csv FILE]@.";
+    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|all] [--verbose]@,\
+    \       [--timing] [--exact-nodes-difficult N] [--exact-nodes-challenging N]@,\
+    \       [--csv FILE] [--reduce-reps N] [--reduce-json FILE]@.";
   exit 2
 
 let () =
@@ -552,6 +803,8 @@ let () =
   let nodes_difficult = ref 150_000 in
   let nodes_challenging = ref 30_000 in
   let csv = ref None in
+  let reduce_reps = ref 5 in
+  let reduce_json = ref "BENCH_reduce.json" in
   let rec parse = function
     | [] -> ()
     | "--table" :: t :: rest ->
@@ -572,6 +825,12 @@ let () =
     | "--csv" :: path :: rest ->
       csv := Some path;
       parse rest
+    | "--reduce-reps" :: n :: rest ->
+      reduce_reps := max 1 (int_of_string n);
+      parse rest
+    | "--reduce-json" :: path :: rest ->
+      reduce_json := path;
+      parse rest
     | "--help" :: _ -> usage ()
     | arg :: _ ->
       pr "unknown argument %s@." arg;
@@ -589,6 +848,7 @@ let () =
   if want "3" then run_table3 ~max_nodes:!nodes_difficult ();
   if want "4" then run_table4 ~max_nodes:!nodes_challenging ();
   if want "ablation" then run_ablation ();
+  if want "reduce" then run_reduce ~reps:!reduce_reps ~json_path:!reduce_json ();
   if want "methods" then run_methods ();
   if want "pricing" then run_pricing ();
   if !timing || want "timing" then run_timing ();

@@ -11,6 +11,7 @@ type t = {
   use_gimpel : bool;
   use_penalties : bool;
   warm_start : bool;
+  incremental_reduce : bool;
   seed : int;
   subgradient : Lagrangian.Subgradient.config;
 }
@@ -29,6 +30,7 @@ let default =
     use_gimpel = true;
     use_penalties = true;
     warm_start = true;
+    incremental_reduce = true;
     seed = 0x5C6;
     subgradient = Lagrangian.Subgradient.default_config;
   }
@@ -36,6 +38,7 @@ let default =
 let pp ppf c =
   Fmt.pf ppf
     "@[<v>MaxR=%d NumIter=%d BestCol=%d+%d DualPen=%d alpha=%g c_hat=%g mu_hat=%g \
-     gimpel=%b seed=%d@]"
+     gimpel=%b incremental=%b seed=%d@]"
     c.max_rows_implicit c.num_iter c.best_col_start c.best_col_growth
-    c.dual_pen_max_cols c.alpha c.c_hat c.mu_hat c.use_gimpel c.seed
+    c.dual_pen_max_cols c.alpha c.c_hat c.mu_hat c.use_gimpel c.incremental_reduce
+    c.seed

@@ -2,6 +2,7 @@ module Config = Config
 module Stats = Stats
 module Matrix = Covering.Matrix
 module Reduce = Covering.Reduce
+module Reduce2 = Covering.Reduce2
 module Implicit = Covering.Implicit
 module Subgradient = Lagrangian.Subgradient
 module Penalties = Lagrangian.Penalties
@@ -20,6 +21,12 @@ type result = {
 }
 
 let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
+
+(* Both engines compute the same cyclic core (see test_reduce2); the flag
+   keeps the legacy pass-based loop reachable for differential runs. *)
+let cyclic_core ~(config : Config.t) ~gimpel m =
+  if config.Config.incremental_reduce then Reduce2.cyclic_core ~gimpel m
+  else Reduce.cyclic_core ~gimpel m
 
 (* Multiplier memory across subproblems, keyed by original row/column
    identifiers (§3.2: warm-start λ from the previous problem). *)
@@ -134,17 +141,19 @@ let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
           List.sort_uniq Stdlib.compare
             (pen_lag.Penalties.forced_out @ pen_dual.Penalties.forced_out)
         in
+        let out_mask = Array.make (Matrix.n_cols m) false in
+        List.iter (fun j -> out_mask.(j) <- true) forced_out;
         let forced_in =
           List.sort_uniq Stdlib.compare
             (pen_lag.Penalties.forced_in @ pen_dual.Penalties.forced_in)
-          |> List.filter (fun j -> not (List.mem j forced_out))
+          |> List.filter (fun j -> not out_mask.(j))
         in
         stats_pen := !stats_pen + List.length forced_in + List.length forced_out;
         (* heuristic fixing (§3.7): promising columns plus one σ-best *)
         let promising =
           Fixing.promising ~c_hat:config.Config.c_hat ~mu_hat:config.Config.mu_hat m
             ~reduced_costs:sg.Subgradient.reduced_costs ~mu:sg.Subgradient.mu
-          |> List.filter (fun j -> not (List.mem j forced_out))
+          |> List.filter (fun j -> not out_mask.(j))
         in
         let fixed = List.sort_uniq Stdlib.compare (forced_in @ promising) in
         let fixed =
@@ -156,7 +165,7 @@ let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
             in
             let candidates =
               Fixing.best_columns ~sigma ~k:(best_cols + List.length forced_out)
-              |> List.filter (fun j -> not (List.mem j forced_out))
+              |> List.filter (fun j -> not out_mask.(j))
             in
             match candidates with
             | [] -> [] (* every column is forced out: path dead *)
@@ -196,7 +205,7 @@ let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
             else begin
               (* explicit reductions to the next stable point; Gimpel is
                  disabled mid-descent so committed identifiers stay real *)
-              let red = Reduce.cyclic_core ~gimpel:false m in
+              let red = cyclic_core ~config ~gimpel:false m in
               let ess_ids = Reduce.lift red.Reduce.trace [] in
               let committed_ids = committed_ids @ ess_ids in
               let committed_cost = committed_cost + red.Reduce.fixed_cost in
@@ -226,7 +235,7 @@ let solve ?(config = Config.default) input =
     List.fold_left (fun acc j -> acc + Matrix.cost input j) 0 essential0
   in
   (* ---- explicit reductions to the exact cyclic core ---- *)
-  let red = Reduce.cyclic_core ~gimpel:config.use_gimpel decoded in
+  let red = cyclic_core ~config ~gimpel:config.use_gimpel decoded in
   let t_core = Sys.time () -. t_start in
   let core = red.Reduce.core in
   let finish ~core_ids ~lb_core_int ~steps ~iterations ~best_iteration ~fixes ~pen =

@@ -1,1 +1,1 @@
-lib/covering/matrix.ml: Array Fmt Fun Hashtbl List Stdlib Zdd
+lib/covering/matrix.ml: Array Fmt Fun Hashtbl Lazy List Stdlib Zdd

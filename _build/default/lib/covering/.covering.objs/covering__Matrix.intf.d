@@ -1,1 +1,1 @@
-lib/covering/matrix.mli: Format Zdd
+lib/covering/matrix.mli: Format Hashtbl Lazy Zdd

@@ -1,0 +1,1 @@
+lib/covering/reduce2.ml: Array List Matrix Queue Reduce Sparse

@@ -1,0 +1,1 @@
+lib/covering/reduce2.mli: Matrix Reduce Sparse

@@ -1,0 +1,1 @@
+lib/covering/sparse.ml: Array List Matrix

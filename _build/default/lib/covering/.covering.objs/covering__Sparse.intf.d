@@ -1,0 +1,1 @@
+lib/covering/sparse.mli: Matrix

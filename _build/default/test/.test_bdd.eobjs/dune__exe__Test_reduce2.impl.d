@@ -1,0 +1,1 @@
+test/test_reduce2.ml: Alcotest Benchsuite Covering Exact List Matrix Printf QCheck QCheck_alcotest Random Reduce Reduce2 Sparse Stdlib Test_support

@@ -6,7 +6,16 @@ type t = {
   cost : int array;
   row_ids : int array;
   col_ids : int array;
+  id_index : (int, int) Hashtbl.t Lazy.t;
 }
+
+(* id -> column index, built on first use; col_ids is never mutated after
+   construction so the table stays valid for the lifetime of the matrix *)
+let id_index_of col_ids =
+  lazy
+    (let tbl = Hashtbl.create (Array.length col_ids) in
+     Array.iteri (fun j id -> Hashtbl.replace tbl id j) col_ids;
+     tbl)
 
 let cols_of_rows n_cols rows =
   let counts = Array.make n_cols 0 in
@@ -48,6 +57,7 @@ let create ?cost ~n_cols row_lists =
          row_lists)
   in
   let n_rows = Array.length rows in
+  let col_ids = Array.init n_cols Fun.id in
   {
     n_rows;
     n_cols;
@@ -55,7 +65,25 @@ let create ?cost ~n_cols row_lists =
     cols = cols_of_rows n_cols rows;
     cost;
     row_ids = Array.init n_rows Fun.id;
-    col_ids = Array.init n_cols Fun.id;
+    col_ids;
+    id_index = id_index_of col_ids;
+  }
+
+let of_parts ~n_cols ~rows ~cost ~row_ids ~col_ids =
+  if
+    Array.length cost <> n_cols
+    || Array.length col_ids <> n_cols
+    || Array.length row_ids <> Array.length rows
+  then invalid_arg "Matrix.of_parts: length mismatch";
+  {
+    n_rows = Array.length rows;
+    n_cols;
+    rows;
+    cols = cols_of_rows n_cols rows;
+    cost;
+    row_ids;
+    col_ids;
+    id_index = id_index_of col_ids;
   }
 
 let of_sets ?cost ~n_cols zdd =
@@ -71,10 +99,7 @@ let cost m j = m.cost.(j)
 let row_id m i = m.row_ids.(i)
 let col_id m j = m.col_ids.(j)
 
-let col_index_of_id m id =
-  let found = ref None in
-  Array.iteri (fun j id' -> if id' = id then found := Some j) m.col_ids;
-  !found
+let col_index_of_id m id = Hashtbl.find_opt (Lazy.force m.id_index) id
 
 let is_empty m = m.n_rows = 0
 let nnz m = Array.fold_left (fun acc r -> acc + Array.length r) 0 m.rows
@@ -120,6 +145,7 @@ let submatrix m ~keep_rows ~keep_cols =
         col_ids'.(col_index.(j)) <- m.col_ids.(j)
       end)
     keep_cols;
+  let col_ids = col_ids' in
   {
     n_rows = Array.length rows;
     n_cols = !n_cols';
@@ -127,7 +153,8 @@ let submatrix m ~keep_rows ~keep_cols =
     cols = cols_of_rows !n_cols' rows;
     cost = cost';
     row_ids = Array.of_list !row_ids';
-    col_ids = col_ids';
+    col_ids;
+    id_index = id_index_of col_ids;
   }
 
 let add_virtual_column m ~cost ~id ~rows =
@@ -137,11 +164,12 @@ let add_virtual_column m ~cost ~id ~rows =
     (fun i -> if i < 0 || i >= m.n_rows then invalid_arg "Matrix.add_virtual_column: row out of range")
     rows;
   let j = m.n_cols in
+  let member = Array.make m.n_rows false in
+  List.iter (fun i -> member.(i) <- true) rows;
   let rows_arr =
-    Array.mapi
-      (fun i r -> if List.mem i rows then Array.append r [| j |] else r)
-      m.rows
+    Array.mapi (fun i r -> if member.(i) then Array.append r [| j |] else r) m.rows
   in
+  let col_ids = Array.append m.col_ids [| id |] in
   {
     n_rows = m.n_rows;
     n_cols = m.n_cols + 1;
@@ -149,7 +177,8 @@ let add_virtual_column m ~cost ~id ~rows =
     cols = cols_of_rows (m.n_cols + 1) rows_arr;
     cost = Array.append m.cost [| cost |];
     row_ids = m.row_ids;
-    col_ids = Array.append m.col_ids [| id |];
+    col_ids;
+    id_index = id_index_of col_ids;
   }
 
 let covers m cols =

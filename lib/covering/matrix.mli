@@ -19,6 +19,8 @@ type t = private {
   cost : int array;  (** per column: positive cost *)
   row_ids : int array;  (** per row: identifier in the original problem *)
   col_ids : int array;  (** per column: identifier in the original problem *)
+  id_index : (int, int) Hashtbl.t Lazy.t;
+      (** lazy inverse of [col_ids], built on the first {!col_index_of_id} *)
 }
 
 val create : ?cost:int array -> n_cols:int -> int list list -> t
@@ -43,6 +45,19 @@ val submatrix : t -> keep_rows:bool array -> keep_cols:bool array -> t
 
 val add_virtual_column : t -> cost:int -> id:int -> rows:int list -> t
 (** Append one column (Gimpel's reduction).  [rows] are row indices. *)
+
+val of_parts :
+  n_cols:int ->
+  rows:int array array ->
+  cost:int array ->
+  row_ids:int array ->
+  col_ids:int array ->
+  t
+(** Assemble a matrix from pre-validated parts, preserving the given
+    identifiers — the bridge used by {!Sparse.to_matrix} to hand a mutable
+    worklist core back as an ordinary immutable matrix.  Each row must be a
+    sorted array of in-range column indices; only array lengths are
+    checked. *)
 
 (** {1 Accessors} *)
 
