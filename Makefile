@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke fault-smoke doc examples clean
 
 all: build
 
@@ -25,6 +25,11 @@ bench-quick:
 bench-smoke:
 	dune exec bench/main.exe -- --table easy --table reduce --reduce-reps 5 \
 	  --reduce-json BENCH_reduce.json
+
+# resource-governor sanity: the fault-injection and typed-failure suites
+# plus the CLI exit-code contract (also part of the default `dune runtest`)
+fault-smoke:
+	dune build @fault-smoke
 
 doc:
 	dune build @doc

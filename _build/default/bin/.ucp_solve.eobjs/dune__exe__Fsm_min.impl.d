@@ -1,1 +1,1 @@
-bin/fsm_min.ml: Arg Cmd Cmdliner Fmt Fsm Logic Scg Term
+bin/fsm_min.ml: Arg Cmd Cmdliner Fmt Fsm Logic Scg Sys Term

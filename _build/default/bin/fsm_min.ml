@@ -13,10 +13,11 @@ let run path max_nodes stats_only synth =
     2
   | Some path ->
     let m =
-      try Fsm.Kiss.parse_file path
-      with Failure msg ->
-        Fmt.epr "%s@." msg;
-        exit 1
+      match Fsm.Kiss.parse_file_result path with
+      | Ok m -> m
+      | Error e ->
+        Fmt.epr "%a@." Logic.Parse_error.pp e;
+        exit (if Sys.file_exists path then 4 else 5)
     in
     let r = Fsm.Minimise.minimise ~max_nodes m in
     Fmt.epr "states: %d -> %d%s (%d branch-and-bound nodes)@."

@@ -1,10 +1,19 @@
 (* ucp_solve — command-line front end.
 
    Solves unate covering problems given as `.ucp` matrix files, `.pla`
-   two-level descriptions, or named instances of the built-in benchmark
-   registry, with a choice of solver: the paper's ZDD_SCG heuristic, the
-   exact branch-and-bound, the Chvátal greedy family, or the espresso-style
-   baseline (PLA inputs only). *)
+   two-level descriptions, OR-Library `.scp`/`.txt` files, or named
+   instances of the built-in benchmark registry, with a choice of solver:
+   the paper's ZDD_SCG heuristic, the exact branch-and-bound, the Chvátal
+   greedy family, or the espresso-style baseline (PLA inputs only).
+
+   Exit codes (see also the man page):
+     0  solved (answer printed)
+     2  usage error: bad flags, unrecognised extension, wrong solver/input mix
+     3  resource budget exhausted — the best feasible answer found is
+        still printed, with its (valid) lower bound
+     4  parse error in an input file
+     5  input file not found or unreadable
+     6  unknown benchmark instance *)
 
 open Cmdliner
 
@@ -20,12 +29,26 @@ type input =
   | From_pla of string
   | From_registry of string
 
+(* distinct failure exits: 5 when the file cannot be opened at all, 4 when
+   it opened but its contents are malformed — the parsers only ever raise
+   [Logic.Parse_error.Parse_error] on bad content *)
+let load_file parse p =
+  if not (Sys.file_exists p) then begin
+    Fmt.epr "ucp_solve: no such file: %s@." p;
+    exit 5
+  end;
+  try parse p with
+  | Logic.Parse_error.Parse_error e ->
+    Fmt.epr "ucp_solve: %a@." Logic.Parse_error.pp e;
+    exit 4
+  | Sys_error msg ->
+    Fmt.epr "ucp_solve: cannot read input: %s@." msg;
+    exit 5
+
 let load_input = function
-  | From_ucp path -> `Matrix (Covering.Instance.parse_file path)
-  | From_orlib path -> `Matrix (Covering.Instance.parse_orlib_file path)
-  | From_pla path ->
-    let pla = Logic.Pla.parse_file path in
-    `Pla pla
+  | From_ucp path -> `Matrix (load_file Covering.Instance.parse_file path)
+  | From_orlib path -> `Matrix (load_file Covering.Instance.parse_orlib_file path)
+  | From_pla path -> `Pla (load_file Logic.Pla.parse_file path)
   | From_registry name -> (
     match Benchsuite.Registry.find name with
     | inst -> (
@@ -34,8 +57,10 @@ let load_input = function
       | Benchsuite.Registry.Two_level spec -> `Spec spec
       | Benchsuite.Registry.Multi_level pla -> `Pla pla)
     | exception Not_found ->
-      Fmt.epr "unknown benchmark instance %S; use --list to enumerate@." name;
-      exit 2)
+      Fmt.epr
+        "ucp_solve: unknown benchmark instance %S (and no such file); use --list@."
+        name;
+      exit 6)
 
 let print_list () =
   List.iter
@@ -44,19 +69,24 @@ let print_list () =
         (Benchsuite.Registry.string_of_category i.Benchsuite.Registry.category))
     (Benchsuite.Registry.all ())
 
-let solve_matrix solver max_nodes m =
+let solve_matrix ~budget solver max_nodes m =
   let n_rows = Covering.Matrix.n_rows m and n_cols = Covering.Matrix.n_cols m in
   Fmt.pr "problem: %d rows x %d cols (density %.3f)@." n_rows n_cols
     (Covering.Matrix.density m);
   match solver with
   | Solver_scg ->
-    let r = Scg.solve m in
-    Fmt.pr "scg: cost %d, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
-      (if r.Scg.proven_optimal then " (proven optimal)" else "");
+    let r = Scg.solve ~budget m in
+    let qualifier =
+      match r.Scg.status with
+      | Scg.Optimal -> " (proven optimal)"
+      | Scg.Feasible -> ""
+      | Scg.Feasible_budget_exhausted _ -> " (budget exhausted)"
+    in
+    Fmt.pr "scg: cost %d, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound qualifier;
     Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Scg.solution;
     Fmt.pr "%a@." Scg.Stats.pp r.Scg.stats
   | Solver_exact ->
-    let r = Covering.Exact.solve ~max_nodes m in
+    let r = Covering.Exact.solve ~budget ~max_nodes m in
     Fmt.pr "exact: cost %d (%s, %d nodes, lower bound %d)@." r.Covering.Exact.cost
       (if r.Covering.Exact.optimal then "optimal" else "node budget exhausted")
       r.Covering.Exact.nodes r.Covering.Exact.lower_bound;
@@ -69,29 +99,30 @@ let solve_matrix solver max_nodes m =
     Fmt.epr "espresso mode needs a two-level input (.pla or a two-level instance)@.";
     exit 2
 
-let solve_spec solver max_nodes (spec : Benchsuite.Plagen.spec) =
+let solve_spec ~budget solver max_nodes (spec : Benchsuite.Plagen.spec) =
   match solver with
   | Solver_espresso ->
-    let strong = Espresso.minimise ~mode:Espresso.Strong ~on:spec.on ~dc:spec.dc () in
-    let normal = Espresso.minimise ~mode:Espresso.Normal ~on:spec.on ~dc:spec.dc () in
-    Fmt.pr "espresso normal: %d products / %d literals (%.2fs)@."
-      normal.Espresso.cost normal.Espresso.literals normal.Espresso.seconds;
-    Fmt.pr "espresso strong: %d products / %d literals (%.2fs)@."
-      strong.Espresso.cost strong.Espresso.literals strong.Espresso.seconds
+    let strong = Espresso.minimise ~budget ~mode:Espresso.Strong ~on:spec.on ~dc:spec.dc () in
+    let normal = Espresso.minimise ~budget ~mode:Espresso.Normal ~on:spec.on ~dc:spec.dc () in
+    let tag (r : Espresso.result) = if r.Espresso.interrupted then " [interrupted]" else "" in
+    Fmt.pr "espresso normal: %d products / %d literals (%.2fs)%s@."
+      normal.Espresso.cost normal.Espresso.literals normal.Espresso.seconds (tag normal);
+    Fmt.pr "espresso strong: %d products / %d literals (%.2fs)%s@."
+      strong.Espresso.cost strong.Espresso.literals strong.Espresso.seconds (tag strong)
   | Solver_scg ->
-    let r, bridge = Scg.solve_logic ~on:spec.on ~dc:spec.dc () in
+    let r, bridge = Scg.solve_logic ~budget ~on:spec.on ~dc:spec.dc () in
     Fmt.pr "scg: %d products, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
       (if r.Scg.proven_optimal then " (proven optimal)" else "");
     let cover = Covering.From_logic.cover_of_solution bridge r.Scg.solution in
     Fmt.pr "@[<v>cover:@,%a@]@." Logic.Cover.pp cover
   | Solver_exact | Solver_greedy ->
     let bridge = Covering.From_logic.build ~on:spec.on ~dc:spec.dc () in
-    solve_matrix solver max_nodes bridge.Covering.From_logic.matrix
+    solve_matrix ~budget solver max_nodes bridge.Covering.From_logic.matrix
 
-let solve_multi solver pla =
+let solve_multi ~budget solver pla =
   match solver with
   | Solver_scg ->
-    let r, bridge = Scg.solve_pla_multi pla in
+    let r, bridge = Scg.solve_pla_multi ~budget pla in
     Fmt.pr "scg (shared products): %d rows, lower bound %d%s@." r.Scg.cost
       r.Scg.lower_bound
       (if r.Scg.proven_optimal then " (proven optimal)" else "");
@@ -99,7 +130,7 @@ let solve_multi solver pla =
     Fmt.pr "%s@." (Logic.Pla.to_string out)
   | Solver_exact ->
     let bridge = Covering.From_logic.build_multi pla in
-    let r = Covering.Exact.solve bridge.Covering.From_logic.mmatrix in
+    let r = Covering.Exact.solve ~budget bridge.Covering.From_logic.mmatrix in
     Fmt.pr "exact (shared products): %d rows (%s, %d nodes)@." r.Covering.Exact.cost
       (if r.Covering.Exact.optimal then "optimal" else "budget exhausted")
       r.Covering.Exact.nodes
@@ -107,7 +138,27 @@ let solve_multi solver pla =
     Fmt.epr "--multi supports the scg and exact solvers@.";
     exit 2
 
-let run list solver input_kind path output multi max_nodes verbose =
+let make_budget timeout zdd_nodes max_steps fault_after fault_site =
+  let fault_site =
+    match fault_site with
+    | None -> None
+    | Some s -> (
+      match Budget.site_of_string s with
+      | Some site -> Some site
+      | None ->
+        Fmt.epr "ucp_solve: unknown --fault-site %S (one of: %a)@." s
+          Fmt.(list ~sep:comma Budget.pp_site)
+          Budget.all_sites;
+        exit 2)
+  in
+  match (timeout, zdd_nodes, max_steps, fault_after) with
+  | None, None, None, None -> Budget.none
+  | _ ->
+    Budget.create ?timeout ?nodes:zdd_nodes ?steps:max_steps ?fault_after
+      ?fault_site ()
+
+let run list solver input_kind path output multi max_nodes timeout zdd_nodes
+    max_steps fault_after fault_site verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning);
@@ -118,6 +169,7 @@ let run list solver input_kind path output multi max_nodes verbose =
       Fmt.epr "no input given; try --list or pass a file / instance name@.";
       2
     | Some p ->
+      let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
       let input =
         match input_kind with
         | `Auto ->
@@ -125,6 +177,15 @@ let run list solver input_kind path output multi max_nodes verbose =
           else if Filename.check_suffix p ".ucp" then From_ucp p
           else if Filename.check_suffix p ".scp" || Filename.check_suffix p ".txt" then
             From_orlib p
+          else if Sys.file_exists p then begin
+            (* a real file with an extension we cannot dispatch on must
+               not silently fall through to the benchmark registry *)
+            Fmt.epr
+              "ucp_solve: %s exists but has no recognised extension \
+               (.pla/.ucp/.scp/.txt); pass --kind@."
+              p;
+            exit 2
+          end
           else From_registry p
         | `Pla -> From_pla p
         | `Ucp -> From_ucp p
@@ -132,9 +193,9 @@ let run list solver input_kind path output multi max_nodes verbose =
         | `Bench -> From_registry p
       in
       (match load_input input with
-      | `Matrix m -> solve_matrix solver max_nodes m
-      | `Spec spec -> solve_spec solver max_nodes spec
-      | `Pla pla when multi -> solve_multi solver pla
+      | `Matrix m -> solve_matrix ~budget solver max_nodes m
+      | `Spec spec -> solve_spec ~budget solver max_nodes spec
+      | `Pla pla when multi -> solve_multi ~budget solver pla
       | `Pla pla ->
         let o = output in
         if o < 0 || o >= pla.Logic.Pla.no then begin
@@ -149,8 +210,14 @@ let run list solver input_kind path output multi max_nodes verbose =
             dc = Logic.Pla.dcset pla o;
           }
         in
-        solve_spec solver max_nodes spec);
-      0
+        solve_spec ~budget solver max_nodes spec);
+      (* the answer above is feasible whatever happened; the exit code
+         records whether the governor cut the run short *)
+      match Budget.tripped budget with
+      | Some trip ->
+        Fmt.epr "ucp_solve: budget exhausted: %s@." (Budget.describe trip);
+        3
+      | None -> 0
 
 let solver_arg =
   let choices =
@@ -179,14 +246,64 @@ let multi_arg =
 let max_nodes_arg =
   Arg.(value & opt int 200_000 & info [ "max-nodes" ] ~doc:"Node budget for the exact solver.")
 
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock deadline.  When it passes, the solver stops at the \
+                 next checkpoint, prints the best feasible answer found with \
+                 its lower bound, and exits with code 3.")
+
+let zdd_nodes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "zdd-nodes" ] ~docv:"N"
+           ~doc:"Budget on reduction/branching work units (implicit ZDD steps, \
+                 explicit worklist steps, branch-and-bound nodes).  Exhaustion \
+                 behaves like --timeout: best answer printed, exit code 3.")
+
+let max_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Budget on subgradient/dual-ascent iterations across the whole \
+                 run.  Exhaustion behaves like --timeout.")
+
+let fault_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fault-after" ] ~docv:"N"
+           ~doc:"Testing aid: trip the resource governor deterministically \
+                 after N checkpoint ticks (at --fault-site if given, else \
+                 anywhere).")
+
+let fault_site_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fault-site" ] ~docv:"SITE"
+           ~doc:"Restrict --fault-after to one checkpoint site: \
+                 $(b,implicit-reduce), $(b,explicit-reduce), $(b,subgradient), \
+                 $(b,dual-ascent), $(b,exact-bb) or $(b,espresso-loop).")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let cmd =
   let doc = "solve unate covering problems (ZDD_SCG reproduction)" in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success (a solution was printed).";
+      Cmd.Exit.info 2
+        ~doc:"on usage errors: bad flags, an existing file with an unrecognised \
+              extension, or a solver/input mismatch.";
+      Cmd.Exit.info 3
+        ~doc:"when a resource budget (--timeout, --zdd-nodes, --max-steps or \
+              --fault-after) was exhausted; the best feasible answer and a \
+              valid lower bound are still printed.";
+      Cmd.Exit.info 4 ~doc:"on a parse error in an input file.";
+      Cmd.Exit.info 5 ~doc:"when an input file does not exist or cannot be read.";
+      Cmd.Exit.info 6 ~doc:"when a benchmark instance name is unknown.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "ucp_solve" ~doc)
+    (Cmd.info "ucp_solve" ~doc ~exits)
     Term.(
       const run $ list_arg $ solver_arg $ kind_arg $ path_arg $ output_arg
-      $ multi_arg $ max_nodes_arg $ verbose_arg)
+      $ multi_arg $ max_nodes_arg $ timeout_arg $ zdd_nodes_arg $ max_steps_arg
+      $ fault_after_arg $ fault_site_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

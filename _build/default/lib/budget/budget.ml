@@ -1,0 +1,146 @@
+type site =
+  | Implicit_reduce
+  | Explicit_reduce
+  | Subgradient
+  | Dual_ascent
+  | Exact_bb
+  | Espresso_loop
+
+let all_sites =
+  [ Implicit_reduce; Explicit_reduce; Subgradient; Dual_ascent; Exact_bb; Espresso_loop ]
+
+let string_of_site = function
+  | Implicit_reduce -> "implicit-reduce"
+  | Explicit_reduce -> "explicit-reduce"
+  | Subgradient -> "subgradient"
+  | Dual_ascent -> "dual-ascent"
+  | Exact_bb -> "exact-bb"
+  | Espresso_loop -> "espresso-loop"
+
+let site_of_string s =
+  List.find_opt (fun site -> string_of_site site = s) all_sites
+
+type reason =
+  | Deadline of float
+  | Node_budget of int
+  | Step_budget of int
+  | Fault_injected of int
+
+type trip = {
+  site : site;
+  reason : reason;
+  tick : int;
+}
+
+(* Limits are immutable; [max_int] / [infinity] mean "no cap", so the hot
+   path needs no option matching. *)
+type limits = {
+  deadline_at : float;  (* absolute, [infinity] = none *)
+  timeout : float;  (* the relative seconds, for reporting *)
+  node_budget : int;
+  step_budget : int;
+  fault_after : int;
+  fault_site : site option;
+  now : unit -> float;
+  check_every : int;
+}
+
+type t = {
+  limits : limits option;  (* [None] = the inactive shared governor *)
+  mutable ticks : int;
+  mutable node_ticks : int;
+  mutable step_ticks : int;
+  mutable fault_ticks : int;
+  mutable trip : trip option;
+}
+
+let none =
+  { limits = None; ticks = 0; node_ticks = 0; step_ticks = 0; fault_ticks = 0; trip = None }
+
+let create ?timeout ?nodes ?steps ?fault_after ?fault_site
+    ?(now = Unix.gettimeofday) ?(check_every = 32) () =
+  if check_every <= 0 then invalid_arg "Budget.create: check_every must be positive";
+  (match timeout with
+  | Some s when s < 0. -> invalid_arg "Budget.create: negative timeout"
+  | _ -> ());
+  let positive name = function
+    | Some n when n <= 0 -> invalid_arg (Printf.sprintf "Budget.create: %s must be positive" name)
+    | Some n -> n
+    | None -> max_int
+  in
+  let limits =
+    {
+      deadline_at = (match timeout with Some s -> now () +. s | None -> infinity);
+      timeout = (match timeout with Some s -> s | None -> infinity);
+      node_budget = positive "nodes" nodes;
+      step_budget = positive "steps" steps;
+      fault_after = positive "fault_after" fault_after;
+      fault_site;
+      now;
+      check_every;
+    }
+  in
+  { limits = Some limits; ticks = 0; node_ticks = 0; step_ticks = 0; fault_ticks = 0; trip = None }
+
+let is_active t = t.limits <> None
+let ticks t = t.ticks
+let tripped t = t.trip
+
+let remaining_seconds t =
+  match t.limits with
+  | Some l when l.deadline_at < infinity -> Some (l.deadline_at -. l.now ())
+  | _ -> None
+
+let tick t site =
+  match t.limits with
+  | None -> false
+  | Some l -> (
+    match t.trip with
+    | Some _ -> true
+    | None ->
+      t.ticks <- t.ticks + 1;
+      let trip reason =
+        t.trip <- Some { site; reason; tick = t.ticks };
+        true
+      in
+      let fault_matches =
+        l.fault_after <> max_int
+        && (match l.fault_site with None -> true | Some s -> s = site)
+      in
+      if fault_matches then t.fault_ticks <- t.fault_ticks + 1;
+      if fault_matches && t.fault_ticks >= l.fault_after then
+        trip (Fault_injected l.fault_after)
+      else begin
+        let over_budget =
+          match site with
+          | Implicit_reduce | Explicit_reduce | Exact_bb ->
+            t.node_ticks <- t.node_ticks + 1;
+            if t.node_ticks > l.node_budget then Some (Node_budget l.node_budget) else None
+          | Subgradient | Dual_ascent ->
+            t.step_ticks <- t.step_ticks + 1;
+            if t.step_ticks > l.step_budget then Some (Step_budget l.step_budget) else None
+          | Espresso_loop -> None
+        in
+        match over_budget with
+        | Some reason -> trip reason
+        | None ->
+          if
+            l.deadline_at < infinity
+            && t.ticks mod l.check_every = 0
+            && l.now () >= l.deadline_at
+          then trip (Deadline l.timeout)
+          else false
+      end)
+
+let pp_site ppf s = Fmt.string ppf (string_of_site s)
+
+let pp_reason ppf = function
+  | Deadline s -> Fmt.pf ppf "wall-clock deadline (%gs)" s
+  | Node_budget n -> Fmt.pf ppf "node budget (%d)" n
+  | Step_budget n -> Fmt.pf ppf "step budget (%d)" n
+  | Fault_injected n -> Fmt.pf ppf "injected fault (after %d)" n
+
+let pp_trip ppf t =
+  Fmt.pf ppf "%a: %a at tick %d" pp_site t.site pp_reason t.reason t.tick
+
+let describe t = Fmt.str "%a" pp_trip t

@@ -1,0 +1,101 @@
+(** Resource governor: deadline-aware anytime solving.
+
+    The paper's own experiments run under hard resource ceilings (20 CPU
+    minutes for the Espresso comparisons, [MaxR]/[MaxC] for the implicit
+    phase).  This module is the reproduction's generalisation: a governor
+    value carrying a wall-clock deadline, a node budget for the
+    reduction/branching engines, an iteration cap for the subgradient
+    machinery, and a deterministic fault-injection mode for testing.
+
+    Every hot loop of the solver stack calls {!tick} once per unit of
+    work — a cooperative checkpoint.  When a budget is exhausted the
+    checkpoint returns [true], the loop winds down gracefully, and the
+    enclosing solver returns its best feasible answer so far together
+    with a still-valid lower bound; the first exhaustion is recorded as a
+    {!trip} that outer layers (and the caller) can inspect.
+
+    A governor with no limits set — in particular the shared {!none}
+    value used as the default everywhere — never trips and never
+    mutates, so running without a budget is behaviourally identical to
+    the ungoverned solver. *)
+
+(** Checkpoint sites, one per governed loop. *)
+type site =
+  | Implicit_reduce  (** {!Covering.Implicit.reduce} ZDD fixpoint steps *)
+  | Explicit_reduce  (** {!Covering.Reduce2} worklist fixpoint *)
+  | Subgradient  (** {!Lagrangian.Subgradient.run} iterations *)
+  | Dual_ascent  (** {!Lagrangian.Dual_ascent} phase-1 sweeps *)
+  | Exact_bb  (** {!Covering.Exact.solve} branch-and-bound nodes *)
+  | Espresso_loop  (** {!Espresso.minimise} expand/irredundant/reduce passes *)
+
+val string_of_site : site -> string
+val site_of_string : string -> site option
+val all_sites : site list
+
+(** Which budget was exhausted, carrying the configured limit. *)
+type reason =
+  | Deadline of float  (** wall-clock timeout, seconds allotted *)
+  | Node_budget of int  (** reduction / branch-and-bound node budget *)
+  | Step_budget of int  (** subgradient / dual-ascent iteration cap *)
+  | Fault_injected of int  (** deterministic test trip after N ticks *)
+
+type trip = {
+  site : site;  (** checkpoint at which the governor fired *)
+  reason : reason;
+  tick : int;  (** global tick count when it fired *)
+}
+
+type t
+
+val none : t
+(** The shared inactive governor: {!tick} returns [false] without
+    mutating anything.  Default for every [?budget] argument. *)
+
+val create :
+  ?timeout:float ->
+  ?nodes:int ->
+  ?steps:int ->
+  ?fault_after:int ->
+  ?fault_site:site ->
+  ?now:(unit -> float) ->
+  ?check_every:int ->
+  unit ->
+  t
+(** A fresh active governor.
+
+    [timeout] is a relative wall-clock deadline in seconds, measured
+    from this call; [nodes] caps the total ticks at the node-like sites
+    ({!Implicit_reduce}, {!Explicit_reduce}, {!Exact_bb}); [steps] caps
+    the total ticks at the iteration-like sites ({!Subgradient},
+    {!Dual_ascent}); [fault_after] trips deterministically after that
+    many ticks at [fault_site] (any site when [fault_site] is omitted).
+    [now] (default [Unix.gettimeofday]) and [check_every] (default 32;
+    how many ticks between clock reads) exist for tests.
+
+    A governor created with no limits at all is active — its counters
+    advance — but never trips; it is the way to verify that governed and
+    ungoverned runs coincide. *)
+
+val tick : t -> site -> bool
+(** [tick g site] advances the governor by one unit of work attributed
+    to [site] and returns [true] iff the solver must stop.  The first
+    exhausted budget is recorded; once tripped the governor stays
+    tripped (every later tick returns [true] immediately), so a trip
+    deep in a nested loop unwinds the whole solver stack. *)
+
+val tripped : t -> trip option
+(** The first trip, if any. *)
+
+val is_active : t -> bool
+val ticks : t -> int
+(** Total ticks so far (0 for {!none}). *)
+
+val remaining_seconds : t -> float option
+(** Time left before the deadline, if one was set. *)
+
+val pp_site : Format.formatter -> site -> unit
+val pp_reason : Format.formatter -> reason -> unit
+val pp_trip : Format.formatter -> trip -> unit
+
+val describe : trip -> string
+(** One-line rendering, e.g. ["subgradient: wall-clock deadline (2.0s) at tick 4711"]. *)

@@ -1,5 +1,6 @@
 module Config = Config
 module Stats = Stats
+module Budget = Budget
 module Matrix = Covering.Matrix
 module Reduce = Covering.Reduce
 module Reduce2 = Covering.Reduce2
@@ -12,20 +13,28 @@ let src = Logs.Src.create "scg" ~doc:"ZDD_SCG solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type status =
+  | Optimal
+  | Feasible
+  | Feasible_budget_exhausted of Budget.trip
+
 type result = {
   solution : int list;
   cost : int;
   lower_bound : int;
   proven_optimal : bool;
+  status : status;
   stats : Stats.t;
 }
 
 let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
 
 (* Both engines compute the same cyclic core (see test_reduce2); the flag
-   keeps the legacy pass-based loop reachable for differential runs. *)
-let cyclic_core ~(config : Config.t) ~gimpel m =
-  if config.Config.incremental_reduce then Reduce2.cyclic_core ~gimpel m
+   keeps the legacy pass-based loop reachable for differential runs.  Only
+   the incremental engine is governed — the legacy engine exists precisely
+   as the ungoverned differential baseline. *)
+let cyclic_core ~(config : Config.t) ~budget ~gimpel m =
+  if config.Config.incremental_reduce then Reduce2.cyclic_core ~budget ~gimpel m
   else Reduce.cyclic_core ~gimpel m
 
 (* Multiplier memory across subproblems, keyed by original row/column
@@ -93,7 +102,7 @@ end
    empty or the path is bound-dominated.  Returns the candidate solutions
    found (in core-identifier space) and the best lower bound certified for
    the *full* core (i.e. from subgradient runs before any fixing). *)
-let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
+let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space.t)
     ~(z_best : int ref) ~(best_ids : int list ref) ~stats_steps ~stats_fixes
     ~stats_pen =
   let lambda_mem = Warm.create () and mu_mem = Warm.create () in
@@ -109,12 +118,18 @@ let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
   in
   let rec descend m committed_ids committed_cost ~first =
     if Matrix.is_empty m then consider committed_ids
+    else if Budget.tripped budget <> None then
+      (* wind down: complete the committed prefix with a greedy cover of
+         the remaining matrix so this path still yields a feasible
+         candidate, then stop descending *)
+      consider
+        (committed_ids @ List.map (Matrix.col_id m) (Covering.Greedy.solve_best m))
     else begin
       let lambda0 = if config.Config.warm_start then Warm.lambda0 lambda_mem m else None in
       let mu0 = if config.Config.warm_start then Warm.mu0 mu_mem m else None in
       let ub = !z_best - committed_cost in
       let sg =
-        Subgradient.run ~config:config.Config.subgradient ?lambda0 ?mu0 ~ub m
+        Subgradient.run ~budget ~config:config.Config.subgradient ?lambda0 ?mu0 ~ub m
       in
       stats_steps := !stats_steps + sg.Subgradient.steps;
       Warm.store_rows lambda_mem m sg.Subgradient.lambda;
@@ -205,7 +220,7 @@ let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
             else begin
               (* explicit reductions to the next stable point; Gimpel is
                  disabled mid-descent so committed identifiers stay real *)
-              let red = cyclic_core ~config ~gimpel:false m in
+              let red = cyclic_core ~config ~budget ~gimpel:false m in
               let ess_ids = Reduce.lift red.Reduce.trace [] in
               let committed_ids = committed_ids @ ess_ids in
               let committed_cost = committed_cost + red.Reduce.fixed_cost in
@@ -220,14 +235,14 @@ let construct ~(config : Config.t) ~rand ~best_cols ~(space : Core_space.t)
   descend space.Core_space.core [] 0 ~first:true;
   !root_lb
 
-let solve ?(config = Config.default) input =
+let solve ?(budget = Budget.none) ?(config = Config.default) input =
   for j = 0 to Matrix.n_cols input - 1 do
     if Matrix.col_id input j <> j then invalid_arg "Scg.solve: matrix already re-indexed"
   done;
   let t_start = Sys.time () in
   (* ---- implicit phase ---- *)
   let imp =
-    Implicit.reduce ~max_rows:config.max_rows_implicit
+    Implicit.reduce ~budget ~max_rows:config.max_rows_implicit
       ~max_cols:config.max_cols_implicit (Implicit.of_matrix input)
   in
   let decoded, essential0 = Implicit.decode imp in
@@ -235,7 +250,7 @@ let solve ?(config = Config.default) input =
     List.fold_left (fun acc j -> acc + Matrix.cost input j) 0 essential0
   in
   (* ---- explicit reductions to the exact cyclic core ---- *)
-  let red = cyclic_core ~config ~gimpel:config.use_gimpel decoded in
+  let red = cyclic_core ~config ~budget ~gimpel:config.use_gimpel decoded in
   let t_core = Sys.time () -. t_start in
   let core = red.Reduce.core in
   let finish ~core_ids ~lb_core_int ~steps ~iterations ~best_iteration ~fixes ~pen =
@@ -261,13 +276,23 @@ let solve ?(config = Config.default) input =
         best_iteration;
         fixes;
         penalty_fixes = pen;
+        budget_trip = Option.map Budget.describe (Budget.tripped budget);
       }
+    in
+    let proven_optimal = cost <= lower_bound in
+    let status =
+      if proven_optimal then Optimal
+      else
+        match Budget.tripped budget with
+        | Some trip -> Feasible_budget_exhausted trip
+        | None -> Feasible
     in
     {
       solution = full;
       cost;
       lower_bound = min lower_bound cost;
-      proven_optimal = cost <= lower_bound;
+      proven_optimal;
+      status;
       stats;
     }
   in
@@ -293,11 +318,12 @@ let solve ?(config = Config.default) input =
       let best_lb = ref 0 in
       (try
          for iter = 0 to config.num_iter - 1 do
+           if Budget.tripped budget <> None then raise Exit;
            iterations := max !iterations (iter + 1);
            let best_cols = config.best_col_start + (iter * config.best_col_growth) in
            let before = !z_best in
            let lb =
-             construct ~config ~rand ~best_cols ~space ~z_best ~best_ids
+             construct ~config ~budget ~rand ~best_cols ~space ~z_best ~best_ids
                ~stats_steps:steps ~stats_fixes:fixes ~stats_pen:pen
            in
            if !z_best < before then best_iteration := max !best_iteration (iter + 1);
@@ -318,20 +344,21 @@ let solve ?(config = Config.default) input =
       ~best_iteration:!best_iteration ~fixes:!fixes ~pen:!pen
   end
 
-let solve_logic ?config ?cost ~on ~dc () =
+let solve_logic ?budget ?config ?cost ~on ~dc () =
   let bridge = Covering.From_logic.build ?cost ~on ~dc () in
-  let result = solve ?config bridge.Covering.From_logic.matrix in
+  let result = solve ?budget ?config bridge.Covering.From_logic.matrix in
   (result, bridge)
 
-let solve_logic_implicit ?config ?cost ~on ~dc () =
+let solve_logic_implicit ?budget ?config ?cost ~on ~dc () =
   let bridge = Covering.From_logic.build_implicit ?cost ~on ~dc () in
-  let result = solve ?config bridge.Covering.From_logic.imatrix in
+  let result = solve ?budget ?config bridge.Covering.From_logic.imatrix in
   (result, bridge)
 
-let solve_pla ?config pla ~output =
-  solve_logic ?config ~on:(Logic.Pla.onset pla output) ~dc:(Logic.Pla.dcset pla output) ()
+let solve_pla ?budget ?config pla ~output =
+  solve_logic ?budget ?config ~on:(Logic.Pla.onset pla output)
+    ~dc:(Logic.Pla.dcset pla output) ()
 
-let solve_pla_multi ?config pla =
+let solve_pla_multi ?budget ?config pla =
   let bridge = Covering.From_logic.build_multi pla in
-  let result = solve ?config bridge.Covering.From_logic.mmatrix in
+  let result = solve ?budget ?config bridge.Covering.From_logic.mmatrix in
   (result, bridge)

@@ -27,19 +27,40 @@ module Config = Config
 module Stats = Stats
 (** @inline *)
 
+module Budget = Budget
+(** The resource governor, re-exported so callers can write
+    [Scg.Budget.create].  @inline *)
+
+(** How the run ended.  Whatever the status, [solution] is a feasible
+    cover and [lower_bound] a valid bound. *)
+type status =
+  | Optimal  (** [cost = lower_bound]: proven optimal *)
+  | Feasible
+      (** the heuristic ran to completion without closing the gap *)
+  | Feasible_budget_exhausted of Budget.trip
+      (** the resource governor stopped the run early; the trip records
+          which checkpoint fired and which budget was exhausted *)
+
 type result = {
   solution : int list;  (** column indices of the input matrix, sorted *)
   cost : int;
   lower_bound : int;  (** proven lower bound, ⌈·⌉ of the Lagrangian bound *)
   proven_optimal : bool;  (** [cost = lower_bound] *)
+  status : status;
   stats : Stats.t;
 }
 
-val solve : ?config:Config.t -> Covering.Matrix.t -> result
-(** Solve a covering matrix.
+val solve : ?budget:Budget.t -> ?config:Config.t -> Covering.Matrix.t -> result
+(** Solve a covering matrix.  [budget] (default: the inactive
+    {!Budget.none}) governs every phase — implicit reduction, the
+    incremental explicit reduction, subgradient/dual-ascent, and the
+    constructive descents.  On a trip the solver never raises: it winds
+    down cooperatively and returns the best feasible cover found with a
+    still-valid lower bound and [status = Feasible_budget_exhausted].
     @raise Invalid_argument if the matrix was already re-indexed. *)
 
 val solve_logic :
+  ?budget:Budget.t ->
   ?config:Config.t ->
   ?cost:(Logic.Cube.t -> int) ->
   on:Logic.Cover.t ->
@@ -51,6 +72,7 @@ val solve_logic :
     via {!Covering.From_logic.cover_of_solution}. *)
 
 val solve_logic_implicit :
+  ?budget:Budget.t ->
   ?config:Config.t ->
   ?cost:(Logic.Cube.t -> int) ->
   on:Logic.Cover.t ->
@@ -63,11 +85,18 @@ val solve_logic_implicit :
     distinct prime signatures stays moderate. *)
 
 val solve_pla :
-  ?config:Config.t -> Logic.Pla.t -> output:int -> result * Covering.From_logic.t
+  ?budget:Budget.t ->
+  ?config:Config.t ->
+  Logic.Pla.t ->
+  output:int ->
+  result * Covering.From_logic.t
 (** {!solve_logic} on one output of a PLA. *)
 
 val solve_pla_multi :
-  ?config:Config.t -> Logic.Pla.t -> result * Covering.From_logic.multi
+  ?budget:Budget.t ->
+  ?config:Config.t ->
+  Logic.Pla.t ->
+  result * Covering.From_logic.multi
 (** Shared-product minimisation of a whole multi-output PLA: columns are
     the output-tagged multi-output primes, rows are (minterm, output)
     pairs, and the reported cost is the number of PLA product rows.  Use

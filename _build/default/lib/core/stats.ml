@@ -12,6 +12,7 @@ type t = {
   best_iteration : int;
   fixes : int;
   penalty_fixes : int;
+  budget_trip : string option;
 }
 
 let zero =
@@ -29,12 +30,15 @@ let zero =
     best_iteration = 0;
     fixes = 0;
     penalty_fixes = 0;
+    budget_trip = None;
   }
 
 let pp ppf s =
   Fmt.pf ppf
     "@[<v>input %dx%d -> core %dx%d (essentials %d)@,\
-     CC %.2fs, total %.2fs, %d subgradient steps, %d runs (best at %d), %d fixes (%d by penalty)@]"
+     CC %.2fs, total %.2fs, %d subgradient steps, %d runs (best at %d), %d fixes (%d by penalty)%a@]"
     s.input_rows s.input_cols s.core_rows s.core_cols s.essential_count
     s.cyclic_core_seconds s.total_seconds s.subgradient_steps s.iterations
     s.best_iteration s.fixes s.penalty_fixes
+    (Fmt.option (fun ppf d -> Fmt.pf ppf "@,budget exhausted: %s" d))
+    s.budget_trip

@@ -17,6 +17,10 @@ type t = {
                              reductions alone solved the problem *)
   fixes : int;  (** columns fixed heuristically (σ-rule + promising) *)
   penalty_fixes : int;  (** columns fixed or removed by penalties *)
+  budget_trip : string option;
+      (** [Some (Budget.describe trip)] when the resource governor fired
+          during the solve — records which checkpoint site stopped the
+          run and why; [None] on an ungoverned or untripped run *)
 }
 
 val zero : t

@@ -1,1 +1,1 @@
-lib/covering/exact.ml: Array Fun Greedy List Matrix Mis_bound Reduce Stdlib
+lib/covering/exact.ml: Array Budget Fun Greedy List Matrix Mis_bound Reduce Stdlib

@@ -1,1 +1,1 @@
-lib/covering/exact.mli: Matrix
+lib/covering/exact.mli: Budget Matrix

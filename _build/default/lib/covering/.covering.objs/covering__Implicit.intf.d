@@ -1,1 +1,1 @@
-lib/covering/implicit.mli: Matrix Zdd
+lib/covering/implicit.mli: Budget Matrix Zdd

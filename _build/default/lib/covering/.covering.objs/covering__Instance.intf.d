@@ -1,1 +1,1 @@
-lib/covering/instance.mli: Matrix
+lib/covering/instance.mli: Logic Matrix

@@ -21,13 +21,19 @@ type result = {
 }
 
 val solve :
+  ?budget:Budget.t ->
   ?ub:int ->
   ?max_nodes:int ->
   ?gimpel:bool ->
   ?extra_bound:(Matrix.t -> int) ->
   Matrix.t ->
   result
-(** [solve m] minimises.  [ub] primes the incumbent with a known upper
+(** [solve m] minimises.  [budget] checkpoints every branch-and-bound
+    node (site {!Budget.Exact_bb}); its node budget and wall-clock
+    deadline subsume the per-call [max_nodes] cap, and a trip behaves
+    exactly like node exhaustion — the best incumbent (or a greedy
+    fallback) is returned with [optimal = false] and a valid
+    [lower_bound].  [ub] primes the incumbent with a known upper
     bound (exclusive pruning still keeps an incumbent {e solution} only if
     one is found at or below it); [max_nodes] defaults to 200_000;
     [gimpel] (default true) enables Gimpel's reduction inside node

@@ -49,13 +49,17 @@ let dominance_step t =
   let m = Zdd.minimal t.rows in
   if Zdd.equal m t.rows then None else Some { t with rows = m }
 
-let reduce ?(max_rows = 5000) ?(max_cols = 10_000) t =
+let reduce ?(budget = Budget.none) ?(max_rows = 5000) ?(max_cols = 10_000) t =
   let small t =
     Zdd.count t.rows <= float_of_int max_rows
     && List.length (Zdd.support t.rows) <= max_cols
   in
+  (* each recursion step is one checkpoint: on a budget trip the current,
+     partially reduced family is returned — still the same covering
+     problem, just less reduced, so decoding stays sound *)
   let rec go t =
     if is_solved t || small t then t
+    else if Budget.tick budget Budget.Implicit_reduce then t
     else
       match essential_step t with
       | Some t' -> go t'
@@ -67,12 +71,14 @@ let reduce ?(max_rows = 5000) ?(max_cols = 10_000) t =
   (* always run at least one full fixpoint even when already small: cheap,
      and it guarantees decoded cores saw essentiality at least once *)
   let rec fixpoint t =
-    match essential_step t with
-    | Some t' -> fixpoint t'
-    | None -> (
-      match dominance_step t with
+    if Budget.tick budget Budget.Implicit_reduce then t
+    else
+      match essential_step t with
       | Some t' -> fixpoint t'
-      | None -> t)
+      | None -> (
+        match dominance_step t with
+        | Some t' -> fixpoint t'
+        | None -> t)
   in
   if small t then fixpoint t else go t
 

@@ -1,3 +1,5 @@
+module Parse_error = Logic.Parse_error
+
 let split_words s =
   String.split_on_char ' ' s
   |> List.concat_map (String.split_on_char '\t')
@@ -7,10 +9,11 @@ let parse text =
   let n_rows = ref (-1) and n_cols = ref (-1) in
   let cost = ref None in
   let rows = ref [] in
-  let fail lineno msg = failwith (Printf.sprintf "Instance: line %d: %s" lineno msg) in
+  let fail lineno msg = Parse_error.raise_at ~line:lineno msg in
   List.iteri
     (fun idx raw ->
       let lineno = idx + 1 in
+      let int_of = Parse_error.int_of_word ~line:lineno in
       let line =
         match String.index_opt raw '#' with
         | Some i -> String.sub raw 0 i
@@ -20,36 +23,50 @@ let parse text =
       if line <> "" then
         match split_words line with
         | [ "p"; "ucp"; r; c ] ->
-          n_rows := int_of_string r;
-          n_cols := int_of_string c
+          n_rows := int_of r;
+          n_cols := int_of c;
+          if !n_rows < 0 || !n_cols <= 0 then fail lineno "bad dimensions"
         | "c" :: costs ->
           if !n_cols < 0 then fail lineno "cost line before the p line";
-          let arr = Array.of_list (List.map int_of_string costs) in
+          let arr = Array.of_list (List.map int_of costs) in
           if Array.length arr <> !n_cols then fail lineno "cost count mismatch";
+          Array.iter (fun c -> if c <= 0 then fail lineno "non-positive cost") arr;
           cost := Some arr
         | "r" :: cols ->
           if !n_cols < 0 then fail lineno "row line before the p line";
-          let cols = List.map int_of_string cols in
+          let cols = List.map int_of cols in
           if cols = [] then fail lineno "empty row";
+          List.iter
+            (fun j ->
+              if j < 0 || j >= !n_cols then
+                Parse_error.failf ~line:lineno "column %d out of range [0, %d)" j !n_cols)
+            cols;
           rows := cols :: !rows
         | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line))
     (String.split_on_char '\n' text);
-  if !n_cols < 0 then failwith "Instance: missing p line";
+  if !n_cols < 0 then Parse_error.raise_at ~line:0 "missing p line";
   let rows = List.rev !rows in
   if !n_rows >= 0 && List.length rows <> !n_rows then
-    failwith
-      (Printf.sprintf "Instance: p line declares %d rows, found %d" !n_rows
-         (List.length rows));
+    Parse_error.failf ~line:0 "p line declares %d rows, found %d" !n_rows
+      (List.length rows);
+  (* in-range and non-empty were checked per line; anything left (duplicate
+     column within a row) is a whole-matrix property *)
   try Matrix.create ?cost:!cost ~n_cols:!n_cols rows
-  with Invalid_argument m -> failwith ("Instance: " ^ m)
+  with Invalid_argument m -> Parse_error.raise_at ~line:0 m
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_result text = Parse_error.result (fun () -> parse text)
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  try parse text
-  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+  let text = read_file path in
+  Parse_error.with_file path (fun () -> parse text)
+
+let parse_file_result path = Parse_error.file_result path parse
 
 let to_string m =
   let buf = Buffer.create 1_024 in
@@ -81,53 +98,66 @@ let write_file path m =
 (* Beasley OR-Library scp format                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The format is a bare token stream, so errors are located by tokenising
+   with the source line attached to every word. *)
 let parse_orlib text =
   let tokens =
     String.split_on_char '\n' text
-    |> List.concat_map split_words
-    |> List.map (fun w ->
-           try int_of_string w
-           with Failure _ -> failwith (Printf.sprintf "Instance(orlib): bad token %S" w))
+    |> List.mapi (fun idx l -> (idx + 1, l))
+    |> List.concat_map (fun (line, l) ->
+           List.map
+             (fun w -> (line, Parse_error.int_of_word ~line w))
+             (split_words l))
   in
+  let last_line = List.fold_left (fun _ (line, _) -> line) 0 tokens in
+  let eof msg = Parse_error.raise_at ~line:last_line msg in
   let rec take n acc = function
     | rest when n = 0 -> (List.rev acc, rest)
-    | [] -> failwith "Instance(orlib): unexpected end of input"
+    | [] -> eof "unexpected end of input"
     | x :: rest -> take (n - 1) (x :: acc) rest
   in
   match tokens with
-  | m :: n :: rest ->
-    if m < 0 || n <= 0 then failwith "Instance(orlib): bad dimensions";
+  | (dim_line, m) :: (_, n) :: rest ->
+    if m < 0 || n <= 0 then Parse_error.raise_at ~line:dim_line "bad dimensions";
     let costs, rest = take n [] rest in
-    List.iter (fun c -> if c <= 0 then failwith "Instance(orlib): non-positive cost") costs;
+    List.iter
+      (fun (line, c) ->
+        if c <= 0 then Parse_error.raise_at ~line "non-positive cost")
+      costs;
     let rows = ref [] in
     let rest = ref rest in
     for row = 1 to m do
       match !rest with
-      | [] -> failwith "Instance(orlib): missing row"
-      | count :: more ->
+      | [] -> eof "missing row"
+      | (count_line, count) :: more ->
         if count <= 0 then
-          failwith (Printf.sprintf "Instance(orlib): row %d has no columns" row);
+          Parse_error.failf ~line:count_line "row %d has no columns" row;
         let cols, more = take count [] more in
         List.iter
-          (fun j ->
+          (fun (line, j) ->
             if j < 1 || j > n then
-              failwith (Printf.sprintf "Instance(orlib): row %d column %d out of range" row j))
+              Parse_error.failf ~line "row %d column %d out of range" row j)
           cols;
-        rows := List.map (fun j -> j - 1) cols :: !rows;
+        rows := List.map (fun (_, j) -> j - 1) cols :: !rows;
         rest := more
     done;
-    if !rest <> [] then failwith "Instance(orlib): trailing tokens";
-    (try Matrix.create ~cost:(Array.of_list costs) ~n_cols:n (List.rev !rows)
-     with Invalid_argument msg -> failwith ("Instance(orlib): " ^ msg))
-  | _ -> failwith "Instance(orlib): missing dimensions"
+    (match !rest with
+    | (line, _) :: _ -> Parse_error.raise_at ~line "trailing tokens"
+    | [] -> ());
+    (try
+       Matrix.create
+         ~cost:(Array.of_list (List.map snd costs))
+         ~n_cols:n (List.rev !rows)
+     with Invalid_argument msg -> Parse_error.raise_at ~line:0 msg)
+  | _ -> Parse_error.raise_at ~line:0 "missing dimensions"
+
+let parse_orlib_result text = Parse_error.result (fun () -> parse_orlib text)
 
 let parse_orlib_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  try parse_orlib text
-  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+  let text = read_file path in
+  Parse_error.with_file path (fun () -> parse_orlib text)
+
+let parse_orlib_file_result path = Parse_error.file_result path parse_orlib
 
 let to_orlib m =
   let buf = Buffer.create 1_024 in

@@ -8,12 +8,24 @@
       p ucp <n_rows> <n_cols>
       c <cost_0> <cost_1> ... <cost_{n_cols-1}>     (optional; default 1)
       r <col> <col> ...                             (one line per row)
-    v} *)
+    v}
+
+    Malformed input raises {!Logic.Parse_error.Parse_error} with a
+    line-tagged message (and no other exception); the [*_result] entry
+    points return the same information as a [result]. *)
 
 val parse : string -> Matrix.t
-(** @raise Failure with a line-tagged message on malformed input. *)
+(** @raise Logic.Parse_error.Parse_error on malformed input. *)
 
 val parse_file : string -> Matrix.t
+(** @raise Logic.Parse_error.Parse_error on malformed input, with the
+    error's [file] field set.
+    @raise Sys_error if the file cannot be read. *)
+
+val parse_result : string -> (Matrix.t, Logic.Parse_error.error) result
+val parse_file_result : string -> (Matrix.t, Logic.Parse_error.error) result
+(** Exception-free variants; unreadable files land in [Error] (line 0). *)
+
 val to_string : Matrix.t -> string
 val write_file : string -> Matrix.t -> unit
 
@@ -25,9 +37,13 @@ val write_file : string -> Matrix.t -> unit
     rows a count followed by that many {e 1-based} column indices. *)
 
 val parse_orlib : string -> Matrix.t
-(** @raise Failure on malformed input (wrong counts, indices out of
-    range, rows without columns). *)
+(** @raise Logic.Parse_error.Parse_error on malformed input (wrong
+    counts, indices out of range, rows without columns). *)
 
 val parse_orlib_file : string -> Matrix.t
+
+val parse_orlib_result : string -> (Matrix.t, Logic.Parse_error.error) result
+val parse_orlib_file_result : string -> (Matrix.t, Logic.Parse_error.error) result
+
 val to_orlib : Matrix.t -> string
 (** Inverse of {!parse_orlib} (indices re-based to 1). *)

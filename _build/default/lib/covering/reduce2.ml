@@ -33,6 +33,7 @@
 
 type engine = {
   s : Sparse.t;
+  budget : Budget.t;
   gimpel : bool;
   row_q : int Queue.t;
   col_q : int Queue.t;
@@ -44,13 +45,14 @@ type engine = {
   mutable in_batch : bool array; (* column-dominance batch membership *)
 }
 
-let engine ?(gimpel = true) s =
+let engine ?(budget = Budget.none) ?(gimpel = true) s =
   let max_id = ref (-1) in
   for j = 0 to Sparse.n_cols s - 1 do
     max_id := max !max_id (Sparse.col_id s j)
   done;
   {
     s;
+    budget;
     gimpel;
     row_q = Queue.create ();
     col_q = Queue.create ();
@@ -228,27 +230,43 @@ let apply_gimpel e (i, cheap, dear) =
   (* any column sharing a row with v may now be dominated by it *)
   List.iter (fun r -> Sparse.iter_row e.s r (fun k -> push_col e k)) rows_a
 
+(* A budget trip stops the fixpoint mid-drain.  The matrix left behind is
+   a partially reduced — but exactly equivalent — covering problem: every
+   reduction already applied preserves at least one optimal solution, and
+   stopping merely leaves further reductions undone.  The trace and
+   fixed_cost stay consistent with the survivors. *)
 let run e =
   let running = ref true in
+  let stop () = Budget.tick e.budget Budget.Explicit_reduce in
   while !running && Sparse.rows_alive e.s > 0 do
-    while (not (Queue.is_empty e.row_q)) && Sparse.rows_alive e.s > 0 do
-      let i = Queue.pop e.row_q in
-      e.row_dirty.(i) <- false;
-      process_row e i
+    while !running && (not (Queue.is_empty e.row_q)) && Sparse.rows_alive e.s > 0 do
+      if stop () then running := false
+      else begin
+        let i = Queue.pop e.row_q in
+        e.row_dirty.(i) <- false;
+        process_row e i
+      end
     done;
     if Sparse.rows_alive e.s = 0 then running := false
-    else if not (Queue.is_empty e.col_q) then col_phase e
-    else if e.gimpel then
-      match find_gimpel e with
-      | Some g -> apply_gimpel e g
-      | None -> running := false
-    else running := false
+    else if !running then begin
+      if not (Queue.is_empty e.col_q) then begin
+        if stop () then running := false else col_phase e
+      end
+      else if e.gimpel then begin
+        if stop () then running := false
+        else
+          match find_gimpel e with
+          | Some g -> apply_gimpel e g
+          | None -> running := false
+      end
+      else running := false
+    end
   done
 
-let cyclic_core ?(gimpel = true) m =
+let cyclic_core ?(budget = Budget.none) ?(gimpel = true) m =
   if Matrix.n_rows m = 0 then { Reduce.core = m; trace = []; fixed_cost = 0 }
   else begin
-    let e = engine ~gimpel (Sparse.of_matrix m) in
+    let e = engine ~budget ~gimpel (Sparse.of_matrix m) in
     seed_all e;
     run e;
     let core =

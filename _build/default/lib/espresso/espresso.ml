@@ -11,6 +11,7 @@ type result = {
   literals : int;
   loops : int;
   seconds : float;
+  interrupted : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -176,18 +177,33 @@ let last_gasp ~off ~dc f =
 
 let cost_pair f = (Cover.size f, Cover.literal_cost f)
 
-let minimise ?(mode = Normal) ~on ~dc () =
+let minimise ?(budget = Budget.none) ?(mode = Normal) ~on ~dc () =
   if Cover.nvars on <> Cover.nvars dc then invalid_arg "Espresso.minimise: arity mismatch";
   let t0 = Sys.time () in
   let off = Cover.complement (Cover.union on dc) in
   let loops = ref 0 in
+  (* every pass preserves the invariant "covers ON, stays in ON ∪ DC", so
+     stopping between passes always leaves a valid (merely less
+     minimised) cover *)
+  let interrupted = ref false in
+  let stop () =
+    !interrupted
+    ||
+    if Budget.tick budget Budget.Espresso_loop then begin
+      interrupted := true;
+      true
+    end
+    else false
+  in
   let pass f =
     incr loops;
     irredundant ~dc (expand ~off (reduce ~dc f))
   in
   let rec converge f =
-    let f' = pass f in
-    if cost_pair f' < cost_pair f then converge f' else f
+    if stop () then f
+    else
+      let f' = pass f in
+      if cost_pair f' < cost_pair f then converge f' else f
   in
   let f0 = irredundant ~dc (expand ~off on) in
   let f1 = converge f0 in
@@ -195,8 +211,10 @@ let minimise ?(mode = Normal) ~on ~dc () =
     match mode with
     | Normal -> f1
     | Strong ->
-      let g = last_gasp ~off ~dc f1 in
-      if cost_pair g < cost_pair f1 then converge g else f1
+      if stop () then f1
+      else
+        let g = last_gasp ~off ~dc f1 in
+        if cost_pair g < cost_pair f1 then converge g else f1
   in
   {
     cover = final;
@@ -204,24 +222,31 @@ let minimise ?(mode = Normal) ~on ~dc () =
     literals = Cover.literal_cost final;
     loops = !loops;
     seconds = Sys.time () -. t0;
+    interrupted = !interrupted;
   }
 
-let minimise_pla ?mode pla ~output =
-  minimise ?mode ~on:(Logic.Pla.onset pla output) ~dc:(Logic.Pla.dcset pla output) ()
+let minimise_pla ?budget ?mode pla ~output =
+  minimise ?budget ?mode ~on:(Logic.Pla.onset pla output) ~dc:(Logic.Pla.dcset pla output) ()
 
 type pla_result = {
   covers : Cover.t array;
   distinct_products : int;
   total_seconds : float;
+  interrupted : bool;
 }
 
-let minimise_all ?mode pla =
+let minimise_all ?budget ?mode pla =
   let t0 = Sys.time () in
+  let interrupted = ref false in
   let covers =
     Array.init pla.Logic.Pla.no (fun k ->
         let on = Logic.Pla.onset pla k in
         if Cover.is_empty on then Cover.empty pla.Logic.Pla.ni
-        else (minimise ?mode ~on ~dc:(Logic.Pla.dcset pla k) ()).cover)
+        else begin
+          let r = minimise ?budget ?mode ~on ~dc:(Logic.Pla.dcset pla k) () in
+          if r.interrupted then interrupted := true;
+          r.cover
+        end)
   in
   let distinct_products =
     Array.to_list covers
@@ -229,4 +254,9 @@ let minimise_all ?mode pla =
     |> List.sort_uniq Cube.compare
     |> List.length
   in
-  { covers; distinct_products; total_seconds = Sys.time () -. t0 }
+  {
+    covers;
+    distinct_products;
+    total_seconds = Sys.time () -. t0;
+    interrupted = !interrupted;
+  }

@@ -30,14 +30,20 @@ type result = {
   literals : int;
   loops : int;  (** reduce/expand/irredundant passes executed *)
   seconds : float;
+  interrupted : bool;  (** a budget trip cut the convergence loop short *)
 }
 
-val minimise : ?mode:mode -> on:Logic.Cover.t -> dc:Logic.Cover.t -> unit -> result
+val minimise :
+  ?budget:Budget.t -> ?mode:mode -> on:Logic.Cover.t -> dc:Logic.Cover.t -> unit -> result
 (** Minimise an incompletely specified function.  The result covers the
-    ON-set, stays within ON ∪ DC, and is irredundant.
+    ON-set, stays within ON ∪ DC, and is irredundant.  [budget]
+    checkpoints every convergence pass (site {!Budget.Espresso_loop});
+    on a trip the current cover is returned — still a valid, irredundant
+    cover of the function, merely less minimised — with
+    [interrupted = true] (LAST_GASP is also skipped).
     @raise Invalid_argument if arities differ. *)
 
-val minimise_pla : ?mode:mode -> Logic.Pla.t -> output:int -> result
+val minimise_pla : ?budget:Budget.t -> ?mode:mode -> Logic.Pla.t -> output:int -> result
 
 type pla_result = {
   covers : Logic.Cover.t array;  (** one minimised cover per output *)
@@ -47,10 +53,13 @@ type pla_result = {
           output independently, so identical cubes across outputs merge
           only by luck; compare with {!Scg.solve_pla_multi}) *)
   total_seconds : float;
+  interrupted : bool;  (** some output's minimisation was cut short *)
 }
 
-val minimise_all : ?mode:mode -> Logic.Pla.t -> pla_result
-(** Minimise every output independently. *)
+val minimise_all : ?budget:Budget.t -> ?mode:mode -> Logic.Pla.t -> pla_result
+(** Minimise every output independently; [budget] is shared across the
+    outputs, so a trip during one output also cuts the later ones short
+    (each still yields a valid cover). *)
 
 (** {1 Individual phases, exposed for tests and ablations} *)
 

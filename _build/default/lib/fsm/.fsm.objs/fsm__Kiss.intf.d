@@ -1,1 +1,1 @@
-lib/fsm/kiss.mli: Machine
+lib/fsm/kiss.mli: Logic Machine

@@ -3,14 +3,17 @@ let split_words s =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun w -> w <> "")
 
+module Parse_error = Logic.Parse_error
+
 let parse text =
   let ni = ref (-1) and no = ref (-1) in
   let reset_name = ref None in
   let rows = ref [] in
-  let fail lineno msg = failwith (Printf.sprintf "Kiss: line %d: %s" lineno msg) in
+  let fail lineno msg = Parse_error.raise_at ~line:lineno msg in
   List.iteri
     (fun idx raw ->
       let lineno = idx + 1 in
+      let int_of = Parse_error.int_of_word ~line:lineno in
       let line =
         match String.index_opt raw '#' with
         | Some i -> String.sub raw 0 i
@@ -20,8 +23,8 @@ let parse text =
       if line <> "" then
         if line.[0] = '.' then begin
           match split_words line with
-          | [ ".i"; n ] -> ni := int_of_string n
-          | [ ".o"; n ] -> no := int_of_string n
+          | [ ".i"; n ] -> ni := int_of n
+          | [ ".o"; n ] -> no := int_of n
           | [ ".s"; _ ] | [ ".p"; _ ] -> () (* advisory *)
           | [ ".r"; name ] -> reset_name := Some name
           | [ ".e" ] | [ ".end" ] -> ()
@@ -40,8 +43,8 @@ let parse text =
           | _ -> fail lineno "expected `input state next output'"
     )
     (String.split_on_char '\n' text);
-  if !ni < 0 then failwith "Kiss: missing .i";
-  if !no < 0 then failwith "Kiss: missing .o";
+  if !ni < 0 then Parse_error.raise_at ~line:0 "missing .i";
+  if !no < 0 then Parse_error.raise_at ~line:0 "missing .o";
   let rows = List.rev !rows in
   (* collect state names in order of first appearance; '-'/'*' are the
      unspecified next-state markers, never states *)
@@ -59,7 +62,8 @@ let parse text =
   let states = Array.of_list (List.rev !names) in
   let index name =
     let rec go i =
-      if i >= Array.length states then failwith (Printf.sprintf "Kiss: unknown state %S" name)
+      if i >= Array.length states then
+        Parse_error.failf ~line:0 "unknown state %S" name
       else if states.(i) = name then i
       else go (i + 1)
     in
@@ -78,15 +82,18 @@ let parse text =
   in
   let reset = Option.map index !reset_name in
   try Machine.create ~ni:!ni ~no:!no ~states ?reset transitions
-  with Invalid_argument m -> failwith ("Kiss: " ^ m)
+  with Invalid_argument m -> Parse_error.raise_at ~line:0 m
+
+let parse_result text = Parse_error.result (fun () -> parse text)
 
 let parse_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  try parse text
-  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+  Parse_error.with_file path (fun () -> parse text)
+
+let parse_file_result path = Parse_error.file_result path parse
 
 let to_string (m : Machine.t) =
   let buf = Buffer.create 1_024 in

@@ -19,8 +19,15 @@
     ['-'] (or ['*']) as next state means unspecified. *)
 
 val parse : string -> Machine.t
-(** @raise Failure with a line-tagged message on malformed input. *)
+(** @raise Logic.Parse_error.Parse_error with a line-tagged message on
+    malformed input (and no other exception). *)
 
 val parse_file : string -> Machine.t
+(** @raise Sys_error if the file cannot be read. *)
+
+val parse_result : string -> (Machine.t, Logic.Parse_error.error) result
+val parse_file_result : string -> (Machine.t, Logic.Parse_error.error) result
+(** Exception-free variants; unreadable files land in [Error] (line 0). *)
+
 val to_string : Machine.t -> string
 val write_file : string -> Machine.t -> unit

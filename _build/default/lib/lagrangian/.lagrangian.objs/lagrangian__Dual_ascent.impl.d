@@ -1,1 +1,1 @@
-lib/lagrangian/dual_ascent.ml: Array Covering Float Fun List Stdlib
+lib/lagrangian/dual_ascent.ml: Array Budget Covering Float Fun List Stdlib

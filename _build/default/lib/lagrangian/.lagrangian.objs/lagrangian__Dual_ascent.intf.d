@@ -1,1 +1,1 @@
-lib/lagrangian/dual_ascent.mli: Covering
+lib/lagrangian/dual_ascent.mli: Budget Covering

@@ -1,1 +1,1 @@
-lib/lagrangian/subgradient.ml: Array Covering Dual_ascent Float Lag_greedy List Relax
+lib/lagrangian/subgradient.ml: Array Budget Covering Dual_ascent Float Lag_greedy List Relax

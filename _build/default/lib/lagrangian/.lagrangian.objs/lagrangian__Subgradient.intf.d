@@ -1,1 +1,1 @@
-lib/lagrangian/subgradient.mli: Covering
+lib/lagrangian/subgradient.mli: Budget Covering

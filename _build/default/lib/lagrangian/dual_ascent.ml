@@ -5,7 +5,7 @@ type t = {
   value : float;
 }
 
-let run_with_costs ?start mat ~costs =
+let run_with_costs ?(budget = Budget.none) ?start mat ~costs =
   if Array.length costs <> Matrix.n_cols mat then
     invalid_arg "Dual_ascent.run_with_costs: cost length mismatch";
   let n_rows = Matrix.n_rows mat in
@@ -46,20 +46,31 @@ let run_with_costs ?start mat ~costs =
     Array.iteri (fun j l -> if l > costs.(j) +. eps then v := true) load;
     !v
   in
-  while violated () do
-    List.iter
-      (fun i ->
-        let worst =
-          Array.fold_left
-            (fun acc j -> max acc (load.(j) -. costs.(j)))
-            0. (Matrix.row mat i)
-        in
-        if worst > eps && m.(i) > 0. then begin
-          let delta = min worst m.(i) in
-          m.(i) <- m.(i) -. delta;
-          Array.iter (fun j -> load.(j) <- load.(j) -. delta) (Matrix.row mat i)
-        end)
-      order1
+  let tripped = ref false in
+  while (not !tripped) && violated () do
+    if Budget.tick budget Budget.Dual_ascent then begin
+      (* trip: fall back to the trivially feasible dual point m = 0
+         (costs are non-negative), so phase 2 below still starts from a
+         feasible vector and only raises within slack — the result stays
+         dual-feasible and the bound stays valid, merely weaker *)
+      tripped := true;
+      Array.fill m 0 n_rows 0.;
+      Array.fill load 0 (Array.length load) 0.
+    end
+    else
+      List.iter
+        (fun i ->
+          let worst =
+            Array.fold_left
+              (fun acc j -> max acc (load.(j) -. costs.(j)))
+              0. (Matrix.row mat i)
+          in
+          if worst > eps && m.(i) > 0. then begin
+            let delta = min worst m.(i) in
+            m.(i) <- m.(i) -. delta;
+            Array.iter (fun j -> load.(j) <- load.(j) -. delta) (Matrix.row mat i)
+          end)
+        order1
   done;
   (* phase 2: least-covered rows first, raise by the smallest slack *)
   let order2 = List.rev order1 in
@@ -79,9 +90,9 @@ let run_with_costs ?start mat ~costs =
   let value = Array.fold_left ( +. ) 0. m in
   { m; value }
 
-let run mat =
+let run ?(budget = Budget.none) mat =
   let costs = Array.init (Matrix.n_cols mat) (fun j -> float_of_int (Matrix.cost mat j)) in
-  let from_caps = run_with_costs mat ~costs in
+  let from_caps = run_with_costs ~budget mat ~costs in
   (* Proposition 1 requires dominating the independent-set bound, which
      holds when the ascent is seeded with the MIS dual solution (phase 1 is
      a no-op on it; phase 2 only raises).  Take the better of both seeds. *)
@@ -94,7 +105,7 @@ let run mat =
           (fun acc j -> min acc (float_of_int (Matrix.cost mat j)))
           infinity (Matrix.row mat i))
     mis.Covering.Mis_bound.rows;
-  let from_mis = run_with_costs ~start mat ~costs in
+  let from_mis = run_with_costs ~budget ~start mat ~costs in
   if from_mis.value > from_caps.value then from_mis else from_caps
 
 let to_lambda t = Array.copy t.m

@@ -17,13 +17,22 @@ type t = {
   value : float;  (** Σ m_i — a lower bound on z_P* and on the optimum *)
 }
 
-val run : Covering.Matrix.t -> t
-(** Always returns a dual-feasible vector (possibly all zeros). *)
+val run : ?budget:Budget.t -> Covering.Matrix.t -> t
+(** Always returns a dual-feasible vector (possibly all zeros).  Every
+    phase-1 sweep is a {!Budget.tick} checkpoint (site
+    {!Budget.Dual_ascent}); on a trip the ascent restarts phase 2 from
+    the trivially feasible point [m = 0], so the returned vector is
+    always dual-feasible and the bound always valid. *)
 
 val run_with_costs :
-  ?start:float array -> Covering.Matrix.t -> costs:float array -> t
+  ?budget:Budget.t ->
+  ?start:float array ->
+  Covering.Matrix.t ->
+  costs:float array ->
+  t
 (** Same ascent against a modified column-cost vector — the engine behind
-    the dual penalties (paper §3.6), where one cost is set to 0 or +∞. *)
+    the dual penalties (paper §3.6), where one cost is set to 0 or +∞.
+    [budget] checkpoints as in {!run}. *)
 
 val to_lambda : t -> float array
 (** The vector as initial Lagrangian multipliers λ₀. *)

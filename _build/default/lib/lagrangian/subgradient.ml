@@ -36,7 +36,7 @@ let eps = 1e-9
 
 let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
 
-let run ?(config = default_config) ?lambda0 ?mu0 ?ub ?on_step m =
+let run ?(budget = Budget.none) ?(config = default_config) ?lambda0 ?mu0 ?ub ?on_step m =
   let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
   if n_rows = 0 then
     {
@@ -56,7 +56,7 @@ let run ?(config = default_config) ?lambda0 ?mu0 ?ub ?on_step m =
       | Some l ->
         if Array.length l <> n_rows then invalid_arg "Subgradient.run: lambda0 length";
         Array.map (fun x -> Float.max x 0.) l
-      | None -> Dual_ascent.to_lambda (Dual_ascent.run m)
+      | None -> Dual_ascent.to_lambda (Dual_ascent.run ~budget m)
     in
     (* incumbent from the plain greedy (also seeds μ₀) *)
     let seed_sol = Greedy.solve_best m in
@@ -95,7 +95,14 @@ let run ?(config = default_config) ?lambda0 ?mu0 ?ub ?on_step m =
         best_solution := sol
       end
     in
-    while (not !stop) && !steps < config.max_steps do
+    (* the budget tick rides the loop condition: a trip simply ends the
+       ascent early — the best bound so far (or 0) stays valid, and the
+       final incumbent refresh below still runs *)
+    while
+      (not !stop)
+      && !steps < config.max_steps
+      && not (Budget.tick budget Budget.Subgradient)
+    do
       incr steps;
       let ev = Relax.evaluate m lambda in
       (* track the best bound and the multipliers achieving it *)

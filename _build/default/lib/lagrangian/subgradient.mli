@@ -39,6 +39,7 @@ type outcome = {
 }
 
 val run :
+  ?budget:Budget.t ->
   ?config:config ->
   ?lambda0:float array ->
   ?mu0:float array ->
@@ -46,7 +47,12 @@ val run :
   ?on_step:(step:int -> value:float -> best:float -> unit) ->
   Covering.Matrix.t ->
   outcome
-(** [lambda0] defaults to the dual-ascent vector (§3.5); [mu0] to the
+(** [budget] checkpoints every subgradient step (site
+    {!Budget.Subgradient}, counted against the governor's step budget)
+    and is also passed to the default dual-ascent seeding; a trip ends
+    the ascent early with the best bound found so far (0 when tripped
+    before the first step) and a feasible incumbent — the final greedy
+    refresh still runs.  [lambda0] defaults to the dual-ascent vector (§3.5); [mu0] to the
     indicator of a greedy cover (§3.3: "the initial estimate for μ₀ is
     determined by a primal heuristic"); [ub] primes the incumbent cost
     without providing a solution; [on_step] observes every iteration —

@@ -1,0 +1,1 @@
+lib/logic/parse_error.ml: Format Fun Printf

@@ -1,0 +1,1 @@
+lib/logic/parse_error.mli: Format

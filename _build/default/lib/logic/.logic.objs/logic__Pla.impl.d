@@ -1,1 +1,1 @@
-lib/logic/pla.ml: Array Buffer Cover Cube List Printf String
+lib/logic/pla.ml: Array Buffer Cover Cube List Parse_error Printf String

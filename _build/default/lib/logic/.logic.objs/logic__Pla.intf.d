@@ -1,1 +1,1 @@
-lib/logic/pla.mli: Cover Cube
+lib/logic/pla.mli: Cover Cube Parse_error

@@ -13,12 +13,12 @@ type t = {
   rows : (Cube.t * string) list;
 }
 
-let kind_of_string = function
+let kind_of_string ~line = function
   | "f" -> F
   | "fd" -> FD
   | "fr" -> FR
   | "fdr" -> FDR
-  | s -> failwith (Printf.sprintf "Pla: unsupported .type %S" s)
+  | s -> Parse_error.failf ~line "unsupported .type %S" s
 
 let string_of_kind = function
   | F -> "f"
@@ -42,10 +42,11 @@ let parse text =
   and rows = ref []
   and declared_p = ref None in
   let lines = String.split_on_char '\n' text in
-  let fail lineno msg = failwith (Printf.sprintf "Pla: line %d: %s" lineno msg) in
+  let fail lineno msg = Parse_error.raise_at ~line:lineno msg in
   List.iteri
     (fun idx raw ->
       let lineno = idx + 1 in
+      let int_of = Parse_error.int_of_word ~line:lineno in
       let line =
         match String.index_opt raw '#' with
         | Some i -> String.sub raw 0 i
@@ -55,10 +56,10 @@ let parse text =
       if line <> "" then
         if line.[0] = '.' then begin
           match split_words line with
-          | [ ".i"; n ] -> ni := int_of_string n
-          | [ ".o"; n ] -> no := int_of_string n
-          | [ ".p"; n ] -> declared_p := Some (int_of_string n)
-          | ".type" :: [ k ] -> kind := kind_of_string k
+          | [ ".i"; n ] -> ni := int_of n
+          | [ ".o"; n ] -> no := int_of n
+          | [ ".p"; n ] -> declared_p := Some (int_of n)
+          | ".type" :: [ k ] -> kind := kind_of_string ~line:lineno k
           | ".ilb" :: labels -> ilb := Some (Array.of_list labels)
           | ".ob" :: labels -> ob := Some (Array.of_list labels)
           | [ ".e" ] | [ ".end" ] -> ()
@@ -85,13 +86,14 @@ let parse text =
               output;
             rows := (cube, output) :: !rows
           | [ input ] when !no = 0 ->
-            ignore (Cube.of_string input);
+            (try ignore (Cube.of_string input)
+             with Invalid_argument m -> fail lineno m);
             fail lineno "zero-output PLA has no function to read"
           | _ -> fail lineno "expected `<input-plane> <output-plane>'"
         end)
     lines;
-  if !ni < 0 then failwith "Pla: missing .i";
-  if !no < 0 then failwith "Pla: missing .o";
+  if !ni < 0 then Parse_error.raise_at ~line:0 "missing .i";
+  if !no < 0 then Parse_error.raise_at ~line:0 "missing .o";
   let rows = List.rev !rows in
   (match !declared_p with
   | Some p when p <> List.length rows ->
@@ -107,13 +109,16 @@ let parse text =
     rows;
   }
 
+let parse_result text = Parse_error.result (fun () -> parse text)
+
 let parse_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  try parse text
-  with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+  Parse_error.with_file path (fun () -> parse text)
+
+let parse_file_result path = Parse_error.file_result path parse
 
 let to_string t =
   let buf = Buffer.create 1_024 in
@@ -133,7 +138,8 @@ let to_string t =
 let output_count_check t =
   List.iter
     (fun (_, out) ->
-      if String.length out <> t.no then failwith "Pla: output plane width mismatch")
+      if String.length out <> t.no then
+        Parse_error.raise_at ~line:0 "output plane width mismatch")
     t.rows
 
 let select t k wanted =

@@ -28,9 +28,20 @@ type t = {
 }
 
 val parse : string -> t
-(** Parse PLA text. @raise Failure with a line-tagged message on errors. *)
+(** Parse PLA text.
+    @raise Parse_error.Parse_error with a line-tagged message on
+    malformed input (and nothing else). *)
 
 val parse_file : string -> t
+(** Like {!parse}, with the error's [file] field set.
+    @raise Sys_error if the file cannot be read. *)
+
+val parse_result : string -> (t, Parse_error.error) result
+(** Exception-free {!parse}. *)
+
+val parse_file_result : string -> (t, Parse_error.error) result
+(** Exception-free {!parse_file}; unreadable files land in [Error] too
+    (line 0). *)
 
 val to_string : t -> string
 (** Render back to PLA text (canonical layout). *)
@@ -49,4 +60,5 @@ val single_output : ni:int -> on:Cover.t -> dc:Cover.t -> t
 (** Wrap a single-output function (type [fd]). *)
 
 val output_count_check : t -> unit
-(** @raise Failure if some row's output plane has the wrong width. *)
+(** @raise Parse_error.Parse_error if some row's output plane has the
+    wrong width. *)

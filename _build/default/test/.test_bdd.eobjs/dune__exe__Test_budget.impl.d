@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Array Benchsuite Covering Espresso Fmt Lagrangian Lazy List Logic Printf Scg Test_support

@@ -1,1 +1,1 @@
-test/test_logic.ml: Alcotest Bdd Bitvec Cover Cube Filename Isop List Logic Pla Primes QCheck QCheck_alcotest Qm Random String Sys Zdd
+test/test_logic.ml: Alcotest Bdd Bitvec Cover Cube Filename Isop List Logic Parse_error Pla Primes QCheck QCheck_alcotest Qm Random String Sys Zdd

@@ -1,0 +1,1 @@
+test/test_parse_errors.ml: Alcotest Array Bytes Covering Filename Fsm List Logic Printexc String Sys Unix

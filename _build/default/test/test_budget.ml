@@ -1,0 +1,325 @@
+(* The resource governor and its anytime guarantees.
+
+   Unit tests pin the tick accounting (budgets, fault injection, the
+   deadline clock); the integration sweeps inject deterministic faults at
+   every checkpoint site of the solver stack and assert the contract: the
+   solver never raises, always returns a feasible cover, always reports a
+   valid lower bound, and records an accurate status.  A differential
+   test checks that an active-but-unlimited governor changes nothing. *)
+
+module Matrix = Covering.Matrix
+module Budget = Scg.Budget
+
+(* ------------------------------------------------------------------ *)
+(* tick accounting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_none_inert () =
+  let b = Budget.none in
+  for _ = 1 to 1000 do
+    List.iter
+      (fun site -> Alcotest.(check bool) "never stops" false (Budget.tick b site))
+      Budget.all_sites
+  done;
+  Alcotest.(check int) "no ticks recorded" 0 (Budget.ticks b);
+  Alcotest.(check bool) "inactive" false (Budget.is_active b);
+  Alcotest.(check bool) "no trip" true (Budget.tripped b = None)
+
+let test_unlimited_active () =
+  let b = Budget.create () in
+  Alcotest.(check bool) "active" true (Budget.is_active b);
+  for _ = 1 to 1000 do
+    List.iter
+      (fun site -> Alcotest.(check bool) "never trips" false (Budget.tick b site))
+      Budget.all_sites
+  done;
+  Alcotest.(check int) "counts ticks" 6000 (Budget.ticks b)
+
+let test_node_budget () =
+  let b = Budget.create ~nodes:3 () in
+  (* step-like sites never count against the node budget *)
+  for _ = 1 to 10 do
+    ignore (Budget.tick b Budget.Subgradient)
+  done;
+  Alcotest.(check bool) "1" false (Budget.tick b Budget.Exact_bb);
+  Alcotest.(check bool) "2" false (Budget.tick b Budget.Implicit_reduce);
+  Alcotest.(check bool) "3" false (Budget.tick b Budget.Explicit_reduce);
+  Alcotest.(check bool) "4 trips" true (Budget.tick b Budget.Exact_bb);
+  (match Budget.tripped b with
+  | Some { Budget.site = Budget.Exact_bb; reason = Budget.Node_budget 3; _ } -> ()
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none"));
+  (* sticky: every later tick at any site stops immediately *)
+  List.iter
+    (fun site -> Alcotest.(check bool) "sticky" true (Budget.tick b site))
+    Budget.all_sites
+
+let test_step_budget () =
+  let b = Budget.create ~steps:2 () in
+  for _ = 1 to 10 do
+    ignore (Budget.tick b Budget.Exact_bb)
+  done;
+  Alcotest.(check bool) "1" false (Budget.tick b Budget.Subgradient);
+  Alcotest.(check bool) "2" false (Budget.tick b Budget.Dual_ascent);
+  Alcotest.(check bool) "3 trips" true (Budget.tick b Budget.Subgradient);
+  match Budget.tripped b with
+  | Some { Budget.reason = Budget.Step_budget 2; _ } -> ()
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none")
+
+let test_fault_site_filter () =
+  let b = Budget.create ~fault_after:2 ~fault_site:Budget.Dual_ascent () in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "other sites" false (Budget.tick b Budget.Subgradient)
+  done;
+  Alcotest.(check bool) "first" false (Budget.tick b Budget.Dual_ascent);
+  Alcotest.(check bool) "second trips" true (Budget.tick b Budget.Dual_ascent);
+  match Budget.tripped b with
+  | Some { Budget.site = Budget.Dual_ascent; reason = Budget.Fault_injected 2; tick } ->
+    Alcotest.(check int) "global tick recorded" 52 tick
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none")
+
+let test_deadline_fake_clock () =
+  let clock = ref 0.0 in
+  let b = Budget.create ~timeout:10.0 ~now:(fun () -> !clock) ~check_every:4 () in
+  for _ = 1 to 16 do
+    Alcotest.(check bool) "before deadline" false (Budget.tick b Budget.Exact_bb)
+  done;
+  clock := 11.0;
+  (* ticks 17..19 are off-cadence, the clock is only read on the 20th *)
+  Alcotest.(check bool) "17" false (Budget.tick b Budget.Exact_bb);
+  Alcotest.(check bool) "18" false (Budget.tick b Budget.Exact_bb);
+  Alcotest.(check bool) "19" false (Budget.tick b Budget.Exact_bb);
+  Alcotest.(check bool) "20 trips" true (Budget.tick b Budget.Exact_bb);
+  match Budget.tripped b with
+  | Some { Budget.reason = Budget.Deadline 10.0; tick = 20; _ } -> ()
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none")
+
+let test_site_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Budget.site_of_string (Budget.string_of_site s) with
+      | Some s' when s' = s -> ()
+      | _ -> Alcotest.failf "site %s does not round-trip" (Budget.string_of_site s))
+    Budget.all_sites;
+  Alcotest.(check bool) "junk name" true (Budget.site_of_string "frobnicate" = None)
+
+(* ------------------------------------------------------------------ *)
+(* fault-injection sweeps through Scg.solve                           *)
+(* ------------------------------------------------------------------ *)
+
+let quick_config =
+  {
+    Scg.Config.default with
+    Scg.Config.num_iter = 2;
+    subgradient =
+      { Lagrangian.Subgradient.default_config with Lagrangian.Subgradient.max_steps = 60 };
+  }
+
+let difficult_matrices =
+  lazy
+    (List.map
+       (fun i -> (i.Benchsuite.Registry.name, Benchsuite.Registry.matrix i))
+       (Benchsuite.Registry.difficult ()))
+
+let check_anytime_contract ~name ~site ~fault_after m (r : Scg.result) budget =
+  let ctx = Printf.sprintf "%s/%s/after-%d" name (Budget.string_of_site site) fault_after in
+  Alcotest.(check bool) (ctx ^ ": cover feasible") true (Matrix.covers m r.Scg.solution);
+  Alcotest.(check int) (ctx ^ ": cost consistent") (Matrix.cost_of m r.Scg.solution)
+    r.Scg.cost;
+  Alcotest.(check bool)
+    (ctx ^ ": lower bound valid")
+    true
+    (r.Scg.lower_bound >= 0 && r.Scg.lower_bound <= r.Scg.cost);
+  match Budget.tripped budget with
+  | Some trip ->
+    Alcotest.(check bool)
+      (ctx ^ ": trip at the injected site")
+      true (trip.Budget.site = site);
+    (match r.Scg.status with
+    | Scg.Feasible_budget_exhausted t ->
+      Alcotest.(check bool) (ctx ^ ": status carries the trip") true (t = trip)
+    | Scg.Optimal ->
+      (* legal: the trip fired after optimality was already certified on
+         this component, or the partial bound still closed the gap *)
+      Alcotest.(check bool) (ctx ^ ": optimal claim holds") true
+        (r.Scg.cost = r.Scg.lower_bound)
+    | Scg.Feasible -> Alcotest.failf "%s: trip not reflected in status" ctx);
+    Alcotest.(check bool)
+      (ctx ^ ": stats record the trip")
+      true
+      (r.Scg.stats.Scg.Stats.budget_trip <> None)
+  | None ->
+    (* the loop never reached the fault threshold: a normal run *)
+    (match r.Scg.status with
+    | Scg.Feasible_budget_exhausted _ -> Alcotest.failf "%s: phantom trip" ctx
+    | Scg.Optimal | Scg.Feasible -> ());
+    Alcotest.(check bool)
+      (ctx ^ ": stats clean")
+      true
+      (r.Scg.stats.Scg.Stats.budget_trip = None)
+
+let scg_sites =
+  [ Budget.Implicit_reduce; Budget.Explicit_reduce; Budget.Subgradient; Budget.Dual_ascent ]
+
+let test_fault_sweep () =
+  List.iter
+    (fun (name, m) ->
+      List.iter
+        (fun site ->
+          List.iter
+            (fun fault_after ->
+              let budget = Budget.create ~fault_after ~fault_site:site () in
+              let r = Scg.solve ~budget ~config:quick_config m in
+              check_anytime_contract ~name ~site ~fault_after m r budget)
+            [ 1; 4; 16 ])
+        scg_sites)
+    (Lazy.force difficult_matrices)
+
+let test_step_budget_scg () =
+  (* a coarse budget rather than a pinpoint fault: same contract *)
+  let name, m = List.hd (Lazy.force difficult_matrices) in
+  let budget = Budget.create ~steps:25 () in
+  let r = Scg.solve ~budget ~config:quick_config m in
+  (match Budget.tripped budget with
+  | Some trip ->
+    check_anytime_contract ~name ~site:trip.Budget.site ~fault_after:0 m r budget
+  | None -> Alcotest.fail "a 25-step budget should trip on a difficult instance");
+  (* node budget trips in the reduction engines *)
+  let name, m = List.nth (Lazy.force difficult_matrices) 1 in
+  let budget = Budget.create ~nodes:10 () in
+  let r = Scg.solve ~budget ~config:quick_config m in
+  match Budget.tripped budget with
+  | Some trip ->
+    check_anytime_contract ~name ~site:trip.Budget.site ~fault_after:0 m r budget
+  | None -> Alcotest.fail "a 10-node budget should trip on a difficult instance"
+
+let test_deadline_scg () =
+  let name, m = List.hd (Lazy.force difficult_matrices) in
+  let budget = Budget.create ~timeout:0.0 ~check_every:1 () in
+  let r = Scg.solve ~budget ~config:quick_config m in
+  match Budget.tripped budget with
+  | Some trip ->
+    (match trip.Budget.reason with
+    | Budget.Deadline _ -> ()
+    | other ->
+      Alcotest.failf "expected a deadline trip, got %s"
+        (Fmt.str "%a" Budget.pp_reason other));
+    check_anytime_contract ~name ~site:trip.Budget.site ~fault_after:0 m r budget
+  | None -> Alcotest.fail "a zero deadline must trip"
+
+(* ------------------------------------------------------------------ *)
+(* the other governed engines                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_budget () =
+  let m = Test_support.medium_matrix_of_seed 42 in
+  let full = Covering.Exact.solve m in
+  List.iter
+    (fun fault_after ->
+      let budget = Budget.create ~fault_after ~fault_site:Budget.Exact_bb () in
+      let r = Covering.Exact.solve ~budget m in
+      (* fresh matrix: identifiers = indices *)
+      Alcotest.(check bool) "feasible" true (Matrix.covers m r.Covering.Exact.solution);
+      Alcotest.(check bool) "lb valid" true
+        (r.Covering.Exact.lower_bound <= full.Covering.Exact.cost);
+      Alcotest.(check bool) "cost bounded below by optimum" true
+        (r.Covering.Exact.cost >= full.Covering.Exact.cost))
+    [ 1; 2; 8; 64 ]
+
+let test_dual_ascent_budget () =
+  let m = Test_support.medium_matrix_of_seed 7 in
+  let full = Lagrangian.Dual_ascent.run m in
+  let budget = Budget.create ~fault_after:1 ~fault_site:Budget.Dual_ascent () in
+  let tripped = Lagrangian.Dual_ascent.run ~budget m in
+  (* still dual feasible: column loads within costs *)
+  let ok = ref true in
+  for j = 0 to Matrix.n_cols m - 1 do
+    let load =
+      Array.fold_left (fun acc i -> acc +. tripped.Lagrangian.Dual_ascent.m.(i)) 0.
+        (Matrix.col m j)
+    in
+    if load > float_of_int (Matrix.cost m j) +. 1e-6 then ok := false
+  done;
+  Alcotest.(check bool) "dual feasible after trip" true !ok;
+  Alcotest.(check bool) "bound weaker but non-negative" true
+    (tripped.Lagrangian.Dual_ascent.value >= 0.
+    && tripped.Lagrangian.Dual_ascent.value <= full.Lagrangian.Dual_ascent.value +. 1e-6)
+
+let test_espresso_budget () =
+  let pla = Logic.Pla.parse ".i 4\n.o 1\n.type fd\n1--- 1\n-1-- 1\n--1- 1\n---1 1\n1111 -\n.e" in
+  let on = Logic.Pla.onset pla 0 and dc = Logic.Pla.dcset pla 0 in
+  List.iter
+    (fun fault_after ->
+      let budget = Budget.create ~fault_after ~fault_site:Budget.Espresso_loop () in
+      let r = Espresso.minimise ~budget ~mode:Espresso.Strong ~on ~dc () in
+      (* whatever happened, the result is a cover of ON within ON ∪ DC *)
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "covers ON" true
+            (Logic.Cover.covers_cube (Logic.Cover.union r.Espresso.cover dc) c))
+        (Logic.Cover.cubes on);
+      if Budget.tripped budget <> None then
+        Alcotest.(check bool) "interrupted flagged" true r.Espresso.interrupted)
+    [ 1; 2; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* differential: governed-but-unlimited ≡ ungoverned                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential () =
+  List.iter
+    (fun (name, m) ->
+      let plain = Scg.solve ~config:quick_config m in
+      let governed = Scg.solve ~budget:(Budget.create ()) ~config:quick_config m in
+      let ctx f = name ^ ": " ^ f in
+      Alcotest.(check (list int)) (ctx "solution") plain.Scg.solution governed.Scg.solution;
+      Alcotest.(check int) (ctx "cost") plain.Scg.cost governed.Scg.cost;
+      Alcotest.(check int) (ctx "lower bound") plain.Scg.lower_bound
+        governed.Scg.lower_bound;
+      Alcotest.(check bool) (ctx "optimal") plain.Scg.proven_optimal
+        governed.Scg.proven_optimal;
+      Alcotest.(check bool) (ctx "status") true (plain.Scg.status = governed.Scg.status);
+      Alcotest.(check int) (ctx "steps") plain.Scg.stats.Scg.Stats.subgradient_steps
+        governed.Scg.stats.Scg.Stats.subgradient_steps;
+      Alcotest.(check int) (ctx "iterations") plain.Scg.stats.Scg.Stats.iterations
+        governed.Scg.stats.Scg.Stats.iterations;
+      Alcotest.(check int) (ctx "fixes") plain.Scg.stats.Scg.Stats.fixes
+        governed.Scg.stats.Scg.Stats.fixes;
+      Alcotest.(check int) (ctx "penalty fixes") plain.Scg.stats.Scg.Stats.penalty_fixes
+        governed.Scg.stats.Scg.Stats.penalty_fixes)
+    (Lazy.force difficult_matrices)
+
+let () =
+  Alcotest.run "budget"
+    [
+      ( "ticks",
+        [
+          Alcotest.test_case "none is inert" `Quick test_none_inert;
+          Alcotest.test_case "unlimited never trips" `Quick test_unlimited_active;
+          Alcotest.test_case "node budget" `Quick test_node_budget;
+          Alcotest.test_case "step budget" `Quick test_step_budget;
+          Alcotest.test_case "fault site filter" `Quick test_fault_site_filter;
+          Alcotest.test_case "deadline, fake clock" `Quick test_deadline_fake_clock;
+          Alcotest.test_case "site names" `Quick test_site_names_roundtrip;
+        ] );
+      ( "scg",
+        [
+          Alcotest.test_case "fault sweep, all sites" `Quick test_fault_sweep;
+          Alcotest.test_case "step/node budgets" `Quick test_step_budget_scg;
+          Alcotest.test_case "deadline" `Quick test_deadline_scg;
+          Alcotest.test_case "differential" `Quick test_differential;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "exact" `Quick test_exact_budget;
+          Alcotest.test_case "dual ascent" `Quick test_dual_ascent_budget;
+          Alcotest.test_case "espresso" `Quick test_espresso_budget;
+        ] );
+    ]

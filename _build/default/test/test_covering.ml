@@ -413,14 +413,20 @@ let test_orlib_literal () =
   Alcotest.(check int) "cost 1" 1 (Matrix.cost m 1)
 
 let test_orlib_errors () =
-  let raises s = try ignore (Instance.parse_orlib s); false with Failure _ -> true in
+  let raises s =
+    try ignore (Instance.parse_orlib s); false
+    with Logic.Parse_error.Parse_error _ -> true
+  in
   check "truncated" true (raises "2 3\n1 1 1\n2\n1 2\n");
   check "out of range" true (raises "1 2\n1 1\n1\n3\n");
   check "trailing" true (raises "1 1\n1\n1\n1\n99\n");
   check "bad token" true (raises "1 x\n")
 
 let test_instance_errors () =
-  let raises s = try ignore (Instance.parse s); false with Failure _ -> true in
+  let raises s =
+    try ignore (Instance.parse s); false
+    with Logic.Parse_error.Parse_error _ -> true
+  in
   check "no p line" true (raises "r 0 1\n");
   check "row count" true (raises "p ucp 2 3\nr 0\n");
   check "bad token" true (raises "p ucp 1 1\nq 0\n")

@@ -89,7 +89,10 @@ let test_kiss_parse () =
   | _ -> Alcotest.fail "unspecified next expected")
 
 let test_kiss_errors () =
-  let raises s = try ignore (Fsm.Kiss.parse s); false with Failure _ -> true in
+  let raises s =
+    try ignore (Fsm.Kiss.parse s); false
+    with Logic.Parse_error.Parse_error _ -> true
+  in
   check "missing .i" true (raises ".o 1\n0 a a 1\n");
   check "width" true (raises ".i 2\n.o 1\n0 a a 1\n");
   check "junk" true (raises ".i 1\n.o 1\n0 a\n")

@@ -1,0 +1,260 @@
+(* The typed failure surface of the text-format parsers.
+
+   Every parser promises to raise only [Logic.Parse_error.Parse_error] on
+   malformed input — with an accurate 1-based line number (0 for
+   whole-input errors) — and never [Failure], [Invalid_argument] or
+   [Not_found].  The corpus below pins both the promise and the line
+   numbers; the truncation fuzz feeds every prefix of known-good inputs
+   through the parsers to catch stray exceptions from half-read
+   structures. *)
+
+module Parse_error = Logic.Parse_error
+
+let expect_error name parse input ~line ?contains () =
+  match parse input with
+  | _ -> Alcotest.failf "%s: parse unexpectedly succeeded" name
+  | exception Parse_error.Parse_error e ->
+    Alcotest.(check int) (name ^ ": line") line e.Parse_error.line;
+    (match contains with
+    | None -> ()
+    | Some needle ->
+      let msg = e.Parse_error.what in
+      let found =
+        let nl = String.length needle and ml = String.length msg in
+        let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+        nl = 0 || go 0
+      in
+      if not found then
+        Alcotest.failf "%s: message %S does not mention %S" name msg needle)
+  | exception e ->
+    Alcotest.failf "%s: wrong exception %s" name (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* .ucp matrices                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ucp_corpus =
+  [
+    ("junk line", "bad", 1, Some "unrecognised");
+    ("zero cols", "p ucp 2 0", 1, Some "dimensions");
+    ("negative rows", "p ucp -1 3", 1, Some "dimensions");
+    ("cost before p", "c 1 2", 1, Some "before the p line");
+    ("row before p", "r 0", 1, Some "before the p line");
+    ("cost count", "p ucp 1 3\nc 1 2", 2, Some "cost count");
+    ("negative cost", "p ucp 1 3\nc 1 -2 3", 2, Some "non-positive");
+    ("empty row", "p ucp 1 3\nr", 2, Some "empty row");
+    ("column range", "p ucp 1 3\nr 5", 2, Some "out of range");
+    ("junk int", "p ucp 1 3\nr x", 2, None);
+    ("row count", "p ucp 2 3\nr 0", 0, Some "declares 2 rows");
+    ("no p line", "# only a comment", 0, Some "missing p line");
+    ("empty input", "", 0, Some "missing p line");
+  ]
+
+let test_ucp_corpus () =
+  List.iter
+    (fun (name, input, line, contains) ->
+      expect_error ("ucp " ^ name) Covering.Instance.parse input ~line ?contains ())
+    ucp_corpus
+
+(* ------------------------------------------------------------------ *)
+(* OR-Library scp                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let orlib_corpus =
+  [
+    ("empty", "", 0, Some "missing dimensions");
+    ("lonely int", "3", 0, Some "missing dimensions");
+    ("zero cols", "2 0", 1, Some "dimensions");
+    ("junk token", "1 2\n1 x", 2, None);
+    ("missing costs", "1 2\n1", 2, Some "unexpected end");
+    ("zero cost", "1 2\n1 0\n1 1", 2, Some "non-positive");
+    ("missing rows", "1 2\n1 1", 2, Some "missing row");
+    ("empty row", "1 2\n1 1\n0", 3, Some "no columns");
+    ("column range", "1 2\n1 1\n1 5", 3, Some "out of range");
+    ("column zero", "1 2\n1 1\n1 0", 3, Some "out of range");
+    ("missing cols", "1 2\n1 1\n2 1", 3, Some "unexpected end");
+    ("trailing", "1 2\n1 1\n1 1\n7", 4, Some "trailing");
+  ]
+
+let test_orlib_corpus () =
+  List.iter
+    (fun (name, input, line, contains) ->
+      expect_error ("orlib " ^ name) Covering.Instance.parse_orlib input ~line ?contains ())
+    orlib_corpus
+
+(* ------------------------------------------------------------------ *)
+(* PLA                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pla_corpus =
+  [
+    ("junk .i", ".i x", 1, None);
+    ("bad type", ".i 2\n.o 1\n.type zz", 3, Some ".type");
+    ("unsupported", ".phase 01", 1, Some "unsupported");
+    ("bad directive", ".frob 3", 1, Some "unrecognised");
+    ("cube before .i", "00 1", 1, Some ".i must precede");
+    ("cube before .o", ".i 2\n00 1", 2, Some ".o must precede");
+    ("input width", ".i 2\n.o 1\n0 1", 3, Some "input plane width");
+    ("output width", ".i 2\n.o 1\n00 11", 3, Some "output plane width");
+    ("bad cube char", ".i 2\n.o 1\n0z 1", 3, None);
+    ("bad output char", ".i 2\n.o 1\n00 2", 3, Some "output plane");
+    ("one field", ".i 2\n.o 1\n00", 3, Some "expected");
+    ("missing .i", "# nothing\n.e", 0, Some "missing .i");
+    ("missing .o", ".i 2\n.e", 0, Some "missing .o");
+    ("empty input", "", 0, Some "missing .i");
+  ]
+
+let test_pla_corpus () =
+  List.iter
+    (fun (name, input, line, contains) ->
+      expect_error ("pla " ^ name) Logic.Pla.parse input ~line ?contains ())
+    pla_corpus
+
+(* ------------------------------------------------------------------ *)
+(* KISS                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let kiss_corpus =
+  [
+    ("junk .i", ".i x", 1, None);
+    ("bad directive", ".frob", 1, Some "unrecognised");
+    ("early transition", "0 s0 s1 0", 1, Some ".i/.o must precede");
+    ("three fields", ".i 1\n.o 1\n0 s0 s1", 3, Some "expected");
+    ("input width", ".i 1\n.o 1\n00 s0 s1 0", 3, Some "input width");
+    ("output width", ".i 1\n.o 1\n0 s0 s1 00", 3, Some "output width");
+    ("bad cube", ".i 1\n.o 1\nz s0 s1 0", 3, None);
+    ("missing .i", ".e", 0, Some "missing .i");
+    ("missing .o", ".i 1\n.e", 0, Some "missing .o");
+    ("empty input", "", 0, Some "missing .i");
+  ]
+
+let test_kiss_corpus () =
+  List.iter
+    (fun (name, input, line, contains) ->
+      expect_error ("kiss " ^ name) Fsm.Kiss.parse input ~line ?contains ())
+    kiss_corpus
+
+(* ------------------------------------------------------------------ *)
+(* Truncation / corruption fuzz: only Parse_error may escape          *)
+(* ------------------------------------------------------------------ *)
+
+let good_ucp = "# c\np ucp 3 4\nc 1 2 1 3\nr 0 1\nr 1 2\nr 2 3\n"
+let good_orlib = "3 4\n1 2 1 3\n2 1 2\n2 2 3\n2 3 4\n"
+let good_pla = ".i 3\n.o 2\n.type fd\n11- 10\n-01 1-\n0-0 01\n.e\n"
+let good_kiss = ".i 1\n.o 1\n.r a\n0 a b 0\n1 a a 1\n0 b a -\n1 b b 0\n.e\n"
+
+let never_leaks name parse input =
+  (* every prefix, and every single-byte corruption of the full text *)
+  let check s =
+    match parse s with
+    | _ -> ()
+    | exception Parse_error.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s: %s leaked from %S" name (Printexc.to_string e) s
+  in
+  for len = 0 to String.length input - 1 do
+    check (String.sub input 0 len)
+  done;
+  let junk = [ 'x'; '-'; '0'; '9'; ' '; '.' ] in
+  String.iteri
+    (fun i _ ->
+      List.iter
+        (fun c ->
+          let b = Bytes.of_string input in
+          Bytes.set b i c;
+          check (Bytes.to_string b))
+        junk)
+    input
+
+let test_fuzz_ucp () = never_leaks "ucp" Covering.Instance.parse good_ucp
+let test_fuzz_orlib () = never_leaks "orlib" Covering.Instance.parse_orlib good_orlib
+let test_fuzz_pla () = never_leaks "pla" Logic.Pla.parse good_pla
+let test_fuzz_kiss () = never_leaks "kiss" Fsm.Kiss.parse good_kiss
+
+(* ------------------------------------------------------------------ *)
+(* result APIs and file stamping                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_result_api () =
+  (match Covering.Instance.parse_result "p ucp 1 3\nr 5" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e ->
+    Alcotest.(check int) "ucp result line" 2 e.Parse_error.line;
+    Alcotest.(check bool) "no file" true (e.Parse_error.file = None));
+  (match Logic.Pla.parse_result good_pla with
+  | Ok pla -> Alcotest.(check int) "pla inputs" 3 pla.Logic.Pla.ni
+  | Error e -> Alcotest.failf "unexpected error: %s" (Parse_error.to_string e));
+  match Fsm.Kiss.parse_result good_kiss with
+  | Ok m -> Alcotest.(check int) "kiss states" 2 (Array.length m.Fsm.Machine.states)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Parse_error.to_string e)
+
+let test_file_stamping () =
+  let dir = Filename.temp_file "ucp_parse" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "broken.ucp" in
+  let oc = open_out path in
+  output_string oc "p ucp 1 3\nr 9\n";
+  close_out oc;
+  (match Covering.Instance.parse_file path with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Parse_error.Parse_error e ->
+    Alcotest.(check (option string)) "file stamped" (Some path) e.Parse_error.file;
+    Alcotest.(check int) "line kept" 2 e.Parse_error.line);
+  (match Covering.Instance.parse_file_result path with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e ->
+    Alcotest.(check (option string)) "file in result" (Some path) e.Parse_error.file);
+  Sys.remove path;
+  let missing = Filename.concat dir "nope.ucp" in
+  (match Covering.Instance.parse_file_result missing with
+  | Ok _ -> Alcotest.fail "expected Error for a missing file"
+  | Error e ->
+    Alcotest.(check int) "missing file is a line-0 error" 0 e.Parse_error.line;
+    Alcotest.(check (option string)) "missing file stamped" (Some missing)
+      e.Parse_error.file);
+  (match Logic.Pla.parse_file_result missing with
+  | Ok _ -> Alcotest.fail "expected Error for a missing file"
+  | Error _ -> ());
+  (match Fsm.Kiss.parse_file_result missing with
+  | Ok _ -> Alcotest.fail "expected Error for a missing file"
+  | Error _ -> ());
+  Unix.rmdir dir
+
+let test_roundtrips_still_work () =
+  (* the good corpus inputs parse and round-trip through the printers *)
+  let m = Covering.Instance.parse good_ucp in
+  let m' = Covering.Instance.parse (Covering.Instance.to_string m) in
+  Alcotest.(check int) "ucp rows" (Covering.Matrix.n_rows m) (Covering.Matrix.n_rows m');
+  let o = Covering.Instance.parse_orlib good_orlib in
+  let o' = Covering.Instance.parse_orlib (Covering.Instance.to_orlib o) in
+  Alcotest.(check int) "orlib rows" (Covering.Matrix.n_rows o) (Covering.Matrix.n_rows o');
+  let k = Fsm.Kiss.parse good_kiss in
+  let k' = Fsm.Kiss.parse (Fsm.Kiss.to_string k) in
+  Alcotest.(check int) "kiss states" (Array.length k.Fsm.Machine.states)
+    (Array.length k'.Fsm.Machine.states)
+
+let () =
+  Alcotest.run "parse_errors"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "ucp" `Quick test_ucp_corpus;
+          Alcotest.test_case "orlib" `Quick test_orlib_corpus;
+          Alcotest.test_case "pla" `Quick test_pla_corpus;
+          Alcotest.test_case "kiss" `Quick test_kiss_corpus;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "ucp prefixes+bytes" `Quick test_fuzz_ucp;
+          Alcotest.test_case "orlib prefixes+bytes" `Quick test_fuzz_orlib;
+          Alcotest.test_case "pla prefixes+bytes" `Quick test_fuzz_pla;
+          Alcotest.test_case "kiss prefixes+bytes" `Quick test_fuzz_kiss;
+        ] );
+      ( "apis",
+        [
+          Alcotest.test_case "result variants" `Quick test_result_api;
+          Alcotest.test_case "file stamping" `Quick test_file_stamping;
+          Alcotest.test_case "round trips" `Quick test_roundtrips_still_work;
+        ] );
+    ]

@@ -50,7 +50,7 @@ let limit_bound_filter m (mis : Mis_bound.t) ~lb ~ub =
       Some (Matrix.submatrix m ~keep_rows:(Array.make (Matrix.n_rows m) true) ~keep_cols)
   end
 
-let solve ?ub ?(max_nodes = 200_000) ?(gimpel = true) ?extra_bound m =
+let solve ?(budget = Budget.none) ?ub ?(max_nodes = 200_000) ?(gimpel = true) ?extra_bound m =
   let incumbent_cost = ref (match ub with Some u -> u | None -> max_int) in
   let incumbent_sol = ref None in
   let nodes = ref 0 in
@@ -67,6 +67,7 @@ let solve ?ub ?(max_nodes = 200_000) ?(gimpel = true) ?extra_bound m =
   let rec bb m ~lift_to_root acc_cost ~at_root =
     incr nodes;
     if !nodes > max_nodes then raise Out_of_nodes;
+    if Budget.tick budget Budget.Exact_bb then raise Out_of_nodes;
     let { Reduce.core; trace; fixed_cost } = Reduce.cyclic_core ~gimpel m in
     let acc = acc_cost + fixed_cost in
     let lift_here core_sol = lift_to_root (Reduce.lift trace core_sol) in

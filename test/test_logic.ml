@@ -190,12 +190,12 @@ let test_pla_errors () =
     (try
        ignore (Pla.parse ".i 3\n.o 1\n11 1\n.e\n");
        false
-     with Failure _ -> true);
+     with Parse_error.Parse_error _ -> true);
   check "missing .i raises" true
     (try
        ignore (Pla.parse ".o 1\n1 1\n.e\n");
        false
-     with Failure _ -> true)
+     with Parse_error.Parse_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Primes                                                             *)
