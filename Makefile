@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke fault-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke fault-smoke trace-smoke doc examples clean
 
 all: build
 
@@ -30,6 +30,12 @@ bench-smoke:
 # plus the CLI exit-code contract (also part of the default `dune runtest`)
 fault-smoke:
 	dune build @fault-smoke
+
+# telemetry sanity: traced solves over the difficult suite with full
+# JSON-lines schema validation, plus the telemetry unit suite and a
+# CLI-produced trace (also exercised by the default `dune runtest`)
+trace-smoke:
+	dune build @trace-smoke
 
 doc:
 	dune build @doc

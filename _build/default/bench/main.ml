@@ -20,10 +20,12 @@ let pr fmt = Format.printf fmt
 (* Helpers                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* wall clock, same one the solver's own stats and --timeout use — CPU
+   time (Sys.time) under-reports whenever the process is descheduled *)
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Budget.Clock.now () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Budget.Clock.now () -. t0)
 
 let live_mb () =
   let s = Gc.quick_stat () in
@@ -116,6 +118,33 @@ let baseline_of (inst : Registry.instance) m =
 
 let scg_config ~num_iter = { Scg.Config.default with Scg.Config.num_iter }
 
+(* Per-instance phase timings (telemetry spans + solver stats), mirrored
+   to BENCH_<table>.json so CI can track where the time goes, not just
+   the end-to-end figure. *)
+let bench_json_write ~table_id rows =
+  let module J = Telemetry.Json in
+  let path = Printf.sprintf "BENCH_%s.json" table_id in
+  let oc = open_out path in
+  output_string oc
+    (J.to_string
+       (J.Obj [ ("table", J.String table_id); ("instances", J.List (List.rev rows)) ]));
+  output_char oc '\n';
+  close_out oc;
+  pr "wrote %s@." path
+
+let bench_json_row ~name ~seconds ~(r : Scg.result) telemetry =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ("name", J.String name);
+      ("cost", J.Int r.Scg.cost);
+      ("lower_bound", J.Int r.Scg.lower_bound);
+      ("proven_optimal", J.Bool r.Scg.proven_optimal);
+      ("seconds", J.Float seconds);
+      ("stats", Scg.Stats.to_json r.Scg.stats);
+      ("telemetry", Telemetry.summary telemetry);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Figure 1                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -196,11 +225,15 @@ let run_heuristic_table ~table_id ~title ~paper_note instances =
   pr "%-10s | %8s %8s %8s %6s | %8s %8s | %8s %8s@." "name" "Sol" "CC(s)" "T(s)"
     "M(MB)" "base" "T(s)" "strong" "T(s)";
   hline 94;
+  let json_rows = ref [] in
   List.iter
     (fun inst ->
       let m = Registry.matrix inst in
-      let r, _ = timed (fun () -> Scg.solve m) in
+      let telemetry = Telemetry.create () in
+      let r, t = timed (fun () -> Scg.solve ~telemetry m) in
       let b = baseline_of inst m in
+      json_rows :=
+        bench_json_row ~name:inst.Registry.name ~seconds:t ~r telemetry :: !json_rows;
       csv_emit
         [
           table_id; inst.Registry.name; "scg"; string_of_int r.Scg.cost;
@@ -214,6 +247,7 @@ let run_heuristic_table ~table_id ~title ~paper_note instances =
         (live_mb ()) b.normal_cost b.normal_time b.strong_cost b.strong_time)
     instances;
   hline 94;
+  bench_json_write ~table_id !json_rows;
   pr "(*) proven optimal; base/strong = espresso loop on two-level instances,@.";
   pr "    Chvatal greedy / +1-exchange on raw covering matrices@."
 
@@ -242,10 +276,15 @@ let run_exact_table ~table_id ~title ~paper_note ~max_nodes instances =
   pr "%-10s | %12s %8s %8s | %10s %8s %9s@." "name" "Sol(LB)" "T(s)" "MaxIter" "exact"
     "T(s)" "nodes";
   hline 88;
+  let json_rows = ref [] in
   List.iter
     (fun inst ->
       let m = Registry.matrix inst in
-      let r, t_scg = timed (fun () -> Scg.solve m) in
+      let telemetry = Telemetry.create () in
+      let r, t_scg = timed (fun () -> Scg.solve ~telemetry m) in
+      json_rows :=
+        bench_json_row ~name:inst.Registry.name ~seconds:t_scg ~r telemetry
+        :: !json_rows;
       let e, t_exact = timed (fun () -> Covering.Exact.solve ~max_nodes m) in
       let exact_str =
         Printf.sprintf "%d%s" e.Covering.Exact.cost
@@ -272,6 +311,7 @@ let run_exact_table ~table_id ~title ~paper_note ~max_nodes instances =
         e.Covering.Exact.nodes)
     instances;
   hline 88;
+  bench_json_write ~table_id !json_rows;
   pr "(*) proven optimal; (n) Lagrangian lower bound; H = exact node budget (%d)@."
     max_nodes;
   pr "    exhausted, best incumbent reported — the paper's best-known-bound rows@."
@@ -584,11 +624,11 @@ let time_reps ~reps f =
   ignore (f ());
   let best = ref infinity in
   for _ = 1 to 3 do
-    let t0 = Sys.time () in
+    let t0 = Budget.Clock.now () in
     for _ = 1 to reps do
       ignore (f ())
     done;
-    let t = (Sys.time () -. t0) /. float_of_int reps in
+    let t = (Budget.Clock.now () -. t0) /. float_of_int reps in
     if t < !best then best := t
   done;
   !best

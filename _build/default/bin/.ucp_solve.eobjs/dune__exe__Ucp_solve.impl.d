@@ -1,1 +1,1 @@
-bin/ucp_solve.ml: Arg Benchsuite Budget Cmd Cmdliner Covering Espresso Filename Fmt Fmt_tty Lazy List Logic Logs Scg Sys Term
+bin/ucp_solve.ml: Arg Benchsuite Budget Cmd Cmdliner Covering Espresso Filename Fmt Fmt_tty Lazy List Logic Logs Option Scg Sys Telemetry Term

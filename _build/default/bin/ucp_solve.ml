@@ -13,7 +13,8 @@
         still printed, with its (valid) lower bound
      4  parse error in an input file
      5  input file not found or unreadable
-     6  unknown benchmark instance *)
+     6  unknown benchmark instance
+     7  infeasible: some row of the matrix has no covering column *)
 
 open Cmdliner
 
@@ -69,13 +70,32 @@ let print_list () =
         (Benchsuite.Registry.string_of_category i.Benchsuite.Registry.category))
     (Benchsuite.Registry.all ())
 
-let solve_matrix ~budget solver max_nodes m =
+(* every solve_* returns the solver-specific fields of the --stats-json
+   object *)
+let scg_fields (r : Scg.result) =
+  let module J = Telemetry.Json in
+  [
+    ("solver", J.String "scg");
+    ("cost", J.Int r.Scg.cost);
+    ("lower_bound", J.Int r.Scg.lower_bound);
+    ("proven_optimal", J.Bool r.Scg.proven_optimal);
+    ( "status",
+      J.String
+        (match r.Scg.status with
+        | Scg.Optimal -> "optimal"
+        | Scg.Feasible -> "feasible"
+        | Scg.Feasible_budget_exhausted _ -> "budget-exhausted") );
+    ("stats", Scg.Stats.to_json r.Scg.stats);
+  ]
+
+let solve_matrix ~budget ~telemetry solver max_nodes m =
+  let module J = Telemetry.Json in
   let n_rows = Covering.Matrix.n_rows m and n_cols = Covering.Matrix.n_cols m in
   Fmt.pr "problem: %d rows x %d cols (density %.3f)@." n_rows n_cols
     (Covering.Matrix.density m);
   match solver with
   | Solver_scg ->
-    let r = Scg.solve ~budget m in
+    let r = Scg.solve ~budget ~telemetry m in
     let qualifier =
       match r.Scg.status with
       | Scg.Optimal -> " (proven optimal)"
@@ -84,56 +104,93 @@ let solve_matrix ~budget solver max_nodes m =
     in
     Fmt.pr "scg: cost %d, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound qualifier;
     Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Scg.solution;
-    Fmt.pr "%a@." Scg.Stats.pp r.Scg.stats
+    Fmt.pr "%a@." Scg.Stats.pp r.Scg.stats;
+    scg_fields r
   | Solver_exact ->
     let r = Covering.Exact.solve ~budget ~max_nodes m in
     Fmt.pr "exact: cost %d (%s, %d nodes, lower bound %d)@." r.Covering.Exact.cost
       (if r.Covering.Exact.optimal then "optimal" else "node budget exhausted")
       r.Covering.Exact.nodes r.Covering.Exact.lower_bound;
-    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Covering.Exact.solution
+    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Covering.Exact.solution;
+    [
+      ("solver", J.String "exact");
+      ("cost", J.Int r.Covering.Exact.cost);
+      ("lower_bound", J.Int r.Covering.Exact.lower_bound);
+      ("proven_optimal", J.Bool r.Covering.Exact.optimal);
+      ("nodes", J.Int r.Covering.Exact.nodes);
+    ]
   | Solver_greedy ->
     let sol = Covering.Greedy.solve_exchange m in
     Fmt.pr "greedy: cost %d@." (Covering.Matrix.cost_of m sol);
-    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) sol
+    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) sol;
+    [ ("solver", J.String "greedy"); ("cost", J.Int (Covering.Matrix.cost_of m sol)) ]
   | Solver_espresso ->
     Fmt.epr "espresso mode needs a two-level input (.pla or a two-level instance)@.";
     exit 2
 
-let solve_spec ~budget solver max_nodes (spec : Benchsuite.Plagen.spec) =
+let solve_spec ~budget ~telemetry solver max_nodes (spec : Benchsuite.Plagen.spec) =
+  let module J = Telemetry.Json in
   match solver with
   | Solver_espresso ->
-    let strong = Espresso.minimise ~budget ~mode:Espresso.Strong ~on:spec.on ~dc:spec.dc () in
-    let normal = Espresso.minimise ~budget ~mode:Espresso.Normal ~on:spec.on ~dc:spec.dc () in
+    let strong =
+      Espresso.minimise ~budget ~telemetry ~mode:Espresso.Strong ~on:spec.on
+        ~dc:spec.dc ()
+    in
+    let normal =
+      Espresso.minimise ~budget ~telemetry ~mode:Espresso.Normal ~on:spec.on
+        ~dc:spec.dc ()
+    in
     let tag (r : Espresso.result) = if r.Espresso.interrupted then " [interrupted]" else "" in
     Fmt.pr "espresso normal: %d products / %d literals (%.2fs)%s@."
       normal.Espresso.cost normal.Espresso.literals normal.Espresso.seconds (tag normal);
     Fmt.pr "espresso strong: %d products / %d literals (%.2fs)%s@."
-      strong.Espresso.cost strong.Espresso.literals strong.Espresso.seconds (tag strong)
+      strong.Espresso.cost strong.Espresso.literals strong.Espresso.seconds (tag strong);
+    let fields tag (r : Espresso.result) =
+      ( tag,
+        J.Obj
+          [
+            ("products", J.Int r.Espresso.cost);
+            ("literals", J.Int r.Espresso.literals);
+            ("loops", J.Int r.Espresso.loops);
+            ("seconds", J.Float r.Espresso.seconds);
+            ("interrupted", J.Bool r.Espresso.interrupted);
+          ] )
+    in
+    [ ("solver", J.String "espresso"); fields "normal" normal; fields "strong" strong ]
   | Solver_scg ->
-    let r, bridge = Scg.solve_logic ~budget ~on:spec.on ~dc:spec.dc () in
+    let r, bridge = Scg.solve_logic ~budget ~telemetry ~on:spec.on ~dc:spec.dc () in
     Fmt.pr "scg: %d products, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
       (if r.Scg.proven_optimal then " (proven optimal)" else "");
     let cover = Covering.From_logic.cover_of_solution bridge r.Scg.solution in
-    Fmt.pr "@[<v>cover:@,%a@]@." Logic.Cover.pp cover
+    Fmt.pr "@[<v>cover:@,%a@]@." Logic.Cover.pp cover;
+    scg_fields r
   | Solver_exact | Solver_greedy ->
     let bridge = Covering.From_logic.build ~on:spec.on ~dc:spec.dc () in
-    solve_matrix ~budget solver max_nodes bridge.Covering.From_logic.matrix
+    solve_matrix ~budget ~telemetry solver max_nodes bridge.Covering.From_logic.matrix
 
-let solve_multi ~budget solver pla =
+let solve_multi ~budget ~telemetry solver pla =
+  let module J = Telemetry.Json in
   match solver with
   | Solver_scg ->
-    let r, bridge = Scg.solve_pla_multi ~budget pla in
+    let r, bridge = Scg.solve_pla_multi ~budget ~telemetry pla in
     Fmt.pr "scg (shared products): %d rows, lower bound %d%s@." r.Scg.cost
       r.Scg.lower_bound
       (if r.Scg.proven_optimal then " (proven optimal)" else "");
     let out = Covering.From_logic.pla_of_multi_solution pla bridge r.Scg.solution in
-    Fmt.pr "%s@." (Logic.Pla.to_string out)
+    Fmt.pr "%s@." (Logic.Pla.to_string out);
+    scg_fields r
   | Solver_exact ->
     let bridge = Covering.From_logic.build_multi pla in
     let r = Covering.Exact.solve ~budget bridge.Covering.From_logic.mmatrix in
     Fmt.pr "exact (shared products): %d rows (%s, %d nodes)@." r.Covering.Exact.cost
       (if r.Covering.Exact.optimal then "optimal" else "budget exhausted")
-      r.Covering.Exact.nodes
+      r.Covering.Exact.nodes;
+    [
+      ("solver", J.String "exact");
+      ("cost", J.Int r.Covering.Exact.cost);
+      ("proven_optimal", J.Bool r.Covering.Exact.optimal);
+      ("nodes", J.Int r.Covering.Exact.nodes);
+    ]
   | Solver_greedy | Solver_espresso ->
     Fmt.epr "--multi supports the scg and exact solvers@.";
     exit 2
@@ -158,7 +215,7 @@ let make_budget timeout zdd_nodes max_steps fault_after fault_site =
       ?fault_site ()
 
 let run list solver input_kind path output multi max_nodes timeout zdd_nodes
-    max_steps fault_after fault_site verbose =
+    max_steps fault_after fault_site trace stats_json verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning);
@@ -170,6 +227,30 @@ let run list solver input_kind path output multi max_nodes timeout zdd_nodes
       2
     | Some p ->
       let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
+      (* collect telemetry whenever either sink was requested: --trace
+         streams the records, --stats-json only needs the in-memory
+         aggregation for its summary *)
+      let trace_oc = Option.map open_out trace in
+      let telemetry =
+        match trace_oc with
+        | Some oc -> Telemetry.with_channel oc
+        | None -> if stats_json <> None then Telemetry.create () else Telemetry.null
+      in
+      let finish_telemetry solver_fields =
+        Telemetry.close telemetry;
+        Option.iter close_out trace_oc;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            let json =
+              Telemetry.Json.Obj
+                (solver_fields @ [ ("telemetry", Telemetry.summary telemetry) ])
+            in
+            output_string oc (Telemetry.Json.to_string json);
+            output_char oc '\n';
+            close_out oc)
+          stats_json
+      in
       let input =
         match input_kind with
         | `Auto ->
@@ -192,25 +273,39 @@ let run list solver input_kind path output multi max_nodes timeout zdd_nodes
         | `Orlib -> From_orlib p
         | `Bench -> From_registry p
       in
-      (match load_input input with
-      | `Matrix m -> solve_matrix ~budget solver max_nodes m
-      | `Spec spec -> solve_spec ~budget solver max_nodes spec
-      | `Pla pla when multi -> solve_multi ~budget solver pla
-      | `Pla pla ->
-        let o = output in
-        if o < 0 || o >= pla.Logic.Pla.no then begin
-          Fmt.epr "output %d out of range (PLA has %d outputs)@." o pla.Logic.Pla.no;
-          exit 2
-        end;
-        let spec =
-          {
-            Benchsuite.Plagen.name = p;
-            ni = pla.Logic.Pla.ni;
-            on = Logic.Pla.onset pla o;
-            dc = Logic.Pla.dcset pla o;
-          }
-        in
-        solve_spec ~budget solver max_nodes spec);
+      (match
+         match load_input input with
+         | `Matrix m -> solve_matrix ~budget ~telemetry solver max_nodes m
+         | `Spec spec -> solve_spec ~budget ~telemetry solver max_nodes spec
+         | `Pla pla when multi -> solve_multi ~budget ~telemetry solver pla
+         | `Pla pla ->
+           let o = output in
+           if o < 0 || o >= pla.Logic.Pla.no then begin
+             Fmt.epr "output %d out of range (PLA has %d outputs)@." o
+               pla.Logic.Pla.no;
+             exit 2
+           end;
+           let spec =
+             {
+               Benchsuite.Plagen.name = p;
+               ni = pla.Logic.Pla.ni;
+               on = Logic.Pla.onset pla o;
+               dc = Logic.Pla.dcset pla o;
+             }
+           in
+           solve_spec ~budget ~telemetry solver max_nodes spec
+       with
+      | solver_fields -> finish_telemetry solver_fields
+      | exception Covering.Infeasible { row_id; _ } ->
+        (* no column covers this row: no feasible answer exists, which is
+           a property of the input, not a solver failure *)
+        Fmt.epr "ucp_solve: infeasible: row %d has no covering column@." row_id;
+        finish_telemetry
+          [
+            ("solver", Telemetry.Json.String "none");
+            ("infeasible_row", Telemetry.Json.Int row_id);
+          ];
+        exit 7);
       (* the answer above is feasible whatever happened; the exit code
          records whether the governor cut the run short *)
       match Budget.tripped budget with
@@ -280,6 +375,21 @@ let fault_site_arg =
                  $(b,implicit-reduce), $(b,explicit-reduce), $(b,subgradient), \
                  $(b,dual-ascent), $(b,exact-bb) or $(b,espresso-loop).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSON-lines telemetry trace to $(docv): phase spans, \
+                 reduction counters, the subgradient convergence trace and a \
+                 final summary record.  All timestamps share the --timeout \
+                 wall clock.")
+
+let stats_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write a single-object machine-readable run summary to \
+                 $(docv): solver result fields plus aggregated telemetry \
+                 (per-phase seconds, counters).")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let cmd =
@@ -297,6 +407,9 @@ let cmd =
       Cmd.Exit.info 4 ~doc:"on a parse error in an input file.";
       Cmd.Exit.info 5 ~doc:"when an input file does not exist or cannot be read.";
       Cmd.Exit.info 6 ~doc:"when a benchmark instance name is unknown.";
+      Cmd.Exit.info 7
+        ~doc:"when the problem is infeasible: some row of the covering matrix \
+              is covered by no column, so no solution exists.";
     ]
   in
   Cmd.v
@@ -304,6 +417,7 @@ let cmd =
     Term.(
       const run $ list_arg $ solver_arg $ kind_arg $ path_arg $ output_arg
       $ multi_arg $ max_nodes_arg $ timeout_arg $ zdd_nodes_arg $ max_steps_arg
-      $ fault_after_arg $ fault_site_arg $ verbose_arg)
+      $ fault_after_arg $ fault_site_arg $ trace_arg $ stats_json_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+lib/budget/budget.ml: Clock Fmt List Printf

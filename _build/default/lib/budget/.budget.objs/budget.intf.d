@@ -1,0 +1,1 @@
+lib/budget/budget.mli: Format

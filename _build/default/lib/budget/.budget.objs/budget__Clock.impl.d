@@ -1,0 +1,1 @@
+lib/budget/clock.ml: Unix

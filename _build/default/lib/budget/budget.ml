@@ -1,3 +1,5 @@
+module Clock = Clock
+
 type site =
   | Implicit_reduce
   | Explicit_reduce
@@ -58,7 +60,7 @@ let none =
   { limits = None; ticks = 0; node_ticks = 0; step_ticks = 0; fault_ticks = 0; trip = None }
 
 let create ?timeout ?nodes ?steps ?fault_after ?fault_site
-    ?(now = Unix.gettimeofday) ?(check_every = 32) () =
+    ?(now = Clock.now) ?(check_every = 32) () =
   if check_every <= 0 then invalid_arg "Budget.create: check_every must be positive";
   (match timeout with
   | Some s when s < 0. -> invalid_arg "Budget.create: negative timeout"

@@ -19,6 +19,15 @@
     mutates, so running without a budget is behaviourally identical to
     the ungoverned solver. *)
 
+module Clock : sig
+  val now : unit -> float
+  (** The solver-wide wall clock ([Unix.gettimeofday]).  Deadlines,
+      telemetry spans and reported timings all read this one clock so
+      their numbers are directly comparable — in particular
+      [Stats.total_seconds] is consistent with the [--timeout] that may
+      have tripped the run. *)
+end
+
 (** Checkpoint sites, one per governed loop. *)
 type site =
   | Implicit_reduce  (** {!Covering.Implicit.reduce} ZDD fixpoint steps *)
@@ -69,7 +78,7 @@ val create :
     the total ticks at the iteration-like sites ({!Subgradient},
     {!Dual_ascent}); [fault_after] trips deterministically after that
     many ticks at [fault_site] (any site when [fault_site] is omitted).
-    [now] (default [Unix.gettimeofday]) and [check_every] (default 32;
+    [now] (default {!Clock.now}) and [check_every] (default 32;
     how many ticks between clock reads) exist for tests.
 
     A governor created with no limits at all is active — its counters

@@ -1,1 +1,1 @@
-lib/core/scg.ml: Array Budget Config Covering Float Hashtbl Lagrangian List Logic Logs Option Random Stats Stdlib Sys
+lib/core/scg.ml: Array Budget Config Covering Float Hashtbl Lagrangian List Logic Logs Option Random Stats Stdlib Telemetry Warm

@@ -1,1 +1,1 @@
-lib/core/scg.mli: Budget Config Covering Logic Stats
+lib/core/scg.mli: Budget Config Covering Logic Stats Telemetry Warm

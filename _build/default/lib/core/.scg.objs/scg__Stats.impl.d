@@ -1,1 +1,1 @@
-lib/core/stats.ml: Fmt
+lib/core/stats.ml: Fmt Telemetry

@@ -1,1 +1,1 @@
-lib/core/stats.mli: Format
+lib/core/stats.mli: Format Telemetry

@@ -1,0 +1,1 @@
+lib/core/warm.ml: Array Covering Hashtbl Option

@@ -1,0 +1,1 @@
+lib/core/warm.mli: Covering

@@ -1,6 +1,8 @@
 module Config = Config
 module Stats = Stats
 module Budget = Budget
+module Telemetry = Telemetry
+module Warm = Warm
 module Matrix = Covering.Matrix
 module Reduce = Covering.Reduce
 module Reduce2 = Covering.Reduce2
@@ -33,42 +35,10 @@ let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
    keeps the legacy pass-based loop reachable for differential runs.  Only
    the incremental engine is governed — the legacy engine exists precisely
    as the ungoverned differential baseline. *)
-let cyclic_core ~(config : Config.t) ~budget ~gimpel m =
-  if config.Config.incremental_reduce then Reduce2.cyclic_core ~budget ~gimpel m
-  else Reduce.cyclic_core ~gimpel m
-
-(* Multiplier memory across subproblems, keyed by original row/column
-   identifiers (§3.2: warm-start λ from the previous problem). *)
-module Warm = struct
-  type t = (int, float) Hashtbl.t
-
-  let create () : t = Hashtbl.create 64
-
-  let lambda0 t m =
-    let missing = ref false in
-    let v =
-      Array.init (Matrix.n_rows m) (fun i ->
-          match Hashtbl.find_opt t (Matrix.row_id m i) with
-          | Some x -> x
-          | None ->
-            missing := true;
-            0.)
-    in
-    if !missing && Hashtbl.length t = 0 then None else Some v
-
-  let mu0 t m =
-    if Hashtbl.length t = 0 then None
-    else
-      Some
-        (Array.init (Matrix.n_cols m) (fun j ->
-             Option.value ~default:0. (Hashtbl.find_opt t (Matrix.col_id m j))))
-
-  let store_rows t m values =
-    Array.iteri (fun i v -> Hashtbl.replace t (Matrix.row_id m i) v) values
-
-  let store_cols t m values =
-    Array.iteri (fun j v -> Hashtbl.replace t (Matrix.col_id m j) v) values
-end
+let cyclic_core ~(config : Config.t) ~budget ~telemetry ~gimpel m =
+  if config.Config.incremental_reduce then
+    Reduce2.cyclic_core ~budget ~telemetry ~gimpel m
+  else Reduce.cyclic_core ~telemetry ~gimpel m
 
 (* Bookkeeping for solutions expressed as column identifiers of the saved
    cyclic core A_e (virtual Gimpel identifiers of the initial reduction are
@@ -102,9 +72,9 @@ end
    empty or the path is bound-dominated.  Returns the candidate solutions
    found (in core-identifier space) and the best lower bound certified for
    the *full* core (i.e. from subgradient runs before any fixing). *)
-let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space.t)
-    ~(z_best : int ref) ~(best_ids : int list ref) ~stats_steps ~stats_fixes
-    ~stats_pen =
+let construct ~(config : Config.t) ~budget ~telemetry ~component ~rand ~best_cols
+    ~(space : Core_space.t) ~(z_best : int ref) ~(best_ids : int list ref)
+    ~stats_steps ~stats_fixes ~stats_pen =
   let lambda_mem = Warm.create () and mu_mem = Warm.create () in
   let root_lb = ref 0. in
   let consider ids =
@@ -113,6 +83,11 @@ let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space
     if c < !z_best then begin
       z_best := c;
       best_ids := ids;
+      if Telemetry.enabled telemetry then begin
+        Telemetry.incr telemetry "incumbent.improvements";
+        Telemetry.event telemetry "incumbent"
+          [ ("component", Telemetry.Json.Int component); ("cost", Telemetry.Json.Int c) ]
+      end;
       Log.debug (fun k -> k "incumbent improved to %d" c)
     end
   in
@@ -129,9 +104,20 @@ let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space
       let mu0 = if config.Config.warm_start then Warm.mu0 mu_mem m else None in
       let ub = !z_best - committed_cost in
       let sg =
-        Subgradient.run ~budget ~config:config.Config.subgradient ?lambda0 ?mu0 ~ub m
+        Telemetry.span telemetry "subgradient" (fun () ->
+            let on_step =
+              if Telemetry.enabled telemetry then
+                Some
+                  (fun ~step ~value ~best ->
+                    Telemetry.step telemetry ~phase:"subgradient" ~component ~step
+                      ~value ~best)
+              else None
+            in
+            Subgradient.run ~budget ~config:config.Config.subgradient ?lambda0 ?mu0
+              ?on_step ~ub m)
       in
       stats_steps := !stats_steps + sg.Subgradient.steps;
+      Telemetry.add telemetry "subgradient.steps" sg.Subgradient.steps;
       Warm.store_rows lambda_mem m sg.Subgradient.lambda;
       Warm.store_cols mu_mem m sg.Subgradient.mu;
       if first then root_lb := sg.Subgradient.lower_bound;
@@ -164,6 +150,8 @@ let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space
           |> List.filter (fun j -> not out_mask.(j))
         in
         stats_pen := !stats_pen + List.length forced_in + List.length forced_out;
+        Telemetry.add telemetry "fix.penalty"
+          (List.length forced_in + List.length forced_out);
         (* heuristic fixing (§3.7): promising columns plus one σ-best *)
         let promising =
           Fixing.promising ~c_hat:config.Config.c_hat ~mu_hat:config.Config.mu_hat m
@@ -190,6 +178,7 @@ let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space
           end
         in
         stats_fixes := !stats_fixes + List.length fixed;
+        Telemetry.add telemetry "fix.heuristic" (List.length fixed);
         if fixed = [] && forced_out = [] then () (* nothing to do: stop path *)
         else begin
           (* commit [fixed], drop [forced_out], then re-reduce *)
@@ -220,7 +209,7 @@ let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space
             else begin
               (* explicit reductions to the next stable point; Gimpel is
                  disabled mid-descent so committed identifiers stay real *)
-              let red = cyclic_core ~config ~budget ~gimpel:false m in
+              let red = cyclic_core ~config ~budget ~telemetry ~gimpel:false m in
               let ess_ids = Reduce.lift red.Reduce.trace [] in
               let committed_ids = committed_ids @ ess_ids in
               let committed_cost = committed_cost + red.Reduce.fixed_cost in
@@ -235,23 +224,30 @@ let construct ~(config : Config.t) ~budget ~rand ~best_cols ~(space : Core_space
   descend space.Core_space.core [] 0 ~first:true;
   !root_lb
 
-let solve ?(budget = Budget.none) ?(config = Config.default) input =
+let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null)
+    ?(config = Config.default) input =
   for j = 0 to Matrix.n_cols input - 1 do
     if Matrix.col_id input j <> j then invalid_arg "Scg.solve: matrix already re-indexed"
   done;
-  let t_start = Sys.time () in
+  (* all timings on the governor's wall clock, so [stats.total_seconds]
+     is consistent with a tripped [--timeout] *)
+  let t_start = Budget.Clock.now () in
   (* ---- implicit phase ---- *)
   let imp =
-    Implicit.reduce ~budget ~max_rows:config.max_rows_implicit
-      ~max_cols:config.max_cols_implicit (Implicit.of_matrix input)
+    Telemetry.span telemetry "implicit-reduce" (fun () ->
+        Implicit.reduce ~budget ~telemetry ~max_rows:config.max_rows_implicit
+          ~max_cols:config.max_cols_implicit (Implicit.of_matrix input))
   in
   let decoded, essential0 = Implicit.decode imp in
   let essential0_cost =
     List.fold_left (fun acc j -> acc + Matrix.cost input j) 0 essential0
   in
   (* ---- explicit reductions to the exact cyclic core ---- *)
-  let red = cyclic_core ~config ~budget ~gimpel:config.use_gimpel decoded in
-  let t_core = Sys.time () -. t_start in
+  let red =
+    Telemetry.span telemetry "explicit-reduce" (fun () ->
+        cyclic_core ~config ~budget ~telemetry ~gimpel:config.use_gimpel decoded)
+  in
+  let t_core = Budget.Clock.now () -. t_start in
   let core = red.Reduce.core in
   let finish ~core_ids ~lb_core_int ~steps ~iterations ~best_iteration ~fixes ~pen =
     (* map a core-space solution back to input indices and report *)
@@ -260,7 +256,7 @@ let solve ?(budget = Budget.none) ?(config = Config.default) input =
     let full = Matrix.irredundant input full in
     let cost = Matrix.cost_of input full in
     let lower_bound = essential0_cost + red.Reduce.fixed_cost + lb_core_int in
-    let total = Sys.time () -. t_start in
+    let total = Budget.Clock.now () -. t_start in
     let stats =
       {
         Stats.input_rows = Matrix.n_rows input;
@@ -308,8 +304,10 @@ let solve ?(budget = Budget.none) ?(config = Config.default) input =
     let rand bound = Random.State.int rng bound in
     let steps = ref 0 and fixes = ref 0 and pen = ref 0 in
     let iterations = ref 0 in
-    let best_iteration = ref 1 in
-    let solve_component sub =
+    (* 0 until the greedy incumbent is actually improved by some run —
+       a solve where the seed survives every iteration reports 0 *)
+    let best_iteration = ref 0 in
+    let solve_component ~component sub =
       let space = Core_space.make sub in
       (* prime the incumbent with the plain greedy so every run has a bound *)
       let g = Covering.Greedy.solve_best sub in
@@ -323,8 +321,10 @@ let solve ?(budget = Budget.none) ?(config = Config.default) input =
            let best_cols = config.best_col_start + (iter * config.best_col_growth) in
            let before = !z_best in
            let lb =
-             construct ~config ~budget ~rand ~best_cols ~space ~z_best ~best_ids
-               ~stats_steps:steps ~stats_fixes:fixes ~stats_pen:pen
+             Telemetry.span telemetry "descent" (fun () ->
+                 construct ~config ~budget ~telemetry ~component ~rand ~best_cols
+                   ~space ~z_best ~best_ids ~stats_steps:steps ~stats_fixes:fixes
+                   ~stats_pen:pen)
            in
            if !z_best < before then best_iteration := max !best_iteration (iter + 1);
            best_lb := max !best_lb (ceil_int lb);
@@ -333,32 +333,35 @@ let solve ?(budget = Budget.none) ?(config = Config.default) input =
        with Exit -> ());
       (!best_ids, !best_lb)
     in
-    let core_ids, lb_core_int =
+    let core_ids, lb_core_int, _ =
       List.fold_left
-        (fun (ids, lb) sub ->
-          let ids', lb' = solve_component sub in
-          (ids' @ ids, lb + lb'))
-        ([], 0) components
+        (fun (ids, lb, component) sub ->
+          let ids', lb' =
+            Telemetry.span telemetry ~index:component "component" (fun () ->
+                solve_component ~component sub)
+          in
+          (ids' @ ids, lb + lb', component + 1))
+        ([], 0, 0) components
     in
     finish ~core_ids ~lb_core_int ~steps:!steps ~iterations:!iterations
       ~best_iteration:!best_iteration ~fixes:!fixes ~pen:!pen
   end
 
-let solve_logic ?budget ?config ?cost ~on ~dc () =
+let solve_logic ?budget ?telemetry ?config ?cost ~on ~dc () =
   let bridge = Covering.From_logic.build ?cost ~on ~dc () in
-  let result = solve ?budget ?config bridge.Covering.From_logic.matrix in
+  let result = solve ?budget ?telemetry ?config bridge.Covering.From_logic.matrix in
   (result, bridge)
 
-let solve_logic_implicit ?budget ?config ?cost ~on ~dc () =
+let solve_logic_implicit ?budget ?telemetry ?config ?cost ~on ~dc () =
   let bridge = Covering.From_logic.build_implicit ?cost ~on ~dc () in
-  let result = solve ?budget ?config bridge.Covering.From_logic.imatrix in
+  let result = solve ?budget ?telemetry ?config bridge.Covering.From_logic.imatrix in
   (result, bridge)
 
-let solve_pla ?budget ?config pla ~output =
-  solve_logic ?budget ?config ~on:(Logic.Pla.onset pla output)
+let solve_pla ?budget ?telemetry ?config pla ~output =
+  solve_logic ?budget ?telemetry ?config ~on:(Logic.Pla.onset pla output)
     ~dc:(Logic.Pla.dcset pla output) ()
 
-let solve_pla_multi ?budget ?config pla =
+let solve_pla_multi ?budget ?telemetry ?config pla =
   let bridge = Covering.From_logic.build_multi pla in
-  let result = solve ?budget ?config bridge.Covering.From_logic.mmatrix in
+  let result = solve ?budget ?telemetry ?config bridge.Covering.From_logic.mmatrix in
   (result, bridge)

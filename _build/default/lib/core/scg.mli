@@ -31,6 +31,19 @@ module Budget = Budget
 (** The resource governor, re-exported so callers can write
     [Scg.Budget.create].  @inline *)
 
+module Telemetry = Telemetry
+(** The structured-telemetry collector, re-exported so callers can write
+    [Scg.Telemetry.create].  Pass one to {!solve} to record phase spans
+    (implicit reduce, explicit reduce, per-component subgradient and
+    descent), counters and the subgradient convergence trace; the default
+    {!Telemetry.null} makes every instrumentation site a no-op.  All
+    timestamps come from {!Budget.Clock}, the same wall clock the
+    governor's deadlines use.  @inline *)
+
+module Warm = Warm
+(** Multiplier memory used to warm-start λ/μ across the subproblems of a
+    descent (§3.2); exposed for regression tests.  @inline *)
+
 (** How the run ended.  Whatever the status, [solution] is a feasible
     cover and [lower_bound] a valid bound. *)
 type status =
@@ -50,17 +63,25 @@ type result = {
   stats : Stats.t;
 }
 
-val solve : ?budget:Budget.t -> ?config:Config.t -> Covering.Matrix.t -> result
+val solve :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?config:Config.t ->
+  Covering.Matrix.t ->
+  result
 (** Solve a covering matrix.  [budget] (default: the inactive
     {!Budget.none}) governs every phase — implicit reduction, the
     incremental explicit reduction, subgradient/dual-ascent, and the
     constructive descents.  On a trip the solver never raises: it winds
     down cooperatively and returns the best feasible cover found with a
     still-valid lower bound and [status = Feasible_budget_exhausted].
+    [telemetry] (default: {!Telemetry.null}, a no-op) records phase
+    spans, reduction/fixing counters and the per-step subgradient trace.
     @raise Invalid_argument if the matrix was already re-indexed. *)
 
 val solve_logic :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   ?config:Config.t ->
   ?cost:(Logic.Cube.t -> int) ->
   on:Logic.Cover.t ->
@@ -73,6 +94,7 @@ val solve_logic :
 
 val solve_logic_implicit :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   ?config:Config.t ->
   ?cost:(Logic.Cube.t -> int) ->
   on:Logic.Cover.t ->
@@ -86,6 +108,7 @@ val solve_logic_implicit :
 
 val solve_pla :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   ?config:Config.t ->
   Logic.Pla.t ->
   output:int ->
@@ -94,6 +117,7 @@ val solve_pla :
 
 val solve_pla_multi :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   ?config:Config.t ->
   Logic.Pla.t ->
   result * Covering.From_logic.multi

@@ -33,6 +33,27 @@ let zero =
     budget_trip = None;
   }
 
+let to_json s =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ("input_rows", J.Int s.input_rows);
+      ("input_cols", J.Int s.input_cols);
+      ("implicit_rows_left", J.Float s.implicit_rows_left);
+      ("core_rows", J.Int s.core_rows);
+      ("core_cols", J.Int s.core_cols);
+      ("essential_count", J.Int s.essential_count);
+      ("cyclic_core_seconds", J.Float s.cyclic_core_seconds);
+      ("total_seconds", J.Float s.total_seconds);
+      ("subgradient_steps", J.Int s.subgradient_steps);
+      ("iterations", J.Int s.iterations);
+      ("best_iteration", J.Int s.best_iteration);
+      ("fixes", J.Int s.fixes);
+      ("penalty_fixes", J.Int s.penalty_fixes);
+      ( "budget_trip",
+        match s.budget_trip with None -> J.Null | Some d -> J.String d );
+    ]
+
 let pp ppf s =
   Fmt.pf ppf
     "@[<v>input %dx%d -> core %dx%d (essentials %d)@,\

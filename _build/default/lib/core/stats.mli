@@ -14,7 +14,8 @@ type t = {
   iterations : int;  (** constructive runs actually performed *)
   best_iteration : int;  (** run (1-based) on which the incumbent was last
                              improved — the paper's MaxIter column; 0 when
-                             reductions alone solved the problem *)
+                             reductions alone solved the problem or no run
+                             ever beat the greedy seed *)
   fixes : int;  (** columns fixed heuristically (σ-rule + promising) *)
   penalty_fixes : int;  (** columns fixed or removed by penalties *)
   budget_trip : string option;
@@ -25,3 +26,8 @@ type t = {
 
 val zero : t
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Telemetry.Json.t
+(** One flat object, field names as above; [budget_trip] maps to
+    [null]/string.  Used by [ucp_solve --stats-json] and the bench
+    runner. *)

@@ -1,0 +1,36 @@
+module Matrix = Covering.Matrix
+
+(* Multiplier memory across subproblems, keyed by original row/column
+   identifiers (§3.2: warm-start λ from the previous problem). *)
+
+type t = (int, float) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let lambda0 t m =
+  let missing = ref false in
+  let v =
+    Array.init (Matrix.n_rows m) (fun i ->
+        match Hashtbl.find_opt t (Matrix.row_id m i) with
+        | Some x -> x
+        | None ->
+          missing := true;
+          0.)
+  in
+  (* Any missing row means this subproblem is not a shrunken version of
+     one we already priced: a vector padded with zeros at the misses is
+     a worse ascent start than the dual-ascent seed, so cold-start. *)
+  if !missing then None else Some v
+
+let mu0 t m =
+  if Hashtbl.length t = 0 then None
+  else
+    Some
+      (Array.init (Matrix.n_cols m) (fun j ->
+           Option.value ~default:0. (Hashtbl.find_opt t (Matrix.col_id m j))))
+
+let store_rows t m values =
+  Array.iteri (fun i v -> Hashtbl.replace t (Matrix.row_id m i) v) values
+
+let store_cols t m values =
+  Array.iteri (fun j v -> Hashtbl.replace t (Matrix.col_id m j) v) values

@@ -1,0 +1,1 @@
+lib/covering/covering.ml: Bounds Exact From_logic Greedy Implicit Infeasible Instance Matrix Mis_bound Partition Reduce Reduce2 Sparse

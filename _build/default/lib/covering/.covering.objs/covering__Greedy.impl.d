@@ -1,1 +1,1 @@
-lib/covering/greedy.ml: Array Hashtbl List Matrix Option Stdlib
+lib/covering/greedy.ml: Array Hashtbl Infeasible List Matrix Option Stdlib

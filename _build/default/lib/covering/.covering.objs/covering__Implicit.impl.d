@@ -1,1 +1,1 @@
-lib/covering/implicit.ml: Array Budget List Matrix Zdd
+lib/covering/implicit.ml: Array Budget List Matrix Telemetry Zdd

@@ -1,1 +1,1 @@
-lib/covering/implicit.mli: Budget Matrix Zdd
+lib/covering/implicit.mli: Budget Matrix Telemetry Zdd

@@ -1,0 +1,1 @@
+lib/covering/infeasible.ml: Printexc Printf

@@ -1,1 +1,1 @@
-lib/covering/instance.ml: Array Buffer Fun List Logic Matrix Printf String
+lib/covering/instance.ml: Array Buffer Fun Infeasible List Logic Matrix Printf String

@@ -1,1 +1,1 @@
-lib/covering/reduce.ml: Array Fun List Matrix Stdlib
+lib/covering/reduce.ml: Array Fun List Matrix Stdlib Telemetry

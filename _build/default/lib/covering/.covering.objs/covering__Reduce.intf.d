@@ -1,1 +1,1 @@
-lib/covering/reduce.mli: Matrix
+lib/covering/reduce.mli: Matrix Telemetry

@@ -1,1 +1,1 @@
-lib/covering/reduce2.ml: Array Budget List Matrix Queue Reduce Sparse
+lib/covering/reduce2.ml: Array Budget List Matrix Queue Reduce Sparse Telemetry

@@ -1,1 +1,1 @@
-lib/covering/reduce2.mli: Budget Matrix Reduce Sparse
+lib/covering/reduce2.mli: Budget Matrix Reduce Sparse Telemetry

@@ -1,0 +1,24 @@
+(** Library root: explicit unate covering — matrices, reductions, bounds
+    and solvers.  Re-exports every public module and the typed failure
+    surface shared by the solvers. *)
+
+exception Infeasible = Infeasible.Infeasible
+(** Raised by the solvers ({!Greedy}, and through it {!Scg}) when some
+    row of the matrix is covered by no column, i.e. no feasible cover
+    exists.  Carries the offending row index and its original
+    identifier.  Matrices built through {!Matrix.create} cannot trigger
+    it (empty rows are rejected up front); matrices assembled from
+    pre-validated parts ({!Matrix.of_parts}) can. *)
+
+module Matrix = Matrix
+module Sparse = Sparse
+module Reduce = Reduce
+module Reduce2 = Reduce2
+module Implicit = Implicit
+module Greedy = Greedy
+module Exact = Exact
+module Bounds = Bounds
+module Mis_bound = Mis_bound
+module Partition = Partition
+module Instance = Instance
+module From_logic = From_logic

@@ -51,7 +51,13 @@ let solve ?(rule = Cost_per_row) m =
           end
         end
       done;
-      assert (!best >= 0);
+      if !best < 0 then begin
+        (* no column covers any remaining row: the problem is infeasible.
+           Report the first uncovered row rather than an Assert_failure. *)
+        let row = ref 0 in
+        while covered.(!row) do incr row done;
+        raise (Infeasible.Infeasible { row = !row; row_id = Matrix.row_id m !row })
+      end;
       chosen := !best :: !chosen;
       Array.iter
         (fun i ->

@@ -25,7 +25,11 @@ val rate : rule -> cost:float -> n_fresh:int -> row_weight:float -> float
 
 val solve : ?rule:rule -> Matrix.t -> int list
 (** A feasible, irredundant cover (column indices).  Default rule:
-    {!Cost_per_row}.  Deterministic (ties towards lower index). *)
+    {!Cost_per_row}.  Deterministic (ties towards lower index).
+    @raise Infeasible.Infeasible (re-exported as [Covering.Infeasible])
+    when some row is covered by no column — possible only for matrices
+    assembled from pre-validated parts, since {!Matrix.create} rejects
+    empty rows. *)
 
 val solve_best : Matrix.t -> int list
 (** Run all four rules, return the cheapest result. *)

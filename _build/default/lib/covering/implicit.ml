@@ -49,10 +49,26 @@ let dominance_step t =
   let m = Zdd.minimal t.rows in
   if Zdd.equal m t.rows then None else Some { t with rows = m }
 
-let reduce ?(budget = Budget.none) ?(max_rows = 5000) ?(max_cols = 10_000) t =
+let reduce ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(max_rows = 5000)
+    ?(max_cols = 10_000) t =
   let small t =
     Zdd.count t.rows <= float_of_int max_rows
     && List.length (Zdd.support t.rows) <= max_cols
+  in
+  let nodes0 = Zdd.node_count () in
+  let essential_step t =
+    match essential_step t with
+    | Some _ as r ->
+      Telemetry.incr telemetry "implicit.essential_steps";
+      r
+    | None -> None
+  in
+  let dominance_step t =
+    match dominance_step t with
+    | Some _ as r ->
+      Telemetry.incr telemetry "implicit.dominance_steps";
+      r
+    | None -> None
   in
   (* each recursion step is one checkpoint: on a budget trip the current,
      partially reduced family is returned — still the same covering
@@ -80,7 +96,12 @@ let reduce ?(budget = Budget.none) ?(max_rows = 5000) ?(max_cols = 10_000) t =
         | Some t' -> fixpoint t'
         | None -> t)
   in
-  if small t then fixpoint t else go t
+  let t' = if small t then fixpoint t else go t in
+  (* the unique table only grows, so the delta is this reduction's
+     allocation (shared subgraphs included once) *)
+  Telemetry.add telemetry "implicit.zdd_nodes_allocated"
+    (max 0 (Zdd.node_count () - nodes0));
+  t'
 
 let decode t =
   let m = Matrix.of_sets ~cost:t.cost ~n_cols:t.n_cols t.rows in

@@ -40,14 +40,17 @@ val dominance_step : t -> t option
 (** Remove dominated (superset) rows; [None] if the family is already an
     antichain. *)
 
-val reduce : ?budget:Budget.t -> ?max_rows:int -> ?max_cols:int -> t -> t
+val reduce :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> ?max_rows:int -> ?max_cols:int -> t -> t
 (** Iterate essential/dominance steps until both are exhausted or the
     matrix is small enough — the loop guard of Figure 2: at most
     [max_rows] rows (paper [MaxR] = 5000) {e and} [max_cols] live columns
     (paper [MaxC] = 10000).  Every step is a {!Budget.tick} checkpoint
     (site {!Budget.Implicit_reduce}); on a trip the current, partially
     reduced problem is returned — equivalent to the input, merely less
-    reduced. *)
+    reduced.  [telemetry] counts [implicit.essential_steps],
+    [implicit.dominance_steps] and [implicit.zdd_nodes_allocated] (the
+    unique-table growth across this reduction). *)
 
 val decode : t -> Matrix.t * int list
 (** Explicit matrix (columns re-indexed to drop unused ones is {e not}

@@ -130,8 +130,12 @@ let parse_orlib text =
       match !rest with
       | [] -> eof "missing row"
       | (count_line, count) :: more ->
-        if count <= 0 then
-          Parse_error.failf ~line:count_line "row %d has no columns" row;
+        if count < 0 then
+          Parse_error.failf ~line:count_line "row %d has a negative column count" row;
+        (* a zero count is well-formed data describing a row no column
+           covers: semantic infeasibility, not a syntax error *)
+        if count = 0 then
+          raise (Infeasible.Infeasible { row = row - 1; row_id = row - 1 });
         let cols, more = take count [] more in
         List.iter
           (fun (line, j) ->

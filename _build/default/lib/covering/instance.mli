@@ -38,7 +38,10 @@ val write_file : string -> Matrix.t -> unit
 
 val parse_orlib : string -> Matrix.t
 (** @raise Logic.Parse_error.Parse_error on malformed input (wrong
-    counts, indices out of range, rows without columns). *)
+    counts, indices out of range).
+    @raise Infeasible.Infeasible on a well-formed instance declaring a
+    row with zero covering columns — the format can state infeasibility
+    explicitly, and it is a property of the problem, not of the text. *)
 
 val parse_orlib_file : string -> Matrix.t
 

@@ -34,6 +34,7 @@
 type engine = {
   s : Sparse.t;
   budget : Budget.t;
+  tl : Telemetry.t;
   gimpel : bool;
   row_q : int Queue.t;
   col_q : int Queue.t;
@@ -45,7 +46,7 @@ type engine = {
   mutable in_batch : bool array; (* column-dominance batch membership *)
 }
 
-let engine ?(budget = Budget.none) ?(gimpel = true) s =
+let engine ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(gimpel = true) s =
   let max_id = ref (-1) in
   for j = 0 to Sparse.n_cols s - 1 do
     max_id := max !max_id (Sparse.col_id s j)
@@ -53,6 +54,7 @@ let engine ?(budget = Budget.none) ?(gimpel = true) s =
   {
     s;
     budget;
+    tl = telemetry;
     gimpel;
     row_q = Queue.create ();
     col_q = Queue.create ();
@@ -123,6 +125,8 @@ let select_essential e c =
     Reduce.Essential { id = Sparse.col_id e.s c; cost = Sparse.cost e.s c }
     :: e.trace_rev;
   e.fixed <- e.fixed + Sparse.cost e.s c;
+  Telemetry.incr e.tl "reduce.cols_essential";
+  Telemetry.add e.tl "reduce.rows_covered_essential" (Sparse.col_len e.s c);
   commit_col e c
 
 let process_row e i =
@@ -137,8 +141,10 @@ let process_row e i =
       Sparse.iter_col e.s jr (fun t ->
           if t <> i && Sparse.row_alive e.s t then begin
             let lt = Sparse.row_len e.s t in
-            if (lt > len || (lt = len && t > i)) && Sparse.row_subset e.s i t then
+            if (lt > len || (lt = len && t > i)) && Sparse.row_subset e.s i t then begin
+              Telemetry.incr e.tl "reduce.rows_dominated";
               del_row e t
+            end
           end)
     end
   end
@@ -177,6 +183,7 @@ let col_phase e =
       end
     end
   done;
+  Telemetry.add e.tl "reduce.cols_dominated" (List.length !batch);
   List.iter
     (fun j ->
       e.in_batch.(j) <- false;
@@ -220,6 +227,7 @@ let apply_gimpel e (i, cheap, dear) =
       }
     :: e.trace_rev;
   e.fixed <- e.fixed + base_cost;
+  Telemetry.incr e.tl "reduce.gimpel";
   (* add the virtual twin before removing [dear] so no row of [rows_a]
      transiently drops to a misleading length *)
   let v = Sparse.add_col e.s ~cost:vcost ~id:virtual_id ~rows:rows_a in
@@ -263,10 +271,10 @@ let run e =
     end
   done
 
-let cyclic_core ?(budget = Budget.none) ?(gimpel = true) m =
+let cyclic_core ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(gimpel = true) m =
   if Matrix.n_rows m = 0 then { Reduce.core = m; trace = []; fixed_cost = 0 }
   else begin
-    let e = engine ~budget ~gimpel (Sparse.of_matrix m) in
+    let e = engine ~budget ~telemetry ~gimpel (Sparse.of_matrix m) in
     seed_all e;
     run e;
     let core =

@@ -19,13 +19,16 @@
     moment no row is left) so both engines walk the same reduction
     states and tie-breaks resolve identically. *)
 
-val cyclic_core : ?budget:Budget.t -> ?gimpel:bool -> Matrix.t -> Reduce.result
+val cyclic_core :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> ?gimpel:bool -> Matrix.t -> Reduce.result
 (** Drop-in replacement for {!Reduce.cyclic_core}; [gimpel] defaults to
     [true].  Solutions of the core lift through {!Reduce.lift} exactly
     as with the legacy engine.  Every worklist step is a {!Budget.tick}
     checkpoint (site {!Budget.Explicit_reduce}); on a trip the fixpoint
     stops early and the partially reduced — still equivalent — matrix is
-    returned as the core. *)
+    returned as the core.  [telemetry] counts eliminations per rule
+    ([reduce.cols_essential], [reduce.rows_covered_essential],
+    [reduce.rows_dominated], [reduce.cols_dominated], [reduce.gimpel]). *)
 
 (** {1 Persistent engine}
 
@@ -39,10 +42,12 @@ val cyclic_core : ?budget:Budget.t -> ?gimpel:bool -> Matrix.t -> Reduce.result
 
 type engine
 
-val engine : ?budget:Budget.t -> ?gimpel:bool -> Sparse.t -> engine
+val engine :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> ?gimpel:bool -> Sparse.t -> engine
 (** Wrap a sparse matrix (taking ownership).  Worklists start empty;
     call {!seed_all} before the first {!run} so the static reductions
-    are found.  [budget] governs every subsequent {!run}. *)
+    are found.  [budget] governs every subsequent {!run}; [telemetry]
+    receives the same per-rule counters as {!cyclic_core}. *)
 
 val seed_all : engine -> unit
 (** Enqueue every live line — the initial full scan. *)

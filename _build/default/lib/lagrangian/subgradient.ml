@@ -62,12 +62,8 @@ let run ?(budget = Budget.none) ?(config = default_config) ?lambda0 ?mu0 ?ub ?on
     let seed_sol = Greedy.solve_best m in
     let best_solution = ref seed_sol in
     let best_cost = ref (Matrix.cost_of m seed_sol) in
-    (match ub with
-    | Some u when u < !best_cost ->
-      (* caller knows a better bound but no solution; keep the solution,
-         use the bound for the step-size estimate only *)
-      ()
-    | Some _ | None -> ());
+    (* a caller-provided [ub] carries no solution, so it never replaces
+       the incumbent — it only sharpens the step-size estimate below *)
     let ub_hint = match ub with Some u -> float_of_int u | None -> infinity in
     let mu =
       match mu0 with

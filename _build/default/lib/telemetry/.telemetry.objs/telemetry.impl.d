@@ -1,0 +1,1 @@
+lib/telemetry/telemetry.ml: Budget Fun Hashtbl Jsont List Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/telemetry/jsont.ml: Buffer Char Float Fmt List Printf String

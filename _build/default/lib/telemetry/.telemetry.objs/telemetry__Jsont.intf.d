@@ -1,0 +1,1 @@
+lib/telemetry/jsont.mli: Format

@@ -1,0 +1,39 @@
+(** A minimal JSON value type with a compact printer and a strict
+    parser — just enough for the telemetry trace format, with no
+    external dependency (the container ships no yojson).
+
+    Printing is canonical-ish: object fields keep insertion order,
+    floats use the shortest round-trippable decimal form, and non-finite
+    floats are emitted as [null] (JSON has no representation for them).
+    [of_string] accepts any RFC 8259 text whose numbers fit [int] /
+    [float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines — safe for JSON-lines). *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON text; [Error msg] carries the byte
+    offset of the failure. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else or when absent. *)
+
+val to_float : t -> float option
+(** [Int] and [Float] both convert. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val equal : t -> t -> bool

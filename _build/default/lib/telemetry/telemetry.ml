@@ -1,0 +1,202 @@
+module Json = Jsont
+
+type span = {
+  name : string;
+  start : float;
+  stop : float;
+  depth : int;
+}
+
+type active = {
+  clock : unit -> float;
+  t0 : float;
+  sink : (string -> unit) option;
+  flush : unit -> unit;
+  mutable depth : int;
+  mutable spans_rev : span list;
+  counters : (string, int) Hashtbl.t;
+  event_counts : (string, int) Hashtbl.t;
+  step_counts : (string, int) Hashtbl.t;
+  step_best : (string, float) Hashtbl.t;
+  mutable closed : bool;
+}
+
+type t = active option
+
+let null : t = None
+
+let create ?(clock = Budget.Clock.now) ?trace () =
+  Some
+    {
+      clock;
+      t0 = clock ();
+      sink = trace;
+      flush = (fun () -> ());
+      depth = 0;
+      spans_rev = [];
+      counters = Hashtbl.create 32;
+      event_counts = Hashtbl.create 16;
+      step_counts = Hashtbl.create 4;
+      step_best = Hashtbl.create 4;
+      closed = false;
+    }
+
+let with_channel oc =
+  match create ~trace:(fun line -> output_string oc line; output_char oc '\n') () with
+  | Some a -> Some { a with flush = (fun () -> flush oc) }
+  | None -> assert false
+
+let enabled = function None -> false | Some _ -> true
+
+let now a = a.clock () -. a.t0
+
+let elapsed = function None -> 0. | Some a -> now a
+
+let emit a record =
+  match a.sink with
+  | None -> ()
+  | Some sink -> sink (Json.to_string (Json.Obj record))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let span t ?index name f =
+  match t with
+  | None -> f ()
+  | Some a ->
+    let name =
+      match index with None -> name | Some k -> Printf.sprintf "%s-%d" name k
+    in
+    let start = now a in
+    let depth = a.depth in
+    a.depth <- depth + 1;
+    emit a
+      [ ("t", Json.Float start); ("ev", Json.String "span_begin");
+        ("name", Json.String name); ("depth", Json.Int depth) ];
+    let finish () =
+      let stop = now a in
+      a.depth <- depth;
+      a.spans_rev <- { name; start; stop; depth } :: a.spans_rev;
+      emit a
+        [ ("t", Json.Float stop); ("ev", Json.String "span_end");
+          ("name", Json.String name); ("depth", Json.Int depth);
+          ("dur", Json.Float (stop -. start)) ]
+    in
+    Fun.protect ~finally:finish f
+
+let spans = function None -> [] | Some a -> List.rev a.spans_rev
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let add t name n =
+  match t with
+  | None -> ()
+  | Some a ->
+    Hashtbl.replace a.counters name
+      (n + Option.value ~default:0 (Hashtbl.find_opt a.counters name))
+
+let incr t name = add t name 1
+
+let counter t name =
+  match t with
+  | None -> 0
+  | Some a -> Option.value ~default:0 (Hashtbl.find_opt a.counters name)
+
+let counters = function
+  | None -> []
+  | Some a ->
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) a.counters []
+    |> List.sort Stdlib.compare
+
+(* ------------------------------------------------------------------ *)
+(* Events and the convergence trace                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bump tbl name =
+  Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+
+let event t name payload =
+  match t with
+  | None -> ()
+  | Some a ->
+    bump a.event_counts name;
+    emit a
+      (("t", Json.Float (now a)) :: ("ev", Json.String name) :: payload)
+
+let step t ~phase ~component ~step ~value ~best =
+  match t with
+  | None -> ()
+  | Some a ->
+    bump a.step_counts phase;
+    Hashtbl.replace a.step_best phase best;
+    emit a
+      [ ("t", Json.Float (now a)); ("ev", Json.String "step");
+        ("phase", Json.String phase); ("component", Json.Int component);
+        ("step", Json.Int step); ("value", Json.Float value);
+        ("best", Json.Float best) ]
+
+let last_best t ~phase =
+  match t with None -> None | Some a -> Hashtbl.find_opt a.step_best phase
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let summary t =
+  match t with
+  | None -> Json.Obj []
+  | Some a ->
+    let span_totals = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let count, seconds =
+          Option.value ~default:(0, 0.) (Hashtbl.find_opt span_totals s.name)
+        in
+        Hashtbl.replace span_totals s.name (count + 1, seconds +. (s.stop -. s.start)))
+      a.spans_rev;
+    let sorted_fields tbl f =
+      Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
+      |> List.sort Stdlib.compare
+    in
+    let step_fields =
+      Hashtbl.fold
+        (fun phase n acc ->
+          let fields =
+            ("count", Json.Int n)
+            ::
+            (match Hashtbl.find_opt a.step_best phase with
+            | Some b -> [ ("last_best", Json.Float b) ]
+            | None -> [])
+          in
+          (phase, Json.Obj fields) :: acc)
+        a.step_counts []
+      |> List.sort Stdlib.compare
+    in
+    Json.Obj
+      [
+        ("elapsed", Json.Float (now a));
+        ( "spans",
+          Json.Obj
+            (sorted_fields span_totals (fun (count, seconds) ->
+                 Json.Obj [ ("count", Json.Int count); ("seconds", Json.Float seconds) ]))
+        );
+        ("counters", Json.Obj (sorted_fields a.counters (fun v -> Json.Int v)));
+        ("events", Json.Obj (sorted_fields a.event_counts (fun v -> Json.Int v)));
+        ("steps", Json.Obj step_fields);
+      ]
+
+let close t =
+  match t with
+  | None -> ()
+  | Some a ->
+    if not a.closed then begin
+      a.closed <- true;
+      (match summary t with
+      | Json.Obj fields ->
+        emit a (("t", Json.Float (now a)) :: ("ev", Json.String "summary") :: fields)
+      | _ -> ());
+      a.flush ()
+    end

@@ -1,1 +1,1 @@
-test/test_scg.ml: Alcotest Array Covering Exact From_logic Lagrangian List Logic Matrix QCheck QCheck_alcotest Scg Test_support
+test/test_scg.ml: Alcotest Array Benchsuite Covering Exact From_logic Lagrangian List Logic Matrix QCheck QCheck_alcotest Scg Test_support

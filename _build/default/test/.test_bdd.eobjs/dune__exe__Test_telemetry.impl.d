@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Benchsuite Buffer Covering Float List Option Scg

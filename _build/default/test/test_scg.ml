@@ -66,7 +66,71 @@ let test_scg_fully_reducible () =
   let m = Matrix.create ~n_cols:3 [ [ 2 ]; [ 1; 2 ]; [ 0; 1 ] ] in
   let r = Scg.solve m in
   check "proven" true r.Scg.proven_optimal;
-  Alcotest.(check int) "no iterations" 0 r.Scg.stats.Scg.Stats.iterations
+  Alcotest.(check int) "no iterations" 0 r.Scg.stats.Scg.Stats.iterations;
+  (* no constructive run ever ran, let alone improved the incumbent: the
+     paper's MaxIter column must read 0, not a phantom 1 *)
+  Alcotest.(check int) "best_iteration 0" 0 r.Scg.stats.Scg.Stats.best_iteration
+
+let test_best_iteration_bounded () =
+  (* best_iteration is 1-based and can never exceed the number of runs
+     actually performed; 0 means the greedy seed was never beaten *)
+  List.iter
+    (fun name ->
+      let m = Benchsuite.Registry.matrix (Benchsuite.Registry.find name) in
+      let r = Scg.solve ~config:fast_config m in
+      let s = r.Scg.stats in
+      check
+        (name ^ ": 0 <= best_iteration <= iterations")
+        true
+        (s.Scg.Stats.best_iteration >= 0
+        && s.Scg.Stats.best_iteration <= s.Scg.Stats.iterations))
+    [ "bench1"; "t1"; "exam" ]
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start memory                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_lambda0 () =
+  let open Scg.Warm in
+  let m2 = Matrix.create ~n_cols:2 [ [ 0 ]; [ 1 ] ] in
+  let w = create () in
+  check "empty memory cold-starts" true (lambda0 w m2 = None);
+  store_rows w m2 [| 1.5; 2.5 |];
+  check "full hit" true (lambda0 w m2 = Some [| 1.5; 2.5 |]);
+  (* the regression: a matrix with a row the memory has never seen must
+     cold-start even though the memory is non-empty — the old guard
+     ([!missing && length = 0]) could never fire and handed back a
+     zero-padded vector instead *)
+  let m3 =
+    Matrix.of_parts ~n_cols:2
+      ~rows:[| [| 0 |]; [| 1 |]; [| 0; 1 |] |]
+      ~cost:[| 1; 1 |] ~row_ids:[| 0; 1; 7 |] ~col_ids:[| 0; 1 |]
+  in
+  check "partial miss cold-starts" true (lambda0 w m3 = None);
+  (* values are keyed by row identifier, so re-indexed submatrices still
+     hit: same ids in another order *)
+  let m2' =
+    Matrix.of_parts ~n_cols:2
+      ~rows:[| [| 1 |]; [| 0 |] |]
+      ~cost:[| 1; 1 |] ~row_ids:[| 1; 0 |] ~col_ids:[| 0; 1 |]
+  in
+  check "keyed by id" true (lambda0 w m2' = Some [| 2.5; 1.5 |])
+
+let test_warm_mu0 () =
+  let open Scg.Warm in
+  let m2 = Matrix.create ~n_cols:2 [ [ 0 ]; [ 1 ] ] in
+  let w = create () in
+  check "empty memory" true (mu0 w m2 = None);
+  store_cols w m2 [| 0.25; 0.75 |];
+  check "full hit" true (mu0 w m2 = Some [| 0.25; 0.75 |]);
+  (* unlike λ, a missing column zero-fills: μ = 0 is a meaningful
+     "column unused" estimate *)
+  let m3 =
+    Matrix.of_parts ~n_cols:3
+      ~rows:[| [| 0 |]; [| 1 |]; [| 2 |] |]
+      ~cost:[| 1; 1; 1 |] ~row_ids:[| 0; 1; 2 |] ~col_ids:[| 0; 1; 9 |]
+  in
+  check "miss zero-fills" true (mu0 w m3 = Some [| 0.25; 0.75; 0. |])
 
 let test_scg_partitioned_core () =
   (* two disjoint odd cycles: componentwise bounds compose — each block
@@ -195,6 +259,10 @@ let () =
           Alcotest.test_case "c5" `Quick test_scg_c5;
           Alcotest.test_case "fig1" `Quick test_scg_fig1;
           Alcotest.test_case "fully reducible" `Quick test_scg_fully_reducible;
+          Alcotest.test_case "best_iteration bounded" `Quick
+            test_best_iteration_bounded;
+          Alcotest.test_case "warm lambda0" `Quick test_warm_lambda0;
+          Alcotest.test_case "warm mu0" `Quick test_warm_mu0;
           Alcotest.test_case "partitioned core" `Quick test_scg_partitioned_core;
           Alcotest.test_case "deterministic" `Quick test_scg_deterministic;
           Alcotest.test_case "medium vs exact" `Slow test_scg_medium_vs_exact;

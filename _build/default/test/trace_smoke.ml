@@ -1,0 +1,145 @@
+(* Trace smoke test: run traced solves over the difficult suite and
+   validate the emitted JSON-lines stream against the documented schema —
+   every line parses, record types are known, timestamps are monotone,
+   span begin/end records balance, and the summary record comes last.
+
+   With `--validate FILE` it instead checks an existing trace file (the
+   runtest rule uses this on a trace produced by the ucp_solve CLI), so
+   the schema checked here is the schema the shipped binary emits. *)
+
+module Telemetry = Scg.Telemetry
+module Json = Telemetry.Json
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline ("trace_smoke: " ^ s); exit 1) fmt
+
+let known_events =
+  [ "span_begin"; "span_end"; "step"; "incumbent"; "summary" ]
+
+let float_field r name =
+  match Option.bind (Json.member name r) Json.to_float with
+  | Some v -> v
+  | None -> fail "record %s lacks float field %S" (Json.to_string r) name
+
+let str_field r name =
+  match Option.bind (Json.member name r) Json.to_str with
+  | Some v -> v
+  | None -> fail "record %s lacks string field %S" (Json.to_string r) name
+
+let validate_lines ~source lines =
+  if lines = [] then fail "%s: empty trace" source;
+  let records =
+    List.map
+      (fun (lineno, l) ->
+        match Json.of_string l with
+        | Ok r -> (lineno, r)
+        | Error e -> fail "%s:%d: unparseable line: %s" source lineno e)
+      lines
+  in
+  let last_t = ref neg_infinity in
+  let depth = ref 0 in
+  let summaries = ref 0 in
+  List.iter
+    (fun (lineno, r) ->
+      let t = float_field r "t" in
+      let ev = str_field r "ev" in
+      if not (List.mem ev known_events) then
+        fail "%s:%d: unknown record type %S" source lineno ev;
+      if t < !last_t then
+        fail "%s:%d: non-monotone timestamp %g after %g" source lineno t !last_t;
+      last_t := t;
+      (match ev with
+      | "span_begin" ->
+        ignore (str_field r "name");
+        incr depth
+      | "span_end" ->
+        ignore (str_field r "name");
+        ignore (float_field r "dur");
+        decr depth;
+        if !depth < 0 then fail "%s:%d: span_end without begin" source lineno
+      | "step" ->
+        ignore (str_field r "phase");
+        ignore (float_field r "value");
+        ignore (float_field r "best")
+      | "incumbent" -> ignore (float_field r "cost")
+      | "summary" ->
+        incr summaries;
+        List.iter
+          (fun f ->
+            if Json.member f r = None then
+              fail "%s:%d: summary lacks %S" source lineno f)
+          [ "spans"; "counters"; "events" ]
+      | _ -> ());
+      if !summaries > 0 && ev <> "summary" then
+        fail "%s:%d: record after the summary" source lineno)
+    records;
+  if !depth <> 0 then fail "%s: %d unclosed span(s)" source !depth;
+  if !summaries <> 1 then fail "%s: %d summary records (want 1)" source !summaries;
+  List.length records
+
+let validate_file path =
+  let ic = open_in path in
+  let lines = ref [] and lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       lines := (!lineno, input_line ic) :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let n = validate_lines ~source:path (List.rev !lines) in
+  Format.printf "trace_smoke: %s ok (%d records)@." path n
+
+(* --stats-json output: one object with solver fields and the aggregated
+   telemetry summary *)
+let validate_stats path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.of_string (String.trim text) with
+  | Error e -> fail "%s: unparseable stats: %s" path e
+  | Ok r ->
+    if Json.member "solver" r = None then fail "%s: stats lack \"solver\"" path;
+    (match Json.member "telemetry" r with
+    | None -> fail "%s: stats lack \"telemetry\"" path
+    | Some tel ->
+      List.iter
+        (fun f ->
+          if Json.member f tel = None then
+            fail "%s: stats telemetry lacks %S" path f)
+        [ "elapsed"; "spans"; "counters" ]);
+    Format.printf "trace_smoke: %s ok (stats)@." path
+
+let run_suite () =
+  let instances = Benchsuite.Registry.difficult () in
+  List.iter
+    (fun inst ->
+      let name = inst.Benchsuite.Registry.name in
+      let lines = ref [] and lineno = ref 0 in
+      let t =
+        Telemetry.create
+          ~trace:(fun l ->
+            incr lineno;
+            lines := (!lineno, l) :: !lines)
+          ()
+      in
+      let m = Benchsuite.Registry.matrix inst in
+      let r = Scg.solve ~telemetry:t m in
+      Telemetry.close t;
+      let n = validate_lines ~source:name (List.rev !lines) in
+      (* cross-check the stream against the solver's own accounting *)
+      if
+        Telemetry.counter t "subgradient.steps"
+        <> r.Scg.stats.Scg.Stats.subgradient_steps
+      then fail "%s: telemetry step count disagrees with Stats" name;
+      if not (Covering.Matrix.covers m r.Scg.solution) then
+        fail "%s: solution does not cover" name;
+      Format.printf "trace_smoke: %-10s ok (%d records, cost %d)@." name n r.Scg.cost)
+    instances
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run_suite ()
+  | [ _; "--validate"; path ] -> validate_file path
+  | [ _; "--validate-stats"; path ] -> validate_stats path
+  | _ ->
+    prerr_endline "usage: trace_smoke [--validate FILE | --validate-stats FILE]";
+    exit 2

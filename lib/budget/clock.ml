@@ -1,0 +1,15 @@
+(* The solver-wide wall clock.
+
+   Every timing consumer in the stack — the governor's deadline checks,
+   the telemetry spans, the reported [Stats] timings — must read the
+   *same* clock, or the numbers cannot be compared: a deadline enforced
+   on wall-clock time but reported against CPU time (the old
+   [Sys.time]-based stats) lets [total_seconds] disagree with the
+   [--timeout] that tripped the run.
+
+   [Unix.gettimeofday] is the highest-resolution wall clock the baked-in
+   toolchain offers without extra dependencies; it can jump on NTP
+   adjustments, so durations are computed as differences of nearby
+   readings and never assumed monotone across long sleeps. *)
+
+let now : unit -> float = Unix.gettimeofday

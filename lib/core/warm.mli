@@ -1,0 +1,25 @@
+(** Multiplier memory across subproblems (§3.2: warm-start λ and μ from
+    the previous subproblem of a descent).
+
+    Internal to {!Scg.solve}'s constructive descent; exposed as
+    [Scg.Warm] so the warm-start semantics can be pinned by regression
+    tests.  Values are keyed by {e original} row/column identifiers, so
+    they survive reductions and re-indexing. *)
+
+type t
+
+val create : unit -> t
+
+val lambda0 : t -> Covering.Matrix.t -> float array option
+(** The stored λ for every row of [m] — or [None] (cold start) if {e
+    any} row of [m] has no stored multiplier.  A partially known vector
+    zero-filled at the misses is a worse ascent start than the
+    dual-ascent seed, so it is not offered. *)
+
+val mu0 : t -> Covering.Matrix.t -> float array option
+(** The stored μ per column, zero-filled at misses ([None] only when
+    the memory is empty): μ lives in [0,1] where 0 is a meaningful
+    "column unused" estimate, unlike the λ case. *)
+
+val store_rows : t -> Covering.Matrix.t -> float array -> unit
+val store_cols : t -> Covering.Matrix.t -> float array -> unit

@@ -1,0 +1,15 @@
+(* The covering-side typed failure: a row that no column covers.  Part
+   of the structured failure surface (DESIGN.md §7): solvers never leak
+   raw [Assert_failure]s — an uncoverable matrix raises this exception,
+   which the library root re-exports as [Covering.Infeasible]. *)
+
+exception Infeasible of { row : int; row_id : int }
+
+let () =
+  Printexc.register_printer (function
+    | Infeasible { row; row_id } ->
+      Some
+        (Printf.sprintf
+           "Covering.Infeasible: row %d (original id %d) is covered by no column"
+           row row_id)
+    | _ -> None)

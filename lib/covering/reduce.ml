@@ -197,13 +197,33 @@ let step ?(gimpel = true) ~next_virtual_id m =
         else None
       end
 
-let cyclic_core ?(gimpel = true) m =
+(* Attribute one legacy pass to its reduction rule for the telemetry
+   counters: the trace identifies essential/Gimpel passes, otherwise the
+   dimension that shrank tells rows from columns apart (each pass
+   applies exactly one rule). *)
+let count_step tl before after (r : result) =
+  if Telemetry.enabled tl then begin
+    let rows_gone = Matrix.n_rows before - Matrix.n_rows after
+    and cols_gone = Matrix.n_cols before - Matrix.n_cols after in
+    match r.trace with
+    | Essential _ :: _ ->
+      Telemetry.add tl "reduce.cols_essential" (List.length r.trace);
+      Telemetry.add tl "reduce.rows_covered_essential" rows_gone
+    | Gimpel _ :: _ -> Telemetry.incr tl "reduce.gimpel"
+    | [] ->
+      if rows_gone > 0 then Telemetry.add tl "reduce.rows_dominated" rows_gone
+      else Telemetry.add tl "reduce.cols_dominated" cols_gone
+  end
+
+let cyclic_core ?(telemetry = Telemetry.null) ?(gimpel = true) m =
   let max_id = Array.fold_left max (-1) (Array.init (Matrix.n_cols m) (Matrix.col_id m)) in
   let next_virtual_id = ref (max_id + 1) in
   let rec go core trace fixed =
     match step ~gimpel ~next_virtual_id core with
     | None -> { core; trace = List.rev trace; fixed_cost = fixed }
-    | Some r -> go r.core (List.rev_append r.trace trace) (fixed + r.fixed_cost)
+    | Some r ->
+      count_step telemetry core r.core r;
+      go r.core (List.rev_append r.trace trace) (fixed + r.fixed_cost)
   in
   go m [] 0
 

@@ -44,8 +44,10 @@ val step : ?gimpel:bool -> next_virtual_id:int ref -> Matrix.t -> result option
 (** One pass of essential / row-dominance / column-dominance (/ Gimpel);
     [None] when nothing applies. *)
 
-val cyclic_core : ?gimpel:bool -> Matrix.t -> result
-(** Iterate {!step} to the fixpoint.  [gimpel] defaults to [true]. *)
+val cyclic_core : ?telemetry:Telemetry.t -> ?gimpel:bool -> Matrix.t -> result
+(** Iterate {!step} to the fixpoint.  [gimpel] defaults to [true].
+    [telemetry] counts eliminations under the same per-rule counter
+    names as {!Reduce2.cyclic_core}. *)
 
 val lift : trace -> int list -> int list
 (** [lift trace core_solution_ids] maps a solution of the core (as original

@@ -177,9 +177,11 @@ let last_gasp ~off ~dc f =
 
 let cost_pair f = (Cover.size f, Cover.literal_cost f)
 
-let minimise ?(budget = Budget.none) ?(mode = Normal) ~on ~dc () =
+let minimise ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(mode = Normal)
+    ~on ~dc () =
   if Cover.nvars on <> Cover.nvars dc then invalid_arg "Espresso.minimise: arity mismatch";
-  let t0 = Sys.time () in
+  (* governor deadlines run on the wall clock, so [seconds] must too *)
+  let t0 = Budget.Clock.now () in
   let off = Cover.complement (Cover.union on dc) in
   let loops = ref 0 in
   (* every pass preserves the invariant "covers ON, stays in ON ∪ DC", so
@@ -197,7 +199,9 @@ let minimise ?(budget = Budget.none) ?(mode = Normal) ~on ~dc () =
   in
   let pass f =
     incr loops;
-    irredundant ~dc (expand ~off (reduce ~dc f))
+    Telemetry.incr telemetry "espresso.loops";
+    Telemetry.span telemetry ~index:!loops "espresso-pass" (fun () ->
+        irredundant ~dc (expand ~off (reduce ~dc f)))
   in
   let rec converge f =
     if stop () then f
@@ -221,12 +225,13 @@ let minimise ?(budget = Budget.none) ?(mode = Normal) ~on ~dc () =
     cost = Cover.size final;
     literals = Cover.literal_cost final;
     loops = !loops;
-    seconds = Sys.time () -. t0;
+    seconds = Budget.Clock.now () -. t0;
     interrupted = !interrupted;
   }
 
-let minimise_pla ?budget ?mode pla ~output =
-  minimise ?budget ?mode ~on:(Logic.Pla.onset pla output) ~dc:(Logic.Pla.dcset pla output) ()
+let minimise_pla ?budget ?telemetry ?mode pla ~output =
+  minimise ?budget ?telemetry ?mode ~on:(Logic.Pla.onset pla output)
+    ~dc:(Logic.Pla.dcset pla output) ()
 
 type pla_result = {
   covers : Cover.t array;
@@ -235,15 +240,18 @@ type pla_result = {
   interrupted : bool;
 }
 
-let minimise_all ?budget ?mode pla =
-  let t0 = Sys.time () in
+let minimise_all ?budget ?(telemetry = Telemetry.null) ?mode pla =
+  let t0 = Budget.Clock.now () in
   let interrupted = ref false in
   let covers =
     Array.init pla.Logic.Pla.no (fun k ->
         let on = Logic.Pla.onset pla k in
         if Cover.is_empty on then Cover.empty pla.Logic.Pla.ni
         else begin
-          let r = minimise ?budget ?mode ~on ~dc:(Logic.Pla.dcset pla k) () in
+          let r =
+            Telemetry.span telemetry ~index:k "espresso-output" (fun () ->
+                minimise ?budget ~telemetry ?mode ~on ~dc:(Logic.Pla.dcset pla k) ())
+          in
           if r.interrupted then interrupted := true;
           r.cover
         end)
@@ -257,6 +265,6 @@ let minimise_all ?budget ?mode pla =
   {
     covers;
     distinct_products;
-    total_seconds = Sys.time () -. t0;
+    total_seconds = Budget.Clock.now () -. t0;
     interrupted = !interrupted;
   }

@@ -34,16 +34,31 @@ type result = {
 }
 
 val minimise :
-  ?budget:Budget.t -> ?mode:mode -> on:Logic.Cover.t -> dc:Logic.Cover.t -> unit -> result
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?mode:mode ->
+  on:Logic.Cover.t ->
+  dc:Logic.Cover.t ->
+  unit ->
+  result
 (** Minimise an incompletely specified function.  The result covers the
     ON-set, stays within ON ∪ DC, and is irredundant.  [budget]
     checkpoints every convergence pass (site {!Budget.Espresso_loop});
     on a trip the current cover is returned — still a valid, irredundant
     cover of the function, merely less minimised — with
-    [interrupted = true] (LAST_GASP is also skipped).
+    [interrupted = true] (LAST_GASP is also skipped).  [telemetry]
+    (default: no-op) records one ["espresso-pass"] span per convergence
+    pass and the [espresso.loops] counter; [seconds] is measured on
+    {!Budget.Clock}, the same wall clock the governor's deadline uses.
     @raise Invalid_argument if arities differ. *)
 
-val minimise_pla : ?budget:Budget.t -> ?mode:mode -> Logic.Pla.t -> output:int -> result
+val minimise_pla :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?mode:mode ->
+  Logic.Pla.t ->
+  output:int ->
+  result
 
 type pla_result = {
   covers : Logic.Cover.t array;  (** one minimised cover per output *)
@@ -56,10 +71,12 @@ type pla_result = {
   interrupted : bool;  (** some output's minimisation was cut short *)
 }
 
-val minimise_all : ?budget:Budget.t -> ?mode:mode -> Logic.Pla.t -> pla_result
+val minimise_all :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> ?mode:mode -> Logic.Pla.t -> pla_result
 (** Minimise every output independently; [budget] is shared across the
     outputs, so a trip during one output also cuts the later ones short
-    (each still yields a valid cover). *)
+    (each still yields a valid cover).  [telemetry] wraps each output's
+    minimisation in an ["espresso-output"] span. *)
 
 (** {1 Individual phases, exposed for tests and ablations} *)
 

@@ -218,6 +218,34 @@ let prop_greedy_feasible =
           Matrix.covers m sol && Matrix.cost_of m sol >= opt)
         Greedy.all_rules)
 
+let test_greedy_infeasible () =
+  (* a matrix with an uncoverable row (only constructible through
+     of_parts — create rejects empty rows): the greedy must raise the
+     typed Infeasible naming the offending row, not an Assert_failure *)
+  let m =
+    Matrix.of_parts ~n_cols:2
+      ~rows:[| [| 0 |]; [||]; [| 1 |] |]
+      ~cost:[| 1; 1 |] ~row_ids:[| 10; 11; 12 |] ~col_ids:[| 0; 1 |]
+  in
+  let expects_infeasible f =
+    match f m with
+    | _ -> Alcotest.fail "expected Covering.Infeasible"
+    | exception Infeasible { row; row_id } ->
+      Alcotest.(check int) "row index" 1 row;
+      Alcotest.(check int) "row identifier" 11 row_id
+  in
+  expects_infeasible Greedy.solve;
+  expects_infeasible Greedy.solve_best;
+  expects_infeasible Greedy.solve_exchange;
+  (* the exception prints usefully (registered printer) *)
+  check "printer" true
+    (try
+       ignore (Greedy.solve m);
+       false
+     with e ->
+       let s = Printexc.to_string e in
+       String.length s > 0 && s <> "Covering__Infeasible.Infeasible")
+
 let prop_exchange_no_worse =
   QCheck.Test.make ~name:"1-exchange never worse than plain greedy" ~count:100
     TS.arb_seed (fun seed ->
@@ -420,7 +448,16 @@ let test_orlib_errors () =
   check "truncated" true (raises "2 3\n1 1 1\n2\n1 2\n");
   check "out of range" true (raises "1 2\n1 1\n1\n3\n");
   check "trailing" true (raises "1 1\n1\n1\n1\n99\n");
-  check "bad token" true (raises "1 x\n")
+  check "bad token" true (raises "1 x\n");
+  check "negative count" true (raises "1 1\n1\n-1\n")
+
+let test_orlib_infeasible () =
+  (* a zero column count is well-formed orlib data declaring a row no
+     column covers — semantic infeasibility, typed as such rather than
+     as a syntax error *)
+  match Instance.parse_orlib "2 2\n1 1\n1\n1\n0\n" with
+  | _ -> Alcotest.fail "expected Covering.Infeasible"
+  | exception Infeasible { row = 1; row_id = 1 } -> ()
 
 let test_instance_errors () =
   let raises s =
@@ -558,6 +595,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_mis_below_optimum;
           QCheck_alcotest.to_alcotest prop_greedy_feasible;
           QCheck_alcotest.to_alcotest prop_exchange_no_worse;
+          Alcotest.test_case "greedy infeasible" `Quick test_greedy_infeasible;
           Alcotest.test_case "partition" `Quick test_partition_blocks;
         ] );
       ( "bounds",
@@ -589,6 +627,7 @@ let () =
           Alcotest.test_case "orlib round trip" `Quick test_orlib_round_trip;
           Alcotest.test_case "orlib literal" `Quick test_orlib_literal;
           Alcotest.test_case "orlib errors" `Quick test_orlib_errors;
+          Alcotest.test_case "orlib infeasible" `Quick test_orlib_infeasible;
         ] );
       ( "from_logic",
         [
