@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke fault-smoke trace-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke bench-check fault-smoke trace-smoke doc examples clean
 
 all: build
 
@@ -18,13 +18,20 @@ bench:
 	  --table pricing --timing --csv bench_results.csv 2>&1 | tee bench_output.txt
 
 bench-quick:
-	dune exec bench/main.exe -- --table fig1 --table 1 --table 3
+	dune exec bench/main.exe -- --no-csv --table fig1 --table 1 --table 3
 
 # tight-budget sanity sweep: the easy aggregate plus the reduction-engine
 # comparison (legacy vs incremental), leaving BENCH_reduce.json behind
+# (--no-csv: partial runs must not clobber the committed bench_results.csv)
 bench-smoke:
-	dune exec bench/main.exe -- --table easy --table reduce --reduce-reps 5 \
-	  --reduce-json BENCH_reduce.json
+	dune exec bench/main.exe -- --no-csv --table easy --table reduce \
+	  --reduce-reps 5 --reduce-json BENCH_reduce.json
+
+# regression gate: re-run the benchmark the committed baseline describes
+# and compare (speedup ratios for the reduce baseline, so the gate is
+# machine-independent); nonzero exit on regression
+bench-check:
+	dune exec bench/main.exe -- --check bench/BASELINE_reduce.json
 
 # resource-governor sanity: the fault-injection and typed-failure suites
 # plus the CLI exit-code contract (also part of the default `dune runtest`)

@@ -731,33 +731,48 @@ let run_reduce ~reps ~json_path () =
     agg gm mn;
   pr "results %s@."
     (if !all_ok then "identical on every instance" else "MISMATCHED");
-  (* machine-readable mirror for CI trend tracking *)
+  (* machine-readable mirror for CI trend tracking and `--check` *)
+  let module J = Telemetry.Json in
+  let engine_pair legacy_s incremental_s =
+    [
+      ("legacy_s", J.Float legacy_s);
+      ("incremental_s", J.Float incremental_s);
+      ( "speedup",
+        J.Float (if incremental_s > 0. then legacy_s /. incremental_s else Float.nan)
+      );
+    ]
+  in
+  let json =
+    J.Obj
+      [
+        ("mode", J.String "reduce");
+        ("suite", J.String "difficult");
+        ("reps", J.Int reps);
+        ("identical_results", J.Bool !all_ok);
+        ("aggregate_total_speedup", J.Float agg);
+        ("geomean_total_speedup", J.Float gm);
+        ("min_total_speedup", J.Float mn);
+        ( "instances",
+          J.List
+            (List.map
+               (fun (name, nr, nc, io, inw, steps, d_old, d_new, identical) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("rows", J.Int nr);
+                     ("cols", J.Int nc);
+                     ("identical", J.Bool identical);
+                     ("initial", J.Obj (engine_pair io inw));
+                     ( "descent",
+                       J.Obj (("steps", J.Int steps) :: engine_pair d_old d_new) );
+                     ("total", J.Obj (engine_pair (io +. d_old) (inw +. d_new)));
+                   ])
+               rows) );
+      ]
+  in
   let oc = open_out json_path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n  \"mode\": \"reduce\",\n  \"suite\": \"difficult\",\n  \"reps\": %d,\n" reps;
-  p "  \"identical_results\": %b,\n" !all_ok;
-  p "  \"aggregate_total_speedup\": %.4f,\n" agg;
-  p "  \"geomean_total_speedup\": %.4f,\n  \"min_total_speedup\": %.4f,\n" gm mn;
-  p "  \"instances\": [\n";
-  List.iteri
-    (fun idx (name, nr, nc, io, inw, steps, d_old, d_new, identical) ->
-      p
-        "    {\"name\": %S, \"rows\": %d, \"cols\": %d, \"identical\": %b,\n\
-        \     \"initial\": {\"legacy_s\": %.6f, \"incremental_s\": %.6f, \
-         \"speedup\": %.4f},\n\
-        \     \"descent\": {\"steps\": %d, \"legacy_s\": %.6f, \"incremental_s\": \
-         %.6f, \"speedup\": %.4f},\n\
-        \     \"total\": {\"legacy_s\": %.6f, \"incremental_s\": %.6f, \"speedup\": \
-         %.4f}}%s\n"
-        name nr nc identical io inw
-        (if inw > 0. then io /. inw else Float.nan)
-        steps d_old d_new
-        (if d_new > 0. then d_old /. d_new else Float.nan)
-        (io +. d_old) (inw +. d_new)
-        ((io +. d_old) /. (inw +. d_new))
-        (if idx = List.length rows - 1 then "" else ","))
-    rows;
-  p "  ]\n}\n";
+  output_string oc (J.to_string json);
+  output_char oc '\n';
   close_out oc;
   pr "wrote %s@." json_path;
   if not !all_ok then exit 1
@@ -826,6 +841,57 @@ let run_timing () =
   hline 60
 
 (* ------------------------------------------------------------------ *)
+(* Baseline check (`--check BASELINE.json`) — the regression gate      *)
+(* ------------------------------------------------------------------ *)
+
+(* re-run the benchmark a committed baseline describes, then gate the
+   fresh BENCH_*.json against it (Obs.Gate has the comparison rules);
+   exits 1 on any regression so `make bench-check` can gate CI *)
+let run_check ~tolerance ~reduce_reps baseline_path =
+  let module J = Telemetry.Json in
+  let read_json path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg ->
+      pr "bench-check: cannot read %s: %s@." path msg;
+      exit 1
+    | text -> (
+      match J.of_string (String.trim text) with
+      | Ok j -> j
+      | Error msg ->
+        pr "bench-check: %s is not valid JSON: %s@." path msg;
+        exit 1)
+  in
+  let baseline = read_json baseline_path in
+  let fresh_path =
+    match (Option.bind (J.member "mode" baseline) J.to_str,
+           Option.bind (J.member "table" baseline) J.to_str)
+    with
+    | Some "reduce", _ ->
+      let path = "BENCH_reduce.json" in
+      run_reduce ~reps:reduce_reps ~json_path:path ();
+      path
+    | _, Some table_id ->
+      (match table_id with
+      | "table1" -> run_table1 ()
+      | "table2" -> run_table2 ()
+      | "table3" -> run_table3 ~max_nodes:150_000 ()
+      | "table4" -> run_table4 ~max_nodes:30_000 ()
+      | other ->
+        pr "bench-check: baseline names unknown table %S@." other;
+        exit 1);
+      Printf.sprintf "BENCH_%s.json" table_id
+    | _ ->
+      pr "bench-check: %s has neither a \"mode\" nor a \"table\" field@."
+        baseline_path;
+      exit 1
+  in
+  let fresh = read_json fresh_path in
+  let verdict = Obs.Gate.check ?tolerance ~baseline ~fresh () in
+  pr "@.== bench-check: %s vs fresh %s ==@." baseline_path fresh_path;
+  pr "%a" Obs.Gate.pp verdict;
+  if not verdict.Obs.Gate.pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -833,7 +899,8 @@ let usage () =
   pr
     "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|all] [--verbose]@,\
     \       [--timing] [--exact-nodes-difficult N] [--exact-nodes-challenging N]@,\
-    \       [--csv FILE] [--reduce-reps N] [--reduce-json FILE]@.";
+    \       [--csv FILE] [--no-csv] [--reduce-reps N] [--reduce-json FILE]@,\
+    \       [--check BASELINE.json] [--check-tolerance T]@.";
   exit 2
 
 let () =
@@ -842,9 +909,14 @@ let () =
   let timing = ref false in
   let nodes_difficult = ref 150_000 in
   let nodes_challenging = ref 30_000 in
-  let csv = ref None in
+  (* per-instance rows are mirrored to bench_results.csv by default so
+     the committed CSV refreshes from the same run that writes the
+     BENCH_*.json files; --no-csv opts out, --csv redirects *)
+  let csv = ref (Some "bench_results.csv") in
   let reduce_reps = ref 5 in
   let reduce_json = ref "BENCH_reduce.json" in
+  let check = ref None in
+  let check_tolerance = ref None in
   let rec parse = function
     | [] -> ()
     | "--table" :: t :: rest ->
@@ -865,11 +937,20 @@ let () =
     | "--csv" :: path :: rest ->
       csv := Some path;
       parse rest
+    | "--no-csv" :: rest ->
+      csv := None;
+      parse rest
     | "--reduce-reps" :: n :: rest ->
       reduce_reps := max 1 (int_of_string n);
       parse rest
     | "--reduce-json" :: path :: rest ->
       reduce_json := path;
+      parse rest
+    | "--check" :: path :: rest ->
+      check := Some path;
+      parse rest
+    | "--check-tolerance" :: t :: rest ->
+      check_tolerance := Some (float_of_string t);
       parse rest
     | "--help" :: _ -> usage ()
     | arg :: _ ->
@@ -877,6 +958,14 @@ let () =
       usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !check with
+  | Some baseline_path ->
+    (* gate mode runs exactly the baseline's benchmark and nothing
+       else; no CSV so a partial run never clobbers the committed one *)
+    run_check ~tolerance:!check_tolerance ~reduce_reps:!reduce_reps baseline_path;
+    pr "@.done.@.";
+    exit 0
+  | None -> ());
   let wanted = if !tables = [] then [ "all" ] else List.rev !tables in
   let want t = List.mem "all" wanted || List.mem t wanted in
   Option.iter csv_open !csv;

@@ -227,10 +227,17 @@ let run list solver input_kind path output multi max_nodes timeout zdd_nodes
       2
     | Some p ->
       let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
+      (* "-" streams either sink to stdout for piping (e.g. straight
+         into `ucp_trace profile -`); the human-readable report then
+         moves to stderr so stdout stays machine-clean *)
+      if trace = Some "-" || stats_json = Some "-" then
+        Format.pp_set_formatter_out_channel Format.std_formatter stderr;
       (* collect telemetry whenever either sink was requested: --trace
          streams the records, --stats-json only needs the in-memory
          aggregation for its summary *)
-      let trace_oc = Option.map open_out trace in
+      let trace_oc =
+        Option.map (function "-" -> stdout | path -> open_out path) trace
+      in
       let telemetry =
         match trace_oc with
         | Some oc -> Telemetry.with_channel oc
@@ -238,17 +245,23 @@ let run list solver input_kind path output multi max_nodes timeout zdd_nodes
       in
       let finish_telemetry solver_fields =
         Telemetry.close telemetry;
-        Option.iter close_out trace_oc;
+        Option.iter (fun oc -> if oc == stdout then flush oc else close_out oc) trace_oc;
         Option.iter
           (fun path ->
-            let oc = open_out path in
             let json =
               Telemetry.Json.Obj
                 (solver_fields @ [ ("telemetry", Telemetry.summary telemetry) ])
             in
-            output_string oc (Telemetry.Json.to_string json);
-            output_char oc '\n';
-            close_out oc)
+            let write oc =
+              output_string oc (Telemetry.Json.to_string json);
+              output_char oc '\n'
+            in
+            if path = "-" then (write stdout; flush stdout)
+            else begin
+              let oc = open_out path in
+              write oc;
+              close_out oc
+            end)
           stats_json
       in
       let input =
@@ -381,14 +394,16 @@ let trace_arg =
            ~doc:"Write a JSON-lines telemetry trace to $(docv): phase spans, \
                  reduction counters, the subgradient convergence trace and a \
                  final summary record.  All timestamps share the --timeout \
-                 wall clock.")
+                 wall clock.  $(docv) $(b,-) streams to stdout (the human \
+                 report moves to stderr), ready to pipe into $(b,ucp_trace).")
 
 let stats_json_arg =
   Arg.(value & opt (some string) None
        & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Write a single-object machine-readable run summary to \
                  $(docv): solver result fields plus aggregated telemetry \
-                 (per-phase seconds, counters).")
+                 (per-phase seconds, counters).  $(docv) $(b,-) writes the \
+                 object to stdout (the human report moves to stderr).")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 

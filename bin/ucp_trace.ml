@@ -1,0 +1,240 @@
+(* ucp_trace: analysis toolkit for the JSON-lines traces written by
+   `ucp_solve --trace` (DESIGN.md §8/§9).
+
+   - profile: wall-time attribution over the span tree (text tree or
+     folded flame-graph stacks);
+   - conv: LB/UB convergence report from the step records;
+   - diff: phase-by-phase regression comparison of two traces, with a
+     nonzero exit for CI gating;
+   - scale: synthesize a uniformly slowed copy of a trace (testing aid
+     for the diff gate).
+
+   Exit codes: 0 success, 1 diff found a regression, 2 usage error,
+   4 malformed/truncated trace. *)
+
+open Cmdliner
+module Json = Telemetry.Json
+
+let exit_malformed = 4
+
+let read_trace path =
+  match Obs.Trace.of_file path with
+  | Ok t -> t
+  | Error e ->
+    Fmt.epr "ucp_trace: %a@." Obs.Trace.pp_error e;
+    exit exit_malformed
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile path folded no_merge =
+  let t = read_trace path in
+  let p = Obs.Profile.of_trace ~merge:(not no_merge) t in
+  if folded then Fmt.pr "%a@?" Obs.Profile.pp_folded p
+  else Fmt.pr "%a@?" Obs.Profile.pp p;
+  0
+
+let path_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"TRACE" ~doc:"Trace file ($(b,-) reads stdin).")
+
+let folded_arg =
+  Arg.(value & flag
+       & info [ "folded" ]
+           ~doc:"Emit folded stacks ($(i,a;b;c self_microseconds) per line), \
+                 the input format of flamegraph.pl, instead of the text tree.")
+
+let no_merge_arg =
+  Arg.(value & flag
+       & info [ "no-merge" ]
+           ~doc:"Keep indexed span instances ($(b,component-0), \
+                 $(b,component-1), …) separate instead of pooling them under \
+                 their base name.")
+
+let profile_cmd =
+  let doc = "per-phase wall-time attribution (self/total, flame graph)" in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run_profile $ path_arg $ folded_arg $ no_merge_arg)
+
+(* ------------------------------------------------------------------ *)
+(* conv                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_conv path csv rows =
+  let t = read_trace path in
+  let c = Obs.Conv.of_trace t in
+  if csv then Fmt.pr "%a@?" Obs.Conv.pp_csv c
+  else Fmt.pr "%a@?" (Obs.Conv.pp ~rows) c;
+  0
+
+let csv_arg =
+  Arg.(value & flag
+       & info [ "csv" ]
+           ~doc:"Emit every step record as \
+                 $(i,phase,component,step,t,value,best) CSV instead of the \
+                 down-sampled report.")
+
+let rows_arg =
+  Arg.(value & opt int 16
+       & info [ "rows" ] ~docv:"N"
+           ~doc:"Down-sample each series to at most $(docv) evenly spaced \
+                 steps in the text report.")
+
+let conv_cmd =
+  let doc = "LB/UB convergence report from the subgradient step records" in
+  Cmd.v (Cmd.info "conv" ~doc)
+    Term.(const run_conv $ path_arg $ csv_arg $ rows_arg)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_diff a_path b_path threshold min_seconds =
+  let a = read_trace a_path and b = read_trace b_path in
+  let d = Obs.Diff.compare_traces ~threshold ~min_seconds a b in
+  Fmt.pr "%a@?" Obs.Diff.pp d;
+  if Obs.Diff.has_regression d then 1 else 0
+
+let a_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"BASELINE" ~doc:"Baseline trace file.")
+
+let b_arg =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"CANDIDATE" ~doc:"Candidate trace file.")
+
+let threshold_arg =
+  Arg.(value & opt float Obs.Diff.default_threshold
+       & info [ "threshold" ] ~docv:"P"
+           ~doc:"Relative regression threshold: a phase regresses when its \
+                 candidate self time exceeds baseline by more than the \
+                 fraction $(docv) (default 0.25 = +25%).")
+
+let min_seconds_arg =
+  Arg.(value & opt float Obs.Diff.default_min_seconds
+       & info [ "min-seconds" ] ~docv:"S"
+           ~doc:"Absolute floor: deltas of at most $(docv) seconds never \
+                 count as regressions, whatever the ratio.")
+
+let diff_cmd =
+  let doc = "phase-by-phase regression diff of two traces" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Compares per-phase exclusive (self) seconds of CANDIDATE against \
+          BASELINE, plus total elapsed time and the solver counters.  Exits \
+          1 when any phase (or the total) regressed beyond both the relative \
+          threshold and the absolute floor, so the command can gate CI.";
+    ]
+  in
+  Cmd.v (Cmd.info "diff" ~doc ~man)
+    Term.(const run_diff $ a_arg $ b_arg $ threshold_arg $ min_seconds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* scale                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* multiply every time field of a record by [f]: the top-level "t",
+   span_end's "dur", and the summary's "elapsed" and per-phase
+   "seconds".  Gauges, counters and step values are left alone, so a
+   scaled trace stays schema-valid and differs from its source only in
+   timing. *)
+let scale_record factor json =
+  let scale_f = function Json.Float v -> Json.Float (v *. factor) | j -> j in
+  match json with
+  | Json.Obj fields ->
+    let spans_scaled = function
+      | Json.Obj phases ->
+        Json.Obj
+          (List.map
+             (fun (phase, v) ->
+               match v with
+               | Json.Obj pf ->
+                 ( phase,
+                   Json.Obj
+                     (List.map
+                        (fun (k, v) ->
+                          if k = "seconds" then (k, scale_f v) else (k, v))
+                        pf) )
+               | v -> (phase, v))
+             phases)
+      | j -> j
+    in
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           match k with
+           | "t" | "dur" | "elapsed" -> (k, scale_f v)
+           | "spans" -> (k, spans_scaled v)
+           | _ -> (k, v))
+         fields)
+  | j -> j
+
+let run_scale path factor output =
+  if factor <= 0. then begin
+    Fmt.epr "ucp_trace: scale factor must be positive@.";
+    exit 2
+  end;
+  (* validate first so we never emit a scaled copy of a broken trace *)
+  ignore (read_trace path);
+  let lines =
+    if path = "-" then In_channel.input_lines stdin
+    else In_channel.with_open_text path In_channel.input_lines
+  in
+  let emit oc =
+    List.iter
+      (fun line ->
+        if String.trim line <> "" then
+          match Json.of_string line with
+          | Ok j -> Printf.fprintf oc "%s\n" (Json.to_string (scale_record factor j))
+          | Error _ -> ())
+      lines
+  in
+  (match output with
+  | None | Some "-" -> emit stdout
+  | Some file -> Out_channel.with_open_text file emit);
+  0
+
+let factor_arg =
+  Arg.(required & pos 1 (some float) None
+       & info [] ~docv:"FACTOR"
+           ~doc:"Multiply every timestamp and duration by $(docv).")
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the scaled trace to $(docv) (default: stdout).")
+
+let scale_cmd =
+  let doc = "synthesize a uniformly slowed (or sped-up) copy of a trace" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Testing aid for the $(b,diff) gate: multiplies every time field \
+          of TRACE by FACTOR, leaving counters, gauges and step values \
+          untouched, so $(b,ucp_trace diff TRACE SCALED) must flag a \
+          regression for any FACTOR comfortably above the threshold.";
+    ]
+  in
+  Cmd.v (Cmd.info "scale" ~doc ~man)
+    Term.(const run_scale $ path_arg $ factor_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "analyse ucp_solve telemetry traces" in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success (and $(b,diff) found no regression).";
+      Cmd.Exit.info 1 ~doc:"when $(b,diff) found a phase or elapsed-time regression.";
+      Cmd.Exit.info 2 ~doc:"on usage errors.";
+      Cmd.Exit.info exit_malformed
+        ~doc:"when a trace file is malformed, truncated or unreadable.";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "ucp_trace" ~doc ~exits)
+    [ profile_cmd; conv_cmd; diff_cmd; scale_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -11,6 +11,15 @@ module Subgradient = Lagrangian.Subgradient
 module Penalties = Lagrangian.Penalties
 module Fixing = Lagrangian.Fixing
 
+(* ZDD unique-table gauges, sampled at every span boundary by any
+   collector created after this module is linked — which is every solver
+   entry point, since they all reference Scg. *)
+let () =
+  Telemetry.register_probe "zdd.nodes" (fun () ->
+      float_of_int (Zdd.node_count ()));
+  Telemetry.register_probe "zdd.peak_nodes" (fun () ->
+      float_of_int (Zdd.peak_node_count ()))
+
 let src = Logs.Src.create "scg" ~doc:"ZDD_SCG solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)

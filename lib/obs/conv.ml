@@ -1,0 +1,147 @@
+module Json = Telemetry.Json
+
+type series = {
+  phase : string;
+  component : int;
+  steps : Trace.step list;
+  final_best : float;
+}
+
+type incumbent = { at : float; component : int; cost : int }
+
+type t = {
+  source : string;
+  series : series list;
+  incumbents : incumbent list;
+  final_ub : int option;
+  final_lb : float option;
+}
+
+let of_trace (tr : Trace.t) =
+  let order = ref [] in
+  let tbl : (string * int, Trace.step list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Trace.step) ->
+      let key = (s.Trace.phase, s.Trace.component) in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := s :: !cell
+      | None ->
+        Hashtbl.add tbl key (ref [ s ]);
+        order := key :: !order)
+    tr.Trace.steps;
+  let series =
+    List.rev_map
+      (fun (phase, component) ->
+        let steps = List.rev !(Hashtbl.find tbl (phase, component)) in
+        let final_best =
+          match List.rev steps with
+          | last :: _ -> last.Trace.best
+          | [] -> Float.nan
+        in
+        { phase; component; steps; final_best })
+      !order
+  in
+  let incumbents =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        if e.Trace.ev <> "incumbent" then None
+        else
+          match
+            ( Option.bind (Json.member "cost" e.Trace.fields) Json.to_int,
+              Option.bind (Json.member "component" e.Trace.fields) Json.to_int )
+          with
+          | Some cost, comp ->
+            Some { at = e.Trace.at; component = Option.value ~default:0 comp; cost }
+          | None, _ -> None)
+      tr.Trace.events
+  in
+  let final_ub =
+    List.fold_left
+      (fun acc i -> match acc with Some c when c <= i.cost -> acc | _ -> Some i.cost)
+      None incumbents
+  in
+  (* the certified bound is the best of the *first* subgradient run per
+     component (later runs see reduced submatrices whose bounds do not
+     bound the full core).  Runs are pooled within a series, but each
+     run restarts its step index at 0, so the first run is the prefix
+     before the first index reset. *)
+  let first_run_best steps =
+    let rec go best last = function
+      | [] -> best
+      | (st : Trace.step) :: rest ->
+        if st.Trace.index <= last then best
+        else go st.Trace.best st.Trace.index rest
+    in
+    go Float.nan min_int steps
+  in
+  let final_lb =
+    let seen = Hashtbl.create 4 in
+    List.fold_left
+      (fun acc s ->
+        if s.phase <> "subgradient" || Hashtbl.mem seen s.component then acc
+        else begin
+          Hashtbl.add seen s.component ();
+          let b = first_run_best s.steps in
+          match acc with
+          | None -> Some b
+          | Some total -> Some (total +. b)
+        end)
+      None series
+  in
+  { source = tr.Trace.source; series; incumbents; final_ub; final_lb }
+
+(* ------------------------------------------------------------------ *)
+(* Text report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* sample at most [n] evenly spaced elements, always keeping the last *)
+let sample n xs =
+  let len = List.length xs in
+  if len <= n then xs
+  else
+    let arr = Array.of_list xs in
+    List.init n (fun k ->
+        if k = n - 1 then arr.(len - 1) else arr.(k * len / n))
+
+let pp ?(rows = 16) ppf t =
+  Fmt.pf ppf "convergence: %s — %d series, %d step record(s)@." t.source
+    (List.length t.series)
+    (List.fold_left (fun a s -> a + List.length s.steps) 0 t.series);
+  (match (t.final_lb, t.final_ub) with
+  | Some lb, Some ub ->
+    let gap =
+      if ub > 0 then 100. *. (float_of_int ub -. lb) /. float_of_int ub else 0.
+    in
+    Fmt.pf ppf "final: LB %.3f, UB %d, gap %.2f%%@." lb ub gap
+  | Some lb, None -> Fmt.pf ppf "final: LB %.3f (no incumbent recorded)@." lb
+  | None, Some ub -> Fmt.pf ppf "final: UB %d (no step records)@." ub
+  | None, None -> ());
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "@.%s / component %d — %d steps, final best %.4f@." s.phase
+        s.component (List.length s.steps) s.final_best;
+      Fmt.pf ppf "  %6s %10s %12s %12s@." "step" "t(s)" "value" "best";
+      List.iter
+        (fun (st : Trace.step) ->
+          Fmt.pf ppf "  %6d %10.4f %12.4f %12.4f@." st.Trace.index st.Trace.at
+            st.Trace.value st.Trace.best)
+        (sample rows s.steps))
+    t.series;
+  if t.incumbents <> [] then begin
+    Fmt.pf ppf "@.incumbents:@.";
+    List.iter
+      (fun i ->
+        Fmt.pf ppf "  t=%.4fs component %d cost %d@." i.at i.component i.cost)
+      t.incumbents
+  end
+
+let pp_csv ppf t =
+  Fmt.pf ppf "phase,component,step,t,value,best@.";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (st : Trace.step) ->
+          Fmt.pf ppf "%s,%d,%d,%.6f,%.6f,%.6f@." s.phase s.component
+            st.Trace.index st.Trace.at st.Trace.value st.Trace.best)
+        s.steps)
+    t.series

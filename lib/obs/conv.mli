@@ -1,0 +1,36 @@
+(** Convergence report over the ["step"] records of a trace: per
+    (phase, component) series of the oscillating Lagrangian value and
+    the monotone best bound, the incumbent timeline, and the final
+    LB/UB gap.
+
+    The reported LB is the per-component best of the {e first}
+    subgradient run (the full-core run of iteration 1; later runs bound
+    reduced submatrices), summed across components — a valid certified
+    bound, though the solver may have proven a tighter one on later
+    iterations. *)
+
+type series = {
+  phase : string;
+  component : int;
+  steps : Trace.step list;  (** all runs pooled, in emission order *)
+  final_best : float;  (** best of the last step *)
+}
+
+type incumbent = { at : float; component : int; cost : int }
+
+type t = {
+  source : string;
+  series : series list;
+  incumbents : incumbent list;  (** from ["incumbent"] events *)
+  final_ub : int option;  (** cheapest incumbent (core space) *)
+  final_lb : float option;
+}
+
+val of_trace : Trace.t -> t
+
+val pp : ?rows:int -> Format.formatter -> t -> unit
+(** Text report; each series is down-sampled to at most [rows]
+    (default 16) evenly spaced steps, always keeping the last. *)
+
+val pp_csv : Format.formatter -> t -> unit
+(** Every step record as [phase,component,step,t,value,best] CSV. *)

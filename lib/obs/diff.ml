@@ -1,0 +1,122 @@
+type row = {
+  name : string;
+  a_self : float;
+  b_self : float;
+  a_count : int;
+  b_count : int;
+  delta : float;
+  ratio : float;
+  regression : bool;
+}
+
+type t = {
+  a_source : string;
+  b_source : string;
+  a_elapsed : float;
+  b_elapsed : float;
+  threshold : float;
+  min_seconds : float;
+  rows : row list;
+  counter_rows : (string * int * int) list;
+  regressions : row list;
+  elapsed_regression : bool;
+}
+
+let default_threshold = 0.25
+let default_min_seconds = 0.005
+
+(* per-phase self seconds: a phase regresses when it got both
+   relatively slower (by more than [threshold]) and absolutely slower
+   (by more than [min_seconds]) — the absolute floor keeps micro-phases
+   at clock granularity from tripping the gate *)
+let compare_traces ?(threshold = default_threshold)
+    ?(min_seconds = default_min_seconds) (a : Trace.t) (b : Trace.t) =
+  let flat tr = Profile.flat (Profile.of_trace ~merge:true tr) in
+  let fa = flat a and fb = flat b in
+  let names =
+    List.sort_uniq Stdlib.compare
+      (List.map (fun (n, _, _) -> n) fa @ List.map (fun (n, _, _) -> n) fb)
+  in
+  let find flat name =
+    match List.find_opt (fun (n, _, _) -> n = name) flat with
+    | Some (_, self, count) -> (self, count)
+    | None -> (0., 0)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let a_self, a_count = find fa name in
+        let b_self, b_count = find fb name in
+        let delta = b_self -. a_self in
+        let ratio = if a_self > 0. then b_self /. a_self else Float.infinity in
+        let regression =
+          delta > min_seconds && b_self > a_self *. (1. +. threshold)
+        in
+        { name; a_self; b_self; a_count; b_count; delta; ratio; regression })
+      names
+  in
+  let rows =
+    List.sort (fun r1 r2 -> Float.compare (Float.abs r2.delta) (Float.abs r1.delta)) rows
+  in
+  let counter_rows =
+    let ca = Trace.counters a and cb = Trace.counters b in
+    let names =
+      List.sort_uniq Stdlib.compare (List.map fst ca @ List.map fst cb)
+    in
+    List.filter_map
+      (fun name ->
+        let va = Option.value ~default:0 (List.assoc_opt name ca) in
+        let vb = Option.value ~default:0 (List.assoc_opt name cb) in
+        if va = vb then None else Some (name, va, vb))
+      names
+  in
+  let elapsed_regression =
+    b.Trace.elapsed -. a.Trace.elapsed > min_seconds
+    && b.Trace.elapsed > a.Trace.elapsed *. (1. +. threshold)
+  in
+  {
+    a_source = a.Trace.source;
+    b_source = b.Trace.source;
+    a_elapsed = a.Trace.elapsed;
+    b_elapsed = b.Trace.elapsed;
+    threshold;
+    min_seconds;
+    rows;
+    counter_rows;
+    regressions = List.filter (fun r -> r.regression) rows;
+    elapsed_regression;
+  }
+
+let has_regression t = t.elapsed_regression || t.regressions <> []
+
+let pp ppf t =
+  Fmt.pf ppf "diff: A = %s (%.4fs), B = %s (%.4fs)@." t.a_source t.a_elapsed
+    t.b_source t.b_elapsed;
+  Fmt.pf ppf "threshold +%.0f%% and > %.3fs absolute@." (100. *. t.threshold)
+    t.min_seconds;
+  Fmt.pf ppf "%-24s %10s %10s %10s %8s  %s@." "phase" "A self(s)" "B self(s)"
+    "delta" "ratio" "";
+  Fmt.pf ppf "%s@." (String.make 78 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-24s %10.4f %10.4f %+10.4f %7.2fx  %s@." r.name r.a_self
+        r.b_self r.delta r.ratio
+        (if r.regression then "REGRESSION" else ""))
+    t.rows;
+  Fmt.pf ppf "%-24s %10.4f %10.4f %+10.4f %7.2fx  %s@." "(elapsed)" t.a_elapsed
+    t.b_elapsed
+    (t.b_elapsed -. t.a_elapsed)
+    (if t.a_elapsed > 0. then t.b_elapsed /. t.a_elapsed else Float.infinity)
+    (if t.elapsed_regression then "REGRESSION" else "");
+  if t.counter_rows <> [] then begin
+    Fmt.pf ppf "@.counters that changed:@.";
+    List.iter
+      (fun (name, va, vb) -> Fmt.pf ppf "  %-32s %10d -> %10d@." name va vb)
+      t.counter_rows
+  end;
+  match t.regressions with
+  | [] when not t.elapsed_regression -> Fmt.pf ppf "@.no regressions.@."
+  | _ ->
+    Fmt.pf ppf "@.%d phase regression(s)%s.@."
+      (List.length t.regressions)
+      (if t.elapsed_regression then " and total elapsed regressed" else "")

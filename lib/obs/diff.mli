@@ -1,0 +1,45 @@
+(** Phase-by-phase regression diff between two traces of the same (or a
+    comparable) solve: per-phase self-time deltas with a relative
+    threshold and an absolute floor, changed counters, and an overall
+    verdict for CI gating. *)
+
+type row = {
+  name : string;
+  a_self : float;
+  b_self : float;
+  a_count : int;
+  b_count : int;
+  delta : float;  (** [b_self -. a_self] *)
+  ratio : float;  (** [b_self /. a_self]; [infinity] when A is 0 *)
+  regression : bool;
+}
+
+type t = {
+  a_source : string;
+  b_source : string;
+  a_elapsed : float;
+  b_elapsed : float;
+  threshold : float;
+  min_seconds : float;
+  rows : row list;  (** every phase of either trace, by |delta| desc *)
+  counter_rows : (string * int * int) list;  (** counters that differ *)
+  regressions : row list;
+  elapsed_regression : bool;
+}
+
+val default_threshold : float
+(** 0.25 — B regresses a phase when more than 25% slower… *)
+
+val default_min_seconds : float
+(** …and more than 5ms slower, so clock-granularity phases don't trip
+    the gate. *)
+
+val compare_traces :
+  ?threshold:float -> ?min_seconds:float -> Trace.t -> Trace.t -> t
+(** [compare_traces a b] treats [a] as the baseline and [b] as the
+    candidate.  Phases are merged by {!Trace.base_name} and compared on
+    whole-tree self seconds ({!Profile.flat}). *)
+
+val has_regression : t -> bool
+
+val pp : Format.formatter -> t -> unit

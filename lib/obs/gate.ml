@@ -1,0 +1,150 @@
+module Json = Telemetry.Json
+
+type verdict = { pass : bool; lines : string list }
+
+let default_tolerance = 0.40
+let default_min_seconds = 0.05
+
+let member_f name j = Option.bind (Json.member name j) Json.to_float
+let member_i name j = Option.bind (Json.member name j) Json.to_int
+let member_s name j = Option.bind (Json.member name j) Json.to_str
+
+let member_b name j =
+  match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+
+let instances j =
+  match Json.member "instances" j with
+  | Some (Json.List l) -> l
+  | _ -> []
+
+let find_instance name j =
+  List.find_opt (fun i -> member_s "name" i = Some name) (instances j)
+
+(* ------------------------------------------------------------------ *)
+(* Reduce-mode baselines (BENCH_reduce.json shape)                    *)
+(*                                                                    *)
+(* The gated quantity is the incremental-vs-legacy speedup ratio, not  *)
+(* absolute seconds: both sides of the ratio are measured in the same  *)
+(* process on the same machine, so the gate is portable across hosts   *)
+(* and tolerant of absolute CI slowness.                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_reduce ~tolerance ~baseline ~fresh =
+  let fails = ref [] and lines = ref [] in
+  let note fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  let fail fmt = Format.kasprintf (fun s -> fails := s :: !fails; lines := s :: !lines) fmt in
+  (if member_b "identical_results" fresh <> Some true then
+     fail "FAIL identical_results: incremental and legacy engines disagree");
+  List.iter
+    (fun base_inst ->
+      match member_s "name" base_inst with
+      | None -> fail "FAIL baseline instance without a name"
+      | Some name -> (
+        let tol =
+          Option.value ~default:tolerance (member_f "tolerance" base_inst)
+        in
+        let speedup_of inst =
+          Option.bind (Json.member "total" inst) (member_f "speedup")
+        in
+        match find_instance name fresh with
+        | None -> fail "FAIL %s: missing from the fresh run" name
+        | Some fresh_inst -> (
+          (if member_b "identical" fresh_inst = Some false then
+             fail "FAIL %s: engines disagree on this instance" name);
+          match (speedup_of base_inst, speedup_of fresh_inst) with
+          | Some base_sp, Some fresh_sp ->
+            let floor = base_sp *. (1. -. tol) in
+            if fresh_sp < floor then
+              fail "FAIL %s: total speedup %.2fx below %.2fx (baseline %.2fx - %.0f%%)"
+                name fresh_sp floor base_sp (100. *. tol)
+            else
+              note "ok   %s: total speedup %.2fx (baseline %.2fx, floor %.2fx)"
+                name fresh_sp base_sp floor
+          | None, _ -> fail "FAIL %s: baseline lacks total.speedup" name
+          | _, None -> fail "FAIL %s: fresh run lacks total.speedup" name)))
+    (instances baseline);
+  (match
+     (member_f "aggregate_total_speedup" baseline,
+      member_f "aggregate_total_speedup" fresh)
+   with
+  | Some base_sp, Some fresh_sp ->
+    let floor = base_sp *. (1. -. tolerance) in
+    if fresh_sp < floor then
+      fail "FAIL aggregate: speedup %.2fx below %.2fx (baseline %.2fx)" fresh_sp
+        floor base_sp
+    else
+      note "ok   aggregate: speedup %.2fx (baseline %.2fx, floor %.2fx)" fresh_sp
+        base_sp floor
+  | _ -> fail "FAIL aggregate_total_speedup missing on one side");
+  { pass = !fails = []; lines = List.rev !lines }
+
+(* ------------------------------------------------------------------ *)
+(* Table baselines (BENCH_<table>.json shape)                         *)
+(*                                                                    *)
+(* Quality fields (cost, lower bound, proven optimality) are exactly   *)
+(* reproducible, so any drift is a hard failure; wall seconds get the  *)
+(* relative tolerance plus an absolute slack for CI jitter.            *)
+(* ------------------------------------------------------------------ *)
+
+let check_table ~tolerance ~min_seconds ~baseline ~fresh =
+  let fails = ref [] and lines = ref [] in
+  let note fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  let fail fmt = Format.kasprintf (fun s -> fails := s :: !fails; lines := s :: !lines) fmt in
+  List.iter
+    (fun base_inst ->
+      match member_s "name" base_inst with
+      | None -> fail "FAIL baseline instance without a name"
+      | Some name -> (
+        match find_instance name fresh with
+        | None -> fail "FAIL %s: missing from the fresh run" name
+        | Some fresh_inst ->
+          let quality_ok = ref true in
+          List.iter
+            (fun field ->
+              let b = member_i field base_inst and f = member_i field fresh_inst in
+              if b <> f then begin
+                quality_ok := false;
+                fail "FAIL %s: %s changed %a -> %a" name field
+                  Fmt.(option ~none:(any "?") int)
+                  b
+                  Fmt.(option ~none:(any "?") int)
+                  f
+              end)
+            [ "cost"; "lower_bound" ];
+          (let b = member_b "proven_optimal" base_inst
+           and f = member_b "proven_optimal" fresh_inst in
+           if b <> f then begin
+             quality_ok := false;
+             fail "FAIL %s: proven_optimal changed" name
+           end);
+          let tol =
+            Option.value ~default:tolerance (member_f "tolerance" base_inst)
+          in
+          (match (member_f "seconds" base_inst, member_f "seconds" fresh_inst) with
+          | Some bs, Some fs ->
+            let ceiling = (bs *. (1. +. tol)) +. min_seconds in
+            if fs > ceiling then
+              fail "FAIL %s: %.3fs above %.3fs (baseline %.3fs + %.0f%% + %.3fs)"
+                name fs ceiling bs (100. *. tol) min_seconds
+            else if !quality_ok then
+              note "ok   %s: %.3fs (baseline %.3fs, ceiling %.3fs)" name fs bs
+                ceiling
+          | _ -> fail "FAIL %s: seconds missing on one side" name)))
+    (instances baseline);
+  { pass = !fails = []; lines = List.rev !lines }
+
+let check ?(tolerance = default_tolerance) ?(min_seconds = default_min_seconds)
+    ~baseline ~fresh () =
+  match (member_s "mode" baseline, member_s "table" baseline) with
+  | Some "reduce", _ -> check_reduce ~tolerance ~baseline ~fresh
+  | _, Some _ -> check_table ~tolerance ~min_seconds ~baseline ~fresh
+  | _ ->
+    {
+      pass = false;
+      lines =
+        [ "FAIL baseline is neither a reduce-mode nor a table benchmark file" ];
+    }
+
+let pp ppf v =
+  List.iter (fun l -> Fmt.pf ppf "%s@." l) v.lines;
+  Fmt.pf ppf "bench-check: %s@." (if v.pass then "PASS" else "FAIL")

@@ -1,0 +1,41 @@
+(** The benchmark regression gate: compare a fresh benchmark run
+    against a committed baseline JSON and produce a pass/fail verdict
+    with one line per check.
+
+    Two baseline shapes are understood (dispatch on their top-level
+    fields):
+
+    - [{"mode":"reduce", ...}] — the reduction-engine comparison
+      ([BENCH_reduce.json]).  The gated quantity is the
+      incremental-vs-legacy {e speedup ratio} per instance and in
+      aggregate: both sides are measured in the same process, so the
+      gate is portable across machines.  Engine-result mismatches fail
+      unconditionally.
+    - [{"table":<id>, ...}] — a per-instance solver table
+      ([BENCH_table1.json], …).  Quality fields ([cost],
+      [lower_bound], [proven_optimal]) are deterministic and compared
+      exactly; [seconds] gets the relative tolerance plus an absolute
+      slack.
+
+    A baseline instance may carry a ["tolerance"] field overriding the
+    global one — the per-instance knob for noisy rows. *)
+
+module Json = Telemetry.Json
+
+type verdict = { pass : bool; lines : string list }
+
+val default_tolerance : float
+(** 0.40 — generous on purpose: the gate must survive CI jitter. *)
+
+val default_min_seconds : float
+(** 0.05s absolute slack on table timings. *)
+
+val check :
+  ?tolerance:float ->
+  ?min_seconds:float ->
+  baseline:Json.t ->
+  fresh:Json.t ->
+  unit ->
+  verdict
+
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,153 @@
+type node = {
+  name : string;
+  count : int;
+  total : float;
+  self : float;
+  gauges : (string * float) list;
+  children : node list;
+}
+
+type t = { roots : node list; elapsed : float; source : string }
+
+(* fold sibling spans into one node per (merged) name, preserving
+   first-appearance order, then recurse over the pooled children — so
+   "component-0".."component-7" across iterations become one line with
+   count 8 and their sub-spans aggregated together *)
+let rec build ~merge spans =
+  let order = ref [] in
+  let tbl : (string, int ref * float ref * Trace.span list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (s : Trace.span) ->
+      let key = if merge then Trace.base_name s.Trace.name else s.Trace.name in
+      let count, total, kids =
+        match Hashtbl.find_opt tbl key with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref 0, ref 0., ref []) in
+          Hashtbl.add tbl key cell;
+          order := key :: !order;
+          cell
+      in
+      incr count;
+      total := !total +. s.Trace.dur;
+      kids := s :: !kids)
+    spans;
+  List.rev_map
+    (fun key ->
+      let count, total, kids = Hashtbl.find tbl key in
+      let instances = List.rev !kids in
+      let children =
+        build ~merge (List.concat_map (fun s -> s.Trace.children) instances)
+      in
+      let child_total = List.fold_left (fun a c -> a +. c.total) 0. children in
+      let gauges =
+        (* per-gauge delta summed over the instances; children's deltas
+           are already inside their parents', so no double counting at a
+           given level *)
+        List.fold_left
+          (fun acc (s : Trace.span) ->
+            List.fold_left
+              (fun acc (gname, (g : Trace.gauge)) ->
+                let prev = Option.value ~default:0. (List.assoc_opt gname acc) in
+                (gname, prev +. g.Trace.delta) :: List.remove_assoc gname acc)
+              acc s.Trace.gauges)
+          [] instances
+      in
+      {
+        name = key;
+        count = !count;
+        total = !total;
+        self = Float.max 0. (!total -. child_total);
+        gauges = List.rev gauges;
+        children;
+      })
+    !order
+
+let of_trace ?(merge = true) (tr : Trace.t) =
+  { roots = build ~merge tr.Trace.roots; elapsed = tr.Trace.elapsed;
+    source = tr.Trace.source }
+
+let gauge_of node name = List.assoc_opt name node.gauges
+
+(* ------------------------------------------------------------------ *)
+(* Text tree                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let human_words w =
+  if Float.abs w >= 1e9 then Fmt.str "%.2fG" (w /. 1e9)
+  else if Float.abs w >= 1e6 then Fmt.str "%.2fM" (w /. 1e6)
+  else if Float.abs w >= 1e3 then Fmt.str "%.1fk" (w /. 1e3)
+  else Fmt.str "%.0f" w
+
+let pp ppf t =
+  Fmt.pf ppf "profile: %s — elapsed %.4fs@." t.source t.elapsed;
+  Fmt.pf ppf "%-36s %6s %10s %10s %6s %10s %10s@." "phase" "count" "total(s)"
+    "self(s)" "%tot" "gc-minor" "zdd-nodes";
+  Fmt.pf ppf "%s@." (String.make 94 '-');
+  let pct x = if t.elapsed > 0. then 100. *. x /. t.elapsed else 0. in
+  let rec go indent node =
+    let label = String.make (2 * indent) ' ' ^ node.name in
+    Fmt.pf ppf "%-36s %6d %10.4f %10.4f %5.1f%% %10s %10s@." label node.count
+      node.total node.self (pct node.total)
+      (match gauge_of node "gc.minor_words" with
+      | Some w -> human_words w
+      | None -> "-")
+      (match gauge_of node "zdd.nodes" with
+      | Some w -> human_words w
+      | None -> "-");
+    List.iter (go (indent + 1)) node.children
+  in
+  List.iter (go 0) t.roots;
+  let accounted = List.fold_left (fun a n -> a +. n.total) 0. t.roots in
+  Fmt.pf ppf "%s@." (String.make 94 '-');
+  Fmt.pf ppf "%-36s %6s %10.4f %10s %5.1f%%@." "(unattributed)" ""
+    (Float.max 0. (t.elapsed -. accounted))
+    ""
+    (pct (Float.max 0. (t.elapsed -. accounted)))
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks (flamegraph.pl / speedscope input)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* one line per stack: "a;b;c <self-microseconds>" *)
+let folded t =
+  let lines = ref [] in
+  let rec go stack node =
+    let stack = node.name :: stack in
+    let us = int_of_float (Float.round (node.self *. 1e6)) in
+    if us > 0 then
+      lines := (String.concat ";" (List.rev stack), us) :: !lines;
+    List.iter (go stack) node.children
+  in
+  List.iter (go []) t.roots;
+  List.rev !lines
+
+let pp_folded ppf t =
+  List.iter (fun (stack, us) -> Fmt.pf ppf "%s %d@." stack us) (folded t)
+
+(* flat per-name aggregate over the whole tree: the diff input *)
+let flat t =
+  let tbl : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go node =
+    let self, count =
+      match Hashtbl.find_opt tbl node.name with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref 0., ref 0) in
+        Hashtbl.add tbl node.name cell;
+        order := node.name :: !order;
+        cell
+    in
+    self := !self +. node.self;
+    count := !count + node.count;
+    List.iter go node.children
+  in
+  List.iter go t.roots;
+  List.rev_map
+    (fun name ->
+      let self, count = Hashtbl.find tbl name in
+      (name, !self, !count))
+    !order

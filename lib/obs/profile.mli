@@ -1,0 +1,36 @@
+(** Wall-time attribution over the span tree of a trace: per-phase
+    inclusive ([total]) and exclusive ([self]) seconds, instance counts
+    and summed gauge deltas, as a text tree or folded flame-graph
+    stacks. *)
+
+type node = {
+  name : string;
+  count : int;  (** merged span instances at this position *)
+  total : float;  (** inclusive seconds *)
+  self : float;  (** [total] minus direct children (clamped at 0) *)
+  gauges : (string * float) list;  (** summed per-span deltas *)
+  children : node list;
+}
+
+type t = { roots : node list; elapsed : float; source : string }
+
+val of_trace : ?merge:bool -> Trace.t -> t
+(** Aggregate the span tree.  [merge] (default [true]) pools indexed
+    instances (["component-0"], ["component-1"], …) under their
+    {!Trace.base_name}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree with count / total / self / %-of-elapsed and the GC
+    minor-words and ZDD-node gauge columns, plus an [(unattributed)]
+    line for elapsed time outside any top-level span. *)
+
+val folded : t -> (string * int) list
+(** Folded stacks: [("a;b;c", self_microseconds)] per tree position with
+    nonzero self time — the input format of flamegraph.pl. *)
+
+val pp_folded : Format.formatter -> t -> unit
+
+val flat : t -> (string * float * int) list
+(** Whole-tree flat aggregate [(name, self_seconds, count)] — self times
+    sum to (at most) elapsed, so names never double-count; the input of
+    {!Diff}. *)

@@ -1,0 +1,254 @@
+module Json = Telemetry.Json
+
+type gauge = { value : float; delta : float }
+
+type span = {
+  name : string;
+  depth : int;
+  start : float;
+  stop : float;
+  dur : float;
+  gauges : (string * gauge) list;
+  children : span list;
+}
+
+type step = {
+  at : float;
+  phase : string;
+  component : int;
+  index : int;
+  value : float;
+  best : float;
+}
+
+type event = { at : float; ev : string; fields : Json.t }
+
+type t = {
+  source : string;
+  n_records : int;
+  roots : span list;
+  steps : step list;
+  events : event list;
+  summary : Json.t;
+  elapsed : float;
+}
+
+type error = { source : string; line : int; msg : string }
+
+let pp_error ppf e =
+  if e.line > 0 then Fmt.pf ppf "%s:%d: %s" e.source e.line e.msg
+  else Fmt.pf ppf "%s: %s" e.source e.msg
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+exception Fail of int * string
+
+let failf lineno fmt = Format.kasprintf (fun s -> raise (Fail (lineno, s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Record field access (strict: a missing field is a schema error)    *)
+(* ------------------------------------------------------------------ *)
+
+let float_field lineno r name =
+  match Option.bind (Json.member name r) Json.to_float with
+  | Some v -> v
+  | None -> failf lineno "record lacks float field %S" name
+
+let int_field lineno r name =
+  match Option.bind (Json.member name r) Json.to_int with
+  | Some v -> v
+  | None -> failf lineno "record lacks int field %S" name
+
+let str_field lineno r name =
+  match Option.bind (Json.member name r) Json.to_str with
+  | Some v -> v
+  | None -> failf lineno "record lacks string field %S" name
+
+let gauges_of lineno r =
+  match Json.member "gauges" r with
+  | None -> []
+  | Some (Json.Obj fields) ->
+    List.map
+      (fun (name, g) ->
+        match (Option.bind (Json.member "v" g) Json.to_float,
+               Option.bind (Json.member "d" g) Json.to_float)
+        with
+        | Some value, Some delta -> (name, { value; delta })
+        | _ -> failf lineno "gauge %S lacks v/d floats" name)
+      fields
+  | Some _ -> failf lineno "\"gauges\" is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* an open span whose children accumulate until its span_end arrives *)
+type partial = {
+  p_name : string;
+  p_depth : int;
+  p_start : float;
+  mutable p_children_rev : span list;
+}
+
+let of_lines ?(source = "<trace>") lines =
+  let stack : partial list ref = ref [] in
+  let roots_rev : span list ref = ref [] in
+  let steps_rev : step list ref = ref [] in
+  let events_rev : event list ref = ref [] in
+  let summary : Json.t option ref = ref None in
+  let last_t = ref neg_infinity in
+  let n = ref 0 in
+  let core_events = [ "span_begin"; "span_end"; "step"; "summary" ] in
+  let record lineno line =
+    if String.trim line = "" then failf lineno "blank line in trace"
+    else
+      match Json.of_string line with
+      | Error e -> failf lineno "unparseable line (%s)" e
+      | Ok r ->
+        incr n;
+        let t = float_field lineno r "t" in
+        let ev = str_field lineno r "ev" in
+        if t < !last_t then
+          failf lineno "non-monotone timestamp %g after %g" t !last_t;
+        last_t := t;
+        if !summary <> None then failf lineno "record after the summary";
+        (match ev with
+        | "span_begin" ->
+          let name = str_field lineno r "name" in
+          let depth = int_field lineno r "depth" in
+          if depth <> List.length !stack then
+            failf lineno "span %S opens at depth %d, %d span(s) open" name depth
+              (List.length !stack);
+          stack :=
+            { p_name = name; p_depth = depth; p_start = t; p_children_rev = [] }
+            :: !stack
+        | "span_end" -> (
+          let name = str_field lineno r "name" in
+          let dur = float_field lineno r "dur" in
+          if dur < 0. then failf lineno "negative span duration %g" dur;
+          match !stack with
+          | [] -> failf lineno "span_end %S without a matching begin" name
+          | p :: rest ->
+            if p.p_name <> name then
+              failf lineno "span_end %S closes open span %S" name p.p_name;
+            let span =
+              {
+                name;
+                depth = p.p_depth;
+                start = p.p_start;
+                stop = t;
+                dur;
+                gauges = gauges_of lineno r;
+                children = List.rev p.p_children_rev;
+              }
+            in
+            stack := rest;
+            (match rest with
+            | [] -> roots_rev := span :: !roots_rev
+            | parent :: _ -> parent.p_children_rev <- span :: parent.p_children_rev))
+        | "step" ->
+          steps_rev :=
+            {
+              at = t;
+              phase = str_field lineno r "phase";
+              component = int_field lineno r "component";
+              index = int_field lineno r "step";
+              value = float_field lineno r "value";
+              best = float_field lineno r "best";
+            }
+            :: !steps_rev
+        | "summary" ->
+          List.iter
+            (fun f ->
+              if Json.member f r = None then failf lineno "summary lacks %S" f)
+            [ "spans"; "counters"; "events" ];
+          summary := Some r
+        | _ -> ());
+        if not (List.mem ev core_events) then
+          events_rev := { at = t; ev; fields = r } :: !events_rev
+  in
+  match
+    List.iteri (fun i line -> record (i + 1) line) lines;
+    if !n = 0 then failf 0 "empty trace";
+    (match !stack with
+    | [] -> ()
+    | open_spans ->
+      failf 0 "truncated trace: %d unclosed span(s), deepest %S"
+        (List.length open_spans)
+        (List.hd open_spans).p_name);
+    match !summary with
+    | None -> failf 0 "truncated trace: missing summary record"
+    | Some s ->
+      let elapsed =
+        match Option.bind (Json.member "elapsed" s) Json.to_float with
+        | Some e -> e
+        | None -> !last_t
+      in
+      {
+        source;
+        n_records = !n;
+        roots = List.rev !roots_rev;
+        steps = List.rev !steps_rev;
+        events = List.rev !events_rev;
+        summary = s;
+        elapsed;
+      }
+  with
+  | trace -> Ok trace
+  | exception Fail (line, msg) -> Error { source; line; msg }
+
+let read_lines ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  List.rev !lines
+
+let of_file path =
+  if path = "-" then of_lines ~source:"<stdin>" (read_lines stdin)
+  else if not (Sys.file_exists path) then
+    Error { source = path; line = 0; msg = "no such file" }
+  else
+    let ic = open_in path in
+    let lines = read_lines ic in
+    close_in ic;
+    of_lines ~source:path lines
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers for the consumers                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* merge "component-3" into "component": spans indexed with ?index get a
+   "-<digits>" suffix; aggregation reads better with instances pooled *)
+let base_name name =
+  match String.rindex_opt name '-' with
+  | Some i when i > 0 && i < String.length name - 1 ->
+    let digits = ref true in
+    String.iteri
+      (fun k c -> if k > i && not ('0' <= c && c <= '9') then digits := false)
+      name;
+    if !digits then String.sub name 0 i else name
+  | _ -> name
+
+let counters t =
+  match Json.member "counters" t.summary with
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (name, v) -> Option.map (fun i -> (name, i)) (Json.to_int v))
+      fields
+  | _ -> []
+
+let summary_gauges t =
+  match Json.member "gauges" t.summary with
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (name, g) ->
+        match (Option.bind (Json.member "v" g) Json.to_float,
+               Option.bind (Json.member "peak" g) Json.to_float)
+        with
+        | Some v, Some peak -> Some (name, v, peak)
+        | _ -> None)
+      fields
+  | _ -> []

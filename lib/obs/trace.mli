@@ -1,0 +1,74 @@
+(** Streaming reader for the telemetry JSON-lines trace format
+    (DESIGN.md §8): validates every record against the schema,
+    re-checks the stream invariants (monotone timestamps, balanced
+    spans, one trailing summary) and reconstructs the span tree.
+
+    The reader is strict on purpose — a truncated or corrupt trace
+    yields a typed {!error} with the offending line, never an exception:
+    the analysis tools built on top ({!Profile}, {!Conv}, {!Diff}) must
+    be safe to point at the output of a crashed or killed solve. *)
+
+module Json = Telemetry.Json
+
+type gauge = { value : float; delta : float }
+(** One in-process meter sample at span end: value and over-span delta
+    (see [Telemetry.gauge]). *)
+
+type span = {
+  name : string;
+  depth : int;  (** nesting depth; top level = 0 *)
+  start : float;  (** seconds since collector creation *)
+  stop : float;
+  dur : float;  (** the record's own duration field *)
+  gauges : (string * gauge) list;
+  children : span list;  (** direct sub-spans, in start order *)
+}
+
+type step = {
+  at : float;
+  phase : string;
+  component : int;
+  index : int;  (** the record's "step" field *)
+  value : float;  (** oscillating Lagrangian value *)
+  best : float;  (** monotone best bound so far *)
+}
+
+type event = { at : float; ev : string; fields : Json.t }
+(** A non-core record, e.g. ["incumbent"]; [fields] is the whole
+    record. *)
+
+type t = {
+  source : string;
+  n_records : int;
+  roots : span list;  (** top-level spans, in start order *)
+  steps : step list;  (** convergence trace, in emission order *)
+  events : event list;
+  summary : Json.t;  (** the final summary record *)
+  elapsed : float;
+}
+
+type error = { source : string; line : int; msg : string }
+(** [line] is 1-based; 0 means a whole-stream problem (empty, truncated,
+    missing summary). *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val of_lines : ?source:string -> string list -> (t, error) result
+(** Parse and validate one trace given as its lines (without trailing
+    newlines).  [source] labels errors. *)
+
+val of_file : string -> (t, error) result
+(** [of_lines] on the contents of a file; ["-"] reads stdin. *)
+
+(** {1 Helpers shared by the consumers} *)
+
+val base_name : string -> string
+(** Strip a ["-<digits>"] instance suffix: ["component-3"] →
+    ["component"].  Names without one pass through unchanged. *)
+
+val counters : t -> (string * int) list
+(** The summary's counters, in its (sorted) order. *)
+
+val summary_gauges : t -> (string * float * float) list
+(** The summary's gauges as [(name, final, peak)]. *)

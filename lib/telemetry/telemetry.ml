@@ -1,11 +1,49 @@
 module Json = Jsont
 
+type gauge = { gauge : string; value : float; delta : float }
+
 type span = {
   name : string;
   start : float;
   stop : float;
   depth : int;
+  gauges : gauge list;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Gauge probes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The GC probes are built in; further in-process gauges (the ZDD
+   unique-table ones live in Scg, which links both worlds) register here
+   before any collector is created — the registry is snapshot by
+   [create], so registration is a link-time concern, not a per-run one. *)
+let probe_registry : (string * (unit -> float)) list ref = ref []
+
+let register_probe name sample =
+  if not (List.mem_assoc name !probe_registry) then
+    probe_registry := !probe_registry @ [ (name, sample) ]
+
+let gc_probe_names = [| "gc.minor_words"; "gc.promoted_words"; "gc.major_collections" |]
+
+let probes_snapshot () =
+  let registered = !probe_registry in
+  let names =
+    Array.append gc_probe_names (Array.of_list (List.map fst registered))
+  in
+  let samplers = Array.of_list (List.map snd registered) in
+  let sample () =
+    (* quick_stat's minor_words is only refreshed at collections;
+       Gc.minor_words reads the live allocation pointer *)
+    let s = Gc.quick_stat () in
+    Array.append
+      [|
+        Gc.minor_words (); s.Gc.promoted_words;
+        float_of_int s.Gc.major_collections;
+      |]
+      (Array.map (fun f -> f ()) samplers)
+  in
+  (names, sample)
 
 type active = {
   clock : unit -> float;
@@ -18,6 +56,10 @@ type active = {
   event_counts : (string, int) Hashtbl.t;
   step_counts : (string, int) Hashtbl.t;
   step_best : (string, float) Hashtbl.t;
+  gauge_names : string array;
+  gauge_sample : unit -> float array;
+  gauge_last : float array;
+  gauge_peak : float array;
   mutable closed : bool;
 }
 
@@ -25,7 +67,16 @@ type t = active option
 
 let null : t = None
 
+let observe_gauges a g =
+  Array.iteri
+    (fun i v ->
+      a.gauge_last.(i) <- v;
+      if v > a.gauge_peak.(i) then a.gauge_peak.(i) <- v)
+    g
+
 let create ?(clock = Budget.Clock.now) ?trace () =
+  let gauge_names, gauge_sample = probes_snapshot () in
+  let g0 = gauge_sample () in
   Some
     {
       clock;
@@ -38,6 +89,10 @@ let create ?(clock = Budget.Clock.now) ?trace () =
       event_counts = Hashtbl.create 16;
       step_counts = Hashtbl.create 4;
       step_best = Hashtbl.create 4;
+      gauge_names;
+      gauge_sample;
+      gauge_last = Array.copy g0;
+      gauge_peak = Array.copy g0;
       closed = false;
     }
 
@@ -68,6 +123,8 @@ let span t ?index name f =
     let name =
       match index with None -> name | Some k -> Printf.sprintf "%s-%d" name k
     in
+    let g0 = a.gauge_sample () in
+    observe_gauges a g0;
     let start = now a in
     let depth = a.depth in
     a.depth <- depth + 1;
@@ -75,13 +132,31 @@ let span t ?index name f =
       [ ("t", Json.Float start); ("ev", Json.String "span_begin");
         ("name", Json.String name); ("depth", Json.Int depth) ];
     let finish () =
+      let g1 = a.gauge_sample () in
+      observe_gauges a g1;
       let stop = now a in
       a.depth <- depth;
-      a.spans_rev <- { name; start; stop; depth } :: a.spans_rev;
+      let gauges =
+        Array.to_list
+          (Array.mapi
+             (fun i gname ->
+               { gauge = gname; value = g1.(i); delta = g1.(i) -. g0.(i) })
+             a.gauge_names)
+      in
+      a.spans_rev <- { name; start; stop; depth; gauges } :: a.spans_rev;
       emit a
         [ ("t", Json.Float stop); ("ev", Json.String "span_end");
           ("name", Json.String name); ("depth", Json.Int depth);
-          ("dur", Json.Float (stop -. start)) ]
+          ("dur", Json.Float (stop -. start));
+          ( "gauges",
+            Json.Obj
+              (List.map
+                 (fun g ->
+                   ( g.gauge,
+                     Json.Obj
+                       [ ("v", Json.Float g.value); ("d", Json.Float g.delta) ]
+                   ))
+                 gauges) ) ]
     in
     Fun.protect ~finally:finish f
 
@@ -149,6 +224,7 @@ let summary t =
   match t with
   | None -> Json.Obj []
   | Some a ->
+    observe_gauges a (a.gauge_sample ());
     let span_totals = Hashtbl.create 16 in
     List.iter
       (fun s ->
@@ -186,6 +262,18 @@ let summary t =
         ("counters", Json.Obj (sorted_fields a.counters (fun v -> Json.Int v)));
         ("events", Json.Obj (sorted_fields a.event_counts (fun v -> Json.Int v)));
         ("steps", Json.Obj step_fields);
+        ( "gauges",
+          Json.Obj
+            (Array.to_list
+               (Array.mapi
+                  (fun i name ->
+                    ( name,
+                      Json.Obj
+                        [
+                          ("v", Json.Float a.gauge_last.(i));
+                          ("peak", Json.Float a.gauge_peak.(i));
+                        ] ))
+                  a.gauge_names)) );
       ]
 
 let close t =

@@ -26,13 +26,21 @@
     collector was created, float) and ["ev"] (record type):
 
     - [{"t", "ev":"span_begin", "name", "depth"}]
-    - [{"t", "ev":"span_end",   "name", "depth", "dur"}]
+    - [{"t", "ev":"span_end",   "name", "depth", "dur", "gauges"}] —
+      ["gauges"] maps each gauge name to [{"v": <sample at span end>,
+      "d": <delta over the span>}].  Built-in gauges are the GC meters
+      ["gc.minor_words"], ["gc.promoted_words"] and
+      ["gc.major_collections"] (all monotone counters, so [d >= 0]);
+      {!register_probe} adds in-process gauges — the solver registers
+      the ZDD unique-table meters ["zdd.nodes"] (occupancy) and
+      ["zdd.peak_nodes"] (high-water mark).
     - [{"t", "ev":"step", "phase", "component", "step", "value", "best"}]
       — one subgradient iteration: oscillating bound and monotone best
     - [{"t", "ev":"<custom>", ...}] — {!event} records, e.g.
       ["incumbent"] with ["cost"]
-    - [{"t", "ev":"summary", "spans", "counters", "events"}] — emitted
-      once by {!close}, same value {!summary} returns. *)
+    - [{"t", "ev":"summary", "spans", "counters", "events", "gauges"}] —
+      emitted once by {!close}, same value {!summary} returns; its
+      ["gauges"] carry [{"v": <final sample>, "peak": <max sample>}]. *)
 
 module Json = Jsont
 
@@ -59,6 +67,24 @@ val enabled : t -> bool
 val elapsed : t -> float
 (** Seconds since creation (0 for {!null}). *)
 
+(** {1 Gauges}
+
+    A gauge is a sampled in-process meter (GC counters, ZDD unique-table
+    occupancy): each active span samples every gauge at entry and exit
+    and records the exit value plus the delta over the span. *)
+
+type gauge = {
+  gauge : string;  (** gauge name, e.g. ["gc.minor_words"] *)
+  value : float;  (** sample at span end *)
+  delta : float;  (** end minus begin; [>= 0] for monotone meters *)
+}
+
+val register_probe : string -> (unit -> float) -> unit
+(** [register_probe name sample] adds a gauge to every collector created
+    afterwards (the registry is snapshot by {!create}).  Registering an
+    already-registered name is a no-op.  The GC gauges are built in;
+    [Scg] registers the ZDD ones at link time. *)
+
 (** {1 Spans} *)
 
 type span = {
@@ -66,6 +92,7 @@ type span = {
   start : float;  (** seconds since collector creation *)
   stop : float;
   depth : int;  (** nesting depth at entry; top level = 0 *)
+  gauges : gauge list;  (** one sample per registered gauge *)
 }
 
 val span : t -> ?index:int -> string -> (unit -> 'a) -> 'a

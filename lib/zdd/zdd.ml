@@ -36,6 +36,7 @@ module Unique = Hashtbl.Make (Triple)
 
 let unique : t Unique.t = Unique.create 65_536
 let next_tag = ref 2
+let peak = ref 0
 
 let mk var hi lo =
   if is_empty hi then lo
@@ -47,9 +48,12 @@ let mk var hi lo =
       let n = { tag = !next_tag; node = Node { var; hi; lo } } in
       incr next_tag;
       Unique.add unique key n;
+      let occ = Unique.length unique in
+      if occ > !peak then peak := occ;
       n
 
 let node_count () = Unique.length unique
+let peak_node_count () = max !peak (Unique.length unique)
 
 let top_var f =
   match f.node with

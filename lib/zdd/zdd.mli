@@ -141,6 +141,15 @@ val to_sets : t -> elt list list
 (** {1 Engine management} *)
 
 val clear_caches : unit -> unit
+
 val node_count : unit -> int
+(** Current unique-table occupancy (internal nodes ever hash-consed;
+    the table is never pruned, so this is monotone today). *)
+
+val peak_node_count : unit -> int
+(** High-water mark of {!node_count} over the engine's lifetime; always
+    [>= node_count ()], and stays correct if table pruning is ever
+    added. *)
+
 val pp : Format.formatter -> t -> unit
 (** Debug printer: the family as a list of sets (truncated when large). *)

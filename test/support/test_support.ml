@@ -38,3 +38,9 @@ let medium_matrix_of_seed ?uniform seed =
    examples and benches share them; re-exported here for the test files. *)
 let fig1_matrix = Benchsuite.Worked.fig1
 let c5_matrix = Benchsuite.Worked.c5
+
+(* substring test for error-message assertions *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0

@@ -25,6 +25,73 @@ let str_field r name =
   | Some v -> v
   | None -> fail "record %s lacks string field %S" (Json.to_string r) name
 
+(* span_end gauges: {"name":{"v":sample,"d":delta}, ...}; the GC gauges
+   are built into every collector, and the monotone meters (allocation
+   counters, ZDD occupancy peaks) must never run backwards *)
+let validate_span_gauges ~source ~lineno ~last_peaks r =
+  let gauges =
+    match Json.member "gauges" r with
+    | Some (Json.Obj fields) -> fields
+    | Some _ -> fail "%s:%d: span_end \"gauges\" is not an object" source lineno
+    | None -> fail "%s:%d: span_end lacks \"gauges\"" source lineno
+  in
+  let value name g field =
+    match Option.bind (Json.member field g) Json.to_float with
+    | Some v -> v
+    | None -> fail "%s:%d: gauge %S lacks float %S" source lineno name field
+  in
+  List.iter
+    (fun (name, g) ->
+      let v = value name g "v" and d = value name g "d" in
+      (match name with
+      | "gc.minor_words" | "gc.promoted_words" | "gc.major_collections"
+      | "zdd.peak_nodes" ->
+        if d < 0. then
+          fail "%s:%d: monotone gauge %S ran backwards (d = %g)" source lineno
+            name d
+      | _ -> ());
+      if name = "zdd.peak_nodes" then begin
+        (match Hashtbl.find_opt last_peaks name with
+        | Some prev when v < prev ->
+          fail "%s:%d: zdd.peak_nodes fell %g -> %g" source lineno prev v
+        | _ -> ());
+        Hashtbl.replace last_peaks name v
+      end)
+    gauges;
+  if not (List.mem_assoc "gc.minor_words" gauges) then
+    fail "%s:%d: span_end lacks the built-in gc.minor_words gauge" source lineno;
+  match
+    (List.assoc_opt "zdd.nodes" gauges, List.assoc_opt "zdd.peak_nodes" gauges)
+  with
+  | Some n, Some p ->
+    let nv = value "zdd.nodes" n "v" and pv = value "zdd.peak_nodes" p "v" in
+    if nv > pv then
+      fail "%s:%d: zdd.nodes %g above zdd.peak_nodes %g" source lineno nv pv
+  | _ -> ()
+
+(* summary gauges: {"name":{"v":final,"peak":max-observed}, ...} *)
+let validate_summary_gauges ~source ~lineno r =
+  match Json.member "gauges" r with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, g) ->
+        let v =
+          match Option.bind (Json.member "v" g) Json.to_float with
+          | Some v -> v
+          | None -> fail "%s:%d: summary gauge %S lacks \"v\"" source lineno name
+        and peak =
+          match Option.bind (Json.member "peak" g) Json.to_float with
+          | Some v -> v
+          | None ->
+            fail "%s:%d: summary gauge %S lacks \"peak\"" source lineno name
+        in
+        if v > peak then
+          fail "%s:%d: summary gauge %S final %g above peak %g" source lineno
+            name v peak)
+      fields
+  | Some _ -> fail "%s:%d: summary \"gauges\" is not an object" source lineno
+  | None -> fail "%s:%d: summary lacks \"gauges\"" source lineno
+
 let validate_lines ~source lines =
   if lines = [] then fail "%s: empty trace" source;
   let records =
@@ -38,6 +105,7 @@ let validate_lines ~source lines =
   let last_t = ref neg_infinity in
   let depth = ref 0 in
   let summaries = ref 0 in
+  let last_peaks = Hashtbl.create 4 in
   List.iter
     (fun (lineno, r) ->
       let t = float_field r "t" in
@@ -54,6 +122,7 @@ let validate_lines ~source lines =
       | "span_end" ->
         ignore (str_field r "name");
         ignore (float_field r "dur");
+        validate_span_gauges ~source ~lineno ~last_peaks r;
         decr depth;
         if !depth < 0 then fail "%s:%d: span_end without begin" source lineno
       | "step" ->
@@ -67,7 +136,8 @@ let validate_lines ~source lines =
           (fun f ->
             if Json.member f r = None then
               fail "%s:%d: summary lacks %S" source lineno f)
-          [ "spans"; "counters"; "events" ]
+          [ "spans"; "counters"; "events" ];
+        validate_summary_gauges ~source ~lineno r
       | _ -> ());
       if !summaries > 0 && ev <> "summary" then
         fail "%s:%d: record after the summary" source lineno)
