@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke bench-check fault-smoke trace-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke bench-par bench-check fault-smoke trace-smoke doc examples clean
 
 all: build
 
@@ -22,10 +22,17 @@ bench-quick:
 
 # tight-budget sanity sweep: the easy aggregate plus the reduction-engine
 # comparison (legacy vs incremental), leaving BENCH_reduce.json behind
-# (--no-csv: partial runs must not clobber the committed bench_results.csv)
+# (--no-csv: partial runs must not clobber a full run's bench_results.csv)
 bench-smoke:
 	dune exec bench/main.exe -- --no-csv --table easy --table reduce \
 	  --reduce-reps 5 --reduce-json BENCH_reduce.json
+
+# sequential-vs-parallel comparison at both wiring levels (components of
+# block-diagonal composites, then whole-instance batches), leaving
+# BENCH_par.json behind; JOBS=0 means the machine's recommended count
+JOBS ?= 0
+bench-par:
+	dune exec bench/main.exe -- --no-csv --table par --jobs $(JOBS)
 
 # regression gate: re-run the benchmark the committed baseline describes
 # and compare (speedup ratios for the reduce baseline, so the gate is

@@ -6,6 +6,11 @@
    the paper's ZDD_SCG heuristic, the exact branch-and-bound, the Chvátal
    greedy family, or the espresso-style baseline (PLA inputs only).
 
+   Several inputs may be given at once; `--jobs N` then solves them
+   concurrently on N worker domains (with a single input it parallelises
+   over cyclic-core components instead).  Reports are printed in input
+   order whatever finished first.
+
    Exit codes (see also the man page):
      0  solved (answer printed)
      2  usage error: bad flags, unrecognised extension, wrong solver/input mix
@@ -14,7 +19,9 @@
      4  parse error in an input file
      5  input file not found or unreadable
      6  unknown benchmark instance
-     7  infeasible: some row of the matrix has no covering column *)
+     7  infeasible: some row of the matrix has no covering column
+   With several inputs the worst outcome wins: 7 if any instance is
+   infeasible, else 3 if any budget tripped, else 0. *)
 
 open Cmdliner
 
@@ -63,6 +70,28 @@ let load_input = function
         name;
       exit 6)
 
+let classify input_kind p =
+  match input_kind with
+  | `Auto ->
+    if Filename.check_suffix p ".pla" then From_pla p
+    else if Filename.check_suffix p ".ucp" then From_ucp p
+    else if Filename.check_suffix p ".scp" || Filename.check_suffix p ".txt" then
+      From_orlib p
+    else if Sys.file_exists p then begin
+      (* a real file with an extension we cannot dispatch on must
+         not silently fall through to the benchmark registry *)
+      Fmt.epr
+        "ucp_solve: %s exists but has no recognised extension \
+         (.pla/.ucp/.scp/.txt); pass --kind@."
+        p;
+      exit 2
+    end
+    else From_registry p
+  | `Pla -> From_pla p
+  | `Ucp -> From_ucp p
+  | `Orlib -> From_orlib p
+  | `Bench -> From_registry p
+
 let print_list () =
   List.iter
     (fun i ->
@@ -88,30 +117,34 @@ let scg_fields (r : Scg.result) =
     ("stats", Scg.Stats.to_json r.Scg.stats);
   ]
 
-let solve_matrix ~budget ~telemetry solver max_nodes m =
+(* the solve_* helpers print to [ppf], not the standard formatter: with
+   one input [ppf] is the standard formatter, in batch mode a
+   per-instance buffer so concurrent workers never interleave reports *)
+let solve_matrix ppf ~budget ~telemetry ~config solver max_nodes m =
   let module J = Telemetry.Json in
   let n_rows = Covering.Matrix.n_rows m and n_cols = Covering.Matrix.n_cols m in
-  Fmt.pr "problem: %d rows x %d cols (density %.3f)@." n_rows n_cols
+  Fmt.pf ppf "problem: %d rows x %d cols (density %.3f)@." n_rows n_cols
     (Covering.Matrix.density m);
   match solver with
   | Solver_scg ->
-    let r = Scg.solve ~budget ~telemetry m in
+    let r = Scg.solve ~budget ~telemetry ~config m in
     let qualifier =
       match r.Scg.status with
       | Scg.Optimal -> " (proven optimal)"
       | Scg.Feasible -> ""
       | Scg.Feasible_budget_exhausted _ -> " (budget exhausted)"
     in
-    Fmt.pr "scg: cost %d, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound qualifier;
-    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Scg.solution;
-    Fmt.pr "%a@." Scg.Stats.pp r.Scg.stats;
+    Fmt.pf ppf "scg: cost %d, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
+      qualifier;
+    Fmt.pf ppf "columns: %a@." Fmt.(list ~sep:sp int) r.Scg.solution;
+    Fmt.pf ppf "%a@." Scg.Stats.pp r.Scg.stats;
     scg_fields r
   | Solver_exact ->
     let r = Covering.Exact.solve ~budget ~max_nodes m in
-    Fmt.pr "exact: cost %d (%s, %d nodes, lower bound %d)@." r.Covering.Exact.cost
+    Fmt.pf ppf "exact: cost %d (%s, %d nodes, lower bound %d)@." r.Covering.Exact.cost
       (if r.Covering.Exact.optimal then "optimal" else "node budget exhausted")
       r.Covering.Exact.nodes r.Covering.Exact.lower_bound;
-    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) r.Covering.Exact.solution;
+    Fmt.pf ppf "columns: %a@." Fmt.(list ~sep:sp int) r.Covering.Exact.solution;
     [
       ("solver", J.String "exact");
       ("cost", J.Int r.Covering.Exact.cost);
@@ -121,14 +154,15 @@ let solve_matrix ~budget ~telemetry solver max_nodes m =
     ]
   | Solver_greedy ->
     let sol = Covering.Greedy.solve_exchange m in
-    Fmt.pr "greedy: cost %d@." (Covering.Matrix.cost_of m sol);
-    Fmt.pr "columns: %a@." Fmt.(list ~sep:sp int) sol;
+    Fmt.pf ppf "greedy: cost %d@." (Covering.Matrix.cost_of m sol);
+    Fmt.pf ppf "columns: %a@." Fmt.(list ~sep:sp int) sol;
     [ ("solver", J.String "greedy"); ("cost", J.Int (Covering.Matrix.cost_of m sol)) ]
   | Solver_espresso ->
     Fmt.epr "espresso mode needs a two-level input (.pla or a two-level instance)@.";
     exit 2
 
-let solve_spec ~budget ~telemetry solver max_nodes (spec : Benchsuite.Plagen.spec) =
+let solve_spec ppf ~budget ~telemetry ~config solver max_nodes
+    (spec : Benchsuite.Plagen.spec) =
   let module J = Telemetry.Json in
   match solver with
   | Solver_espresso ->
@@ -141,9 +175,9 @@ let solve_spec ~budget ~telemetry solver max_nodes (spec : Benchsuite.Plagen.spe
         ~dc:spec.dc ()
     in
     let tag (r : Espresso.result) = if r.Espresso.interrupted then " [interrupted]" else "" in
-    Fmt.pr "espresso normal: %d products / %d literals (%.2fs)%s@."
+    Fmt.pf ppf "espresso normal: %d products / %d literals (%.2fs)%s@."
       normal.Espresso.cost normal.Espresso.literals normal.Espresso.seconds (tag normal);
-    Fmt.pr "espresso strong: %d products / %d literals (%.2fs)%s@."
+    Fmt.pf ppf "espresso strong: %d products / %d literals (%.2fs)%s@."
       strong.Espresso.cost strong.Espresso.literals strong.Espresso.seconds (tag strong);
     let fields tag (r : Espresso.result) =
       ( tag,
@@ -158,31 +192,35 @@ let solve_spec ~budget ~telemetry solver max_nodes (spec : Benchsuite.Plagen.spe
     in
     [ ("solver", J.String "espresso"); fields "normal" normal; fields "strong" strong ]
   | Solver_scg ->
-    let r, bridge = Scg.solve_logic ~budget ~telemetry ~on:spec.on ~dc:spec.dc () in
-    Fmt.pr "scg: %d products, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
+    let r, bridge =
+      Scg.solve_logic ~budget ~telemetry ~config ~on:spec.on ~dc:spec.dc ()
+    in
+    Fmt.pf ppf "scg: %d products, lower bound %d%s@." r.Scg.cost r.Scg.lower_bound
       (if r.Scg.proven_optimal then " (proven optimal)" else "");
     let cover = Covering.From_logic.cover_of_solution bridge r.Scg.solution in
-    Fmt.pr "@[<v>cover:@,%a@]@." Logic.Cover.pp cover;
+    Fmt.pf ppf "@[<v>cover:@,%a@]@." Logic.Cover.pp cover;
     scg_fields r
   | Solver_exact | Solver_greedy ->
     let bridge = Covering.From_logic.build ~on:spec.on ~dc:spec.dc () in
-    solve_matrix ~budget ~telemetry solver max_nodes bridge.Covering.From_logic.matrix
+    solve_matrix ppf ~budget ~telemetry ~config solver max_nodes
+      bridge.Covering.From_logic.matrix
 
-let solve_multi ~budget ~telemetry solver pla =
+let solve_multi ppf ~budget ~telemetry ~config solver pla =
   let module J = Telemetry.Json in
   match solver with
   | Solver_scg ->
-    let r, bridge = Scg.solve_pla_multi ~budget ~telemetry pla in
-    Fmt.pr "scg (shared products): %d rows, lower bound %d%s@." r.Scg.cost
+    let r, bridge = Scg.solve_pla_multi ~budget ~telemetry ~config pla in
+    Fmt.pf ppf "scg (shared products): %d rows, lower bound %d%s@." r.Scg.cost
       r.Scg.lower_bound
       (if r.Scg.proven_optimal then " (proven optimal)" else "");
     let out = Covering.From_logic.pla_of_multi_solution pla bridge r.Scg.solution in
-    Fmt.pr "%s@." (Logic.Pla.to_string out);
+    Fmt.pf ppf "%s@." (Logic.Pla.to_string out);
     scg_fields r
   | Solver_exact ->
     let bridge = Covering.From_logic.build_multi pla in
     let r = Covering.Exact.solve ~budget bridge.Covering.From_logic.mmatrix in
-    Fmt.pr "exact (shared products): %d rows (%s, %d nodes)@." r.Covering.Exact.cost
+    Fmt.pf ppf "exact (shared products): %d rows (%s, %d nodes)@."
+      r.Covering.Exact.cost
       (if r.Covering.Exact.optimal then "optimal" else "budget exhausted")
       r.Covering.Exact.nodes;
     [
@@ -194,6 +232,50 @@ let solve_multi ~budget ~telemetry solver pla =
   | Solver_greedy | Solver_espresso ->
     Fmt.epr "--multi supports the scg and exact solvers@.";
     exit 2
+
+(* dispatch one loaded input; [name] labels the synthetic spec built for a
+   single PLA output *)
+let solve_loaded ppf ~budget ~telemetry ~config ~multi ~output ~name solver
+    max_nodes loaded =
+  match loaded with
+  | `Matrix m -> solve_matrix ppf ~budget ~telemetry ~config solver max_nodes m
+  | `Spec spec -> solve_spec ppf ~budget ~telemetry ~config solver max_nodes spec
+  | `Pla pla when multi -> solve_multi ppf ~budget ~telemetry ~config solver pla
+  | `Pla pla ->
+    if output < 0 || output >= pla.Logic.Pla.no then begin
+      Fmt.epr "output %d out of range (PLA has %d outputs)@." output
+        pla.Logic.Pla.no;
+      exit 2
+    end;
+    let spec =
+      {
+        Benchsuite.Plagen.name;
+        ni = pla.Logic.Pla.ni;
+        on = Logic.Pla.onset pla output;
+        dc = Logic.Pla.dcset pla output;
+      }
+    in
+    solve_spec ppf ~budget ~telemetry ~config solver max_nodes spec
+
+(* Usage errors must fire before any worker domain starts: past this
+   point the batch solve closures never call [exit].  Mirrors the checks
+   inside solve_matrix / solve_multi / solve_loaded. *)
+let check_batch_compat solver ~multi ~output name loaded =
+  match (loaded, solver) with
+  | `Matrix _, Solver_espresso ->
+    Fmt.epr
+      "ucp_solve: %s: espresso mode needs a two-level input (.pla or a \
+       two-level instance)@."
+      name;
+    exit 2
+  | `Pla _, (Solver_greedy | Solver_espresso) when multi ->
+    Fmt.epr "--multi supports the scg and exact solvers@.";
+    exit 2
+  | `Pla pla, _ when (not multi) && (output < 0 || output >= pla.Logic.Pla.no) ->
+    Fmt.epr "ucp_solve: %s: output %d out of range (PLA has %d outputs)@." name
+      output pla.Logic.Pla.no;
+    exit 2
+  | _ -> ()
 
 let make_budget timeout zdd_nodes max_steps fault_after fault_site =
   let fault_site =
@@ -214,118 +296,175 @@ let make_budget timeout zdd_nodes max_steps fault_after fault_site =
     Budget.create ?timeout ?nodes:zdd_nodes ?steps:max_steps ?fault_after
       ?fault_site ()
 
-let run list solver input_kind path output multi max_nodes timeout zdd_nodes
-    max_steps fault_after fault_site trace stats_json verbose =
+(* solve one input with the full telemetry/trace machinery (those sinks
+   are single-stream, so they only exist on this path) *)
+let run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
+    stats_json =
+  (* "-" streams either sink to stdout for piping (e.g. straight
+     into `ucp_trace profile -`); the human-readable report then
+     moves to stderr so stdout stays machine-clean *)
+  if trace = Some "-" || stats_json = Some "-" then
+    Format.pp_set_formatter_out_channel Format.std_formatter stderr;
+  (* collect telemetry whenever either sink was requested: --trace
+     streams the records, --stats-json only needs the in-memory
+     aggregation for its summary *)
+  let trace_oc =
+    Option.map (function "-" -> stdout | path -> open_out path) trace
+  in
+  let telemetry =
+    match trace_oc with
+    | Some oc -> Telemetry.with_channel oc
+    | None -> if stats_json <> None then Telemetry.create () else Telemetry.null
+  in
+  let finish_telemetry solver_fields =
+    Telemetry.close telemetry;
+    Option.iter (fun oc -> if oc == stdout then flush oc else close_out oc) trace_oc;
+    Option.iter
+      (fun path ->
+        let json =
+          Telemetry.Json.Obj
+            (solver_fields @ [ ("telemetry", Telemetry.summary telemetry) ])
+        in
+        let write oc =
+          output_string oc (Telemetry.Json.to_string json);
+          output_char oc '\n'
+        in
+        if path = "-" then (write stdout; flush stdout)
+        else begin
+          let oc = open_out path in
+          write oc;
+          close_out oc
+        end)
+      stats_json
+  in
+  let config = { Scg.Config.default with jobs } in
+  (match
+     solve_loaded Format.std_formatter ~budget ~telemetry ~config ~multi ~output
+       ~name:p solver max_nodes
+       (load_input (classify input_kind p))
+   with
+  | solver_fields -> finish_telemetry solver_fields
+  | exception Covering.Infeasible { row_id; _ } ->
+    (* no column covers this row: no feasible answer exists, which is
+       a property of the input, not a solver failure *)
+    Fmt.epr "ucp_solve: infeasible: row %d has no covering column@." row_id;
+    finish_telemetry
+      [
+        ("solver", Telemetry.Json.String "none");
+        ("infeasible_row", Telemetry.Json.Int row_id);
+      ];
+    exit 7);
+  (* the answer above is feasible whatever happened; the exit code
+     records whether the governor cut the run short *)
+  match Budget.tripped budget with
+  | Some trip ->
+    Fmt.epr "ucp_solve: budget exhausted: %s@." (Budget.describe trip);
+    3
+  | None -> 0
+
+(* solve many inputs, [jobs] at a time.  All inputs are loaded (and the
+   registry lazies forced) in the main domain first, so the parse/lookup
+   exits 4/5/6 behave exactly as in single-input mode; each worker then
+   owns its instance outright and renders into a private buffer, printed
+   in input order at the end. *)
+let run_batch ~budget ~jobs solver input_kind paths output multi max_nodes =
+  let inputs =
+    Array.of_list
+      (List.map
+         (fun p ->
+           (* the OR-Library parser detects uncoverable rows at load
+              time; record the infeasibility instead of aborting the
+              whole batch *)
+           match load_input (classify input_kind p) with
+           | exception Covering.Infeasible { row_id; _ } -> (p, Error row_id)
+           | loaded ->
+             check_batch_compat solver ~multi ~output p loaded;
+             (match loaded with
+             | `Matrix m ->
+               (* the same registry instance may be named twice, sharing
+                  one matrix between workers: force its lazy id-index
+                  here, while still single-domain *)
+               ignore (Covering.Matrix.col_index_of_id m 0)
+             | `Spec _ | `Pla _ -> ());
+             (p, Ok loaded))
+         paths)
+  in
+  let solve_one i =
+    let name, loaded = inputs.(i) in
+    match loaded with
+    | Error row_id -> ("", Some row_id, None)
+    | Ok loaded ->
+      let buf = Buffer.create 1024 in
+      let ppf = Format.formatter_of_buffer buf in
+      (* per-instance governor: fresh work-unit counters, but the same
+         absolute --timeout deadline as every other instance *)
+      let budget = Budget.fork budget in
+      let infeasible =
+        match
+          solve_loaded ppf ~budget ~telemetry:Telemetry.null
+            ~config:Scg.Config.default ~multi ~output ~name solver max_nodes
+            loaded
+        with
+        | (_ : (string * Telemetry.Json.t) list) -> None
+        | exception Covering.Infeasible { row_id; _ } -> Some row_id
+      in
+      Format.pp_print_flush ppf ();
+      (Buffer.contents buf, infeasible, Budget.tripped budget)
+  in
+  let indices = Array.init (Array.length inputs) Fun.id in
+  let results =
+    if jobs > 1 then
+      Scg.Par.Pool.with_pool ~jobs (fun pool ->
+          Scg.Par.map ~pool solve_one indices)
+    else Array.map solve_one indices
+  in
+  let any_infeasible = ref false and any_trip = ref false in
+  Array.iteri
+    (fun i (text, infeasible, trip) ->
+      let name, _ = inputs.(i) in
+      Fmt.pr "=== %s ===@.%s" name text;
+      (match infeasible with
+      | Some row_id ->
+        any_infeasible := true;
+        Fmt.epr "ucp_solve: %s: infeasible: row %d has no covering column@." name
+          row_id
+      | None -> ());
+      match trip with
+      | Some trip ->
+        any_trip := true;
+        Fmt.epr "ucp_solve: %s: budget exhausted: %s@." name (Budget.describe trip)
+      | None -> ())
+    results;
+  if !any_infeasible then 7 else if !any_trip then 3 else 0
+
+let run list solver input_kind paths output multi max_nodes timeout zdd_nodes
+    max_steps fault_after fault_site trace stats_json jobs verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning);
   if list then (print_list (); 0)
+  else if jobs < 0 then begin
+    Fmt.epr "ucp_solve: --jobs must be >= 0 (0 = all cores)@.";
+    2
+  end
   else
-    match path with
-    | None ->
+    let jobs = if jobs = 0 then Scg.Par.default_jobs () else jobs in
+    match paths with
+    | [] ->
       Fmt.epr "no input given; try --list or pass a file / instance name@.";
       2
-    | Some p ->
+    | [ p ] ->
       let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
-      (* "-" streams either sink to stdout for piping (e.g. straight
-         into `ucp_trace profile -`); the human-readable report then
-         moves to stderr so stdout stays machine-clean *)
-      if trace = Some "-" || stats_json = Some "-" then
-        Format.pp_set_formatter_out_channel Format.std_formatter stderr;
-      (* collect telemetry whenever either sink was requested: --trace
-         streams the records, --stats-json only needs the in-memory
-         aggregation for its summary *)
-      let trace_oc =
-        Option.map (function "-" -> stdout | path -> open_out path) trace
-      in
-      let telemetry =
-        match trace_oc with
-        | Some oc -> Telemetry.with_channel oc
-        | None -> if stats_json <> None then Telemetry.create () else Telemetry.null
-      in
-      let finish_telemetry solver_fields =
-        Telemetry.close telemetry;
-        Option.iter (fun oc -> if oc == stdout then flush oc else close_out oc) trace_oc;
-        Option.iter
-          (fun path ->
-            let json =
-              Telemetry.Json.Obj
-                (solver_fields @ [ ("telemetry", Telemetry.summary telemetry) ])
-            in
-            let write oc =
-              output_string oc (Telemetry.Json.to_string json);
-              output_char oc '\n'
-            in
-            if path = "-" then (write stdout; flush stdout)
-            else begin
-              let oc = open_out path in
-              write oc;
-              close_out oc
-            end)
-          stats_json
-      in
-      let input =
-        match input_kind with
-        | `Auto ->
-          if Filename.check_suffix p ".pla" then From_pla p
-          else if Filename.check_suffix p ".ucp" then From_ucp p
-          else if Filename.check_suffix p ".scp" || Filename.check_suffix p ".txt" then
-            From_orlib p
-          else if Sys.file_exists p then begin
-            (* a real file with an extension we cannot dispatch on must
-               not silently fall through to the benchmark registry *)
-            Fmt.epr
-              "ucp_solve: %s exists but has no recognised extension \
-               (.pla/.ucp/.scp/.txt); pass --kind@."
-              p;
-            exit 2
-          end
-          else From_registry p
-        | `Pla -> From_pla p
-        | `Ucp -> From_ucp p
-        | `Orlib -> From_orlib p
-        | `Bench -> From_registry p
-      in
-      (match
-         match load_input input with
-         | `Matrix m -> solve_matrix ~budget ~telemetry solver max_nodes m
-         | `Spec spec -> solve_spec ~budget ~telemetry solver max_nodes spec
-         | `Pla pla when multi -> solve_multi ~budget ~telemetry solver pla
-         | `Pla pla ->
-           let o = output in
-           if o < 0 || o >= pla.Logic.Pla.no then begin
-             Fmt.epr "output %d out of range (PLA has %d outputs)@." o
-               pla.Logic.Pla.no;
-             exit 2
-           end;
-           let spec =
-             {
-               Benchsuite.Plagen.name = p;
-               ni = pla.Logic.Pla.ni;
-               on = Logic.Pla.onset pla o;
-               dc = Logic.Pla.dcset pla o;
-             }
-           in
-           solve_spec ~budget ~telemetry solver max_nodes spec
-       with
-      | solver_fields -> finish_telemetry solver_fields
-      | exception Covering.Infeasible { row_id; _ } ->
-        (* no column covers this row: no feasible answer exists, which is
-           a property of the input, not a solver failure *)
-        Fmt.epr "ucp_solve: infeasible: row %d has no covering column@." row_id;
-        finish_telemetry
-          [
-            ("solver", Telemetry.Json.String "none");
-            ("infeasible_row", Telemetry.Json.Int row_id);
-          ];
-        exit 7);
-      (* the answer above is feasible whatever happened; the exit code
-         records whether the governor cut the run short *)
-      match Budget.tripped budget with
-      | Some trip ->
-        Fmt.epr "ucp_solve: budget exhausted: %s@." (Budget.describe trip);
-        3
-      | None -> 0
+      run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
+        stats_json
+    | paths when trace <> None || stats_json <> None ->
+      Fmt.epr
+        "ucp_solve: --trace and --stats-json expect a single input (got %d)@."
+        (List.length paths);
+      2
+    | paths ->
+      let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
+      run_batch ~budget ~jobs solver input_kind paths output multi max_nodes
 
 let solver_arg =
   let choices =
@@ -345,7 +484,7 @@ let kind_arg =
   Arg.(value & opt (enum choices) `Auto & info [ "k"; "kind" ] ~doc:"Input kind (default: by file extension, else a benchmark name).")
 
 let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List the built-in benchmark instances.")
-let path_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"INPUT")
+let paths_arg = Arg.(value & pos_all string [] & info [] ~docv:"INPUT")
 let output_arg = Arg.(value & opt int 0 & info [ "o"; "output" ] ~doc:"PLA output index to minimise.")
 
 let multi_arg =
@@ -359,14 +498,16 @@ let timeout_arg =
        & info [ "timeout" ] ~docv:"SECONDS"
            ~doc:"Wall-clock deadline.  When it passes, the solver stops at the \
                  next checkpoint, prints the best feasible answer found with \
-                 its lower bound, and exits with code 3.")
+                 its lower bound, and exits with code 3.  With several inputs \
+                 the deadline is one shared instant, not per instance.")
 
 let zdd_nodes_arg =
   Arg.(value & opt (some int) None
        & info [ "zdd-nodes" ] ~docv:"N"
            ~doc:"Budget on reduction/branching work units (implicit ZDD steps, \
                  explicit worklist steps, branch-and-bound nodes).  Exhaustion \
-                 behaves like --timeout: best answer printed, exit code 3.")
+                 behaves like --timeout: best answer printed, exit code 3.  \
+                 With several inputs each instance gets its own budget of N.")
 
 let max_steps_arg =
   Arg.(value & opt (some int) None
@@ -395,7 +536,8 @@ let trace_arg =
                  reduction counters, the subgradient convergence trace and a \
                  final summary record.  All timestamps share the --timeout \
                  wall clock.  $(docv) $(b,-) streams to stdout (the human \
-                 report moves to stderr), ready to pipe into $(b,ucp_trace).")
+                 report moves to stderr), ready to pipe into $(b,ucp_trace).  \
+                 Single input only.")
 
 let stats_json_arg =
   Arg.(value & opt (some string) None
@@ -403,7 +545,19 @@ let stats_json_arg =
            ~doc:"Write a single-object machine-readable run summary to \
                  $(docv): solver result fields plus aggregated telemetry \
                  (per-phase seconds, counters).  $(docv) $(b,-) writes the \
-                 object to stdout (the human report moves to stderr).")
+                 object to stdout (the human report moves to stderr).  \
+                 Single input only.")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains.  With several inputs, solve them \
+                 concurrently, $(docv) at a time, reports still printed in \
+                 input order; with a single input, solve the cyclic-core \
+                 components of the scg solver concurrently.  $(docv)$(b,=0) \
+                 picks the machine's recommended domain count.  Covers, \
+                 costs and bounds are identical to $(b,--jobs 1); only \
+                 where a resource budget trips may differ.")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
@@ -414,7 +568,8 @@ let cmd =
       Cmd.Exit.info 0 ~doc:"on success (a solution was printed).";
       Cmd.Exit.info 2
         ~doc:"on usage errors: bad flags, an existing file with an unrecognised \
-              extension, or a solver/input mismatch.";
+              extension, a solver/input mismatch, or --trace/--stats-json with \
+              several inputs.";
       Cmd.Exit.info 3
         ~doc:"when a resource budget (--timeout, --zdd-nodes, --max-steps or \
               --fault-after) was exhausted; the best feasible answer and a \
@@ -424,15 +579,16 @@ let cmd =
       Cmd.Exit.info 6 ~doc:"when a benchmark instance name is unknown.";
       Cmd.Exit.info 7
         ~doc:"when the problem is infeasible: some row of the covering matrix \
-              is covered by no column, so no solution exists.";
+              is covered by no column, so no solution exists.  With several \
+              inputs the worst outcome wins: 7 beats 3 beats 0.";
     ]
   in
   Cmd.v
     (Cmd.info "ucp_solve" ~doc ~exits)
     Term.(
-      const run $ list_arg $ solver_arg $ kind_arg $ path_arg $ output_arg
+      const run $ list_arg $ solver_arg $ kind_arg $ paths_arg $ output_arg
       $ multi_arg $ max_nodes_arg $ timeout_arg $ zdd_nodes_arg $ max_steps_arg
-      $ fault_after_arg $ fault_site_arg $ trace_arg $ stats_json_arg
+      $ fault_after_arg $ fault_site_arg $ trace_arg $ stats_json_arg $ jobs_arg
       $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -34,30 +34,66 @@ end
 
 module Unique = Hashtbl.Make (Triple)
 
-let unique : t Unique.t = Unique.create 65_536
-let next_tag = ref 2
+module Pair = struct
+  type t = int * int
 
-let mk var hi lo =
+  let equal (a, b) (a', b') = a = a' && b = b'
+  let hash (a, b) = (a * 0x9e3779b1) lxor b
+end
+
+module Cache2 = Hashtbl.Make (Pair)
+module Cache1 = Hashtbl.Make (Int)
+
+(* One manager per domain (see the ZDD engine and DESIGN.md §10): the
+   unique table, tag allocator and operation caches live in domain-local
+   storage, so parallel workers never share mutable tables.  BDD values
+   must stay on the domain that built them; only [zero]/[one] are
+   shared. *)
+type state = {
+  unique : t Unique.t;
+  mutable next_tag : int;
+  and_cache : t Cache2.t;
+  or_cache : t Cache2.t;
+  xor_cache : t Cache2.t;
+  not_cache : t Cache1.t;
+  size_seen : unit Cache1.t;
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        unique = Unique.create 65_536;
+        next_tag = 2;
+        and_cache = Cache2.create 65_536;
+        or_cache = Cache2.create 65_536;
+        xor_cache = Cache2.create 65_536;
+        not_cache = Cache1.create 65_536;
+        size_seen = Cache1.create 1_024;
+      })
+
+let state () = Domain.DLS.get state_key
+
+let mk st var hi lo =
   if hi == lo then hi
   else
     let key = (var, hi.tag, lo.tag) in
-    match Unique.find_opt unique key with
+    match Unique.find_opt st.unique key with
     | Some n -> n
     | None ->
-      let n = { tag = !next_tag; node = Node { var; hi; lo } } in
-      incr next_tag;
-      Unique.add unique key n;
+      let n = { tag = st.next_tag; node = Node { var; hi; lo } } in
+      st.next_tag <- st.next_tag + 1;
+      Unique.add st.unique key n;
       n
 
-let node_count () = Unique.length unique
+let node_count () = Unique.length (state ()).unique
 
 let var i =
   if i < 0 then invalid_arg "Bdd.var: negative index";
-  mk i one zero
+  mk (state ()) i one zero
 
 let nvar i =
   if i < 0 then invalid_arg "Bdd.nvar: negative index";
-  mk i zero one
+  mk (state ()) i zero one
 
 let top_var f =
   match f.node with
@@ -73,27 +109,12 @@ let cofactors f =
 (* Operation caches                                                   *)
 (* ------------------------------------------------------------------ *)
 
-module Pair = struct
-  type t = int * int
-
-  let equal (a, b) (a', b') = a = a' && b = b'
-  let hash (a, b) = (a * 0x9e3779b1) lxor b
-end
-
-module Cache2 = Hashtbl.Make (Pair)
-module Cache1 = Hashtbl.Make (Int)
-
-let and_cache : t Cache2.t = Cache2.create 65_536
-let or_cache : t Cache2.t = Cache2.create 65_536
-let xor_cache : t Cache2.t = Cache2.create 65_536
-let not_cache : t Cache1.t = Cache1.create 65_536
-let size_seen : unit Cache1.t = Cache1.create 1_024
-
 let clear_caches () =
-  Cache2.reset and_cache;
-  Cache2.reset or_cache;
-  Cache2.reset xor_cache;
-  Cache1.reset not_cache
+  let st = state () in
+  Cache2.reset st.and_cache;
+  Cache2.reset st.or_cache;
+  Cache2.reset st.xor_cache;
+  Cache1.reset st.not_cache
 
 (* Expand [f] with respect to variable [v], assuming [v <= top_var f]. *)
 let cof f v =
@@ -108,7 +129,7 @@ let top2 f g =
   | (Zero | One), Node { var = b; _ } -> b
   | (Zero | One), (Zero | One) -> assert false
 
-let rec band f g =
+let rec band_st st f g =
   if f == g then f
   else if is_zero f || is_zero g then zero
   else if is_one f then g
@@ -116,62 +137,67 @@ let rec band f g =
   else begin
     (* commutative: normalise the cache key *)
     let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
-    match Cache2.find_opt and_cache key with
+    match Cache2.find_opt st.and_cache key with
     | Some r -> r
     | None ->
       let v = top2 f g in
       let f1, f0 = cof f v and g1, g0 = cof g v in
-      let r = mk v (band f1 g1) (band f0 g0) in
-      Cache2.add and_cache key r;
+      let r = mk st v (band_st st f1 g1) (band_st st f0 g0) in
+      Cache2.add st.and_cache key r;
       r
   end
 
-let rec bor f g =
+let rec bor_st st f g =
   if f == g then f
   else if is_one f || is_one g then one
   else if is_zero f then g
   else if is_zero g then f
   else begin
     let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
-    match Cache2.find_opt or_cache key with
+    match Cache2.find_opt st.or_cache key with
     | Some r -> r
     | None ->
       let v = top2 f g in
       let f1, f0 = cof f v and g1, g0 = cof g v in
-      let r = mk v (bor f1 g1) (bor f0 g0) in
-      Cache2.add or_cache key r;
+      let r = mk st v (bor_st st f1 g1) (bor_st st f0 g0) in
+      Cache2.add st.or_cache key r;
       r
   end
 
-let rec bxor f g =
+let rec bxor_st st f g =
   if f == g then zero
   else if is_zero f then g
   else if is_zero g then f
-  else if is_one f then bnot g
-  else if is_one g then bnot f
+  else if is_one f then bnot_st st g
+  else if is_one g then bnot_st st f
   else begin
     let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
-    match Cache2.find_opt xor_cache key with
+    match Cache2.find_opt st.xor_cache key with
     | Some r -> r
     | None ->
       let v = top2 f g in
       let f1, f0 = cof f v and g1, g0 = cof g v in
-      let r = mk v (bxor f1 g1) (bxor f0 g0) in
-      Cache2.add xor_cache key r;
+      let r = mk st v (bxor_st st f1 g1) (bxor_st st f0 g0) in
+      Cache2.add st.xor_cache key r;
       r
   end
 
-and bnot f =
+and bnot_st st f =
   match f.node with
   | Zero -> one
   | One -> zero
   | Node { var; hi; lo } -> (
-    match Cache1.find_opt not_cache f.tag with
+    match Cache1.find_opt st.not_cache f.tag with
     | Some r -> r
     | None ->
-      let r = mk var (bnot hi) (bnot lo) in
-      Cache1.add not_cache f.tag r;
+      let r = mk st var (bnot_st st hi) (bnot_st st lo) in
+      Cache1.add st.not_cache f.tag r;
       r)
+
+let band f g = band_st (state ()) f g
+let bor f g = bor_st (state ()) f g
+let bxor f g = bxor_st (state ()) f g
+let bnot f = bnot_st (state ()) f
 
 let bdiff f g = band f (bnot g)
 let bimp f g = bor (bnot f) g
@@ -182,6 +208,7 @@ let bite f g h = bor (band f g) (band (bnot f) h)
 (* ------------------------------------------------------------------ *)
 
 let cofactor f ~var b =
+  let st = state () in
   let module M = Map.Make (Int) in
   let memo = ref M.empty in
   let rec go f =
@@ -194,13 +221,14 @@ let cofactor f ~var b =
         match M.find_opt f.tag !memo with
         | Some r -> r
         | None ->
-          let r = mk v (go hi) (go lo) in
+          let r = mk st v (go hi) (go lo) in
           memo := M.add f.tag r !memo;
           r)
   in
   go f
 
 let quantify combine vars f =
+  let st = state () in
   let vars = List.sort_uniq Stdlib.compare vars in
   let memo : t Cache1.t = Cache1.create 256 in
   let rec go vars f =
@@ -214,7 +242,7 @@ let quantify combine vars f =
         | None ->
           let r =
             if var = v then combine (go rest hi) (go rest lo)
-            else mk var (go vars hi) (go vars lo)
+            else mk st var (go vars hi) (go vars lo)
           in
           Cache1.add memo f.tag r;
           r)
@@ -316,25 +344,29 @@ let iter_sat ~nvars f k =
 (* ------------------------------------------------------------------ *)
 
 let cube_of_literals lits =
+  let st = state () in
   let sorted = List.sort (fun (i, _) (j, _) -> Stdlib.compare j i) lits in
   (* build bottom-up: literals with the largest index first *)
   List.fold_left
     (fun acc (i, pos) ->
-      if is_zero acc then zero else if pos then mk i acc zero else mk i zero acc)
+      if is_zero acc then zero
+      else if pos then mk st i acc zero
+      else mk st i zero acc)
     one sorted
 
 let conj fs = List.fold_left band one fs
 let disj fs = List.fold_left bor zero fs
 
 let size f =
-  Cache1.reset size_seen;
+  let st = state () in
+  Cache1.reset st.size_seen;
   let count = ref 0 in
   let rec go f =
     match f.node with
     | Zero | One -> ()
     | Node { hi; lo; _ } ->
-      if not (Cache1.mem size_seen f.tag) then begin
-        Cache1.add size_seen f.tag ();
+      if not (Cache1.mem st.size_seen f.tag) then begin
+        Cache1.add st.size_seen f.tag ();
         incr count;
         go hi;
         go lo

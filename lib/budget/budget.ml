@@ -134,6 +134,39 @@ let tick t site =
           else false
       end)
 
+(* Parallel solving: one forked child per worker.  Limits are immutable
+   and shared — in particular [deadline_at] is an absolute instant on the
+   shared wall clock, so every domain races the same deadline — while the
+   tick counters are per-child (each domain meters its own work without
+   contending on shared mutable state).  A child created after the parent
+   tripped starts tripped, so late workers wind down immediately. *)
+let fork t =
+  match t.limits with
+  | None -> none
+  | Some _ ->
+    {
+      limits = t.limits;
+      ticks = 0;
+      node_ticks = 0;
+      step_ticks = 0;
+      fault_ticks = 0;
+      trip = t.trip;
+    }
+
+(* Fold a child's outcome back into the parent.  Tick totals accumulate;
+   the first trip in absorption order wins, which callers make
+   deterministic by absorbing in component order.  Guarded on the parent
+   being active so the shared [none] is never mutated. *)
+let absorb t child =
+  match t.limits with
+  | None -> ()
+  | Some _ ->
+    t.ticks <- t.ticks + child.ticks;
+    t.node_ticks <- t.node_ticks + child.node_ticks;
+    t.step_ticks <- t.step_ticks + child.step_ticks;
+    t.fault_ticks <- t.fault_ticks + child.fault_ticks;
+    if t.trip = None then t.trip <- child.trip
+
 let pp_site ppf s = Fmt.string ppf (string_of_site s)
 
 let pp_reason ppf = function

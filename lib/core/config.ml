@@ -13,6 +13,7 @@ type t = {
   warm_start : bool;
   incremental_reduce : bool;
   seed : int;
+  jobs : int;
   subgradient : Lagrangian.Subgradient.config;
 }
 
@@ -32,13 +33,14 @@ let default =
     warm_start = true;
     incremental_reduce = true;
     seed = 0x5C6;
+    jobs = 1;
     subgradient = Lagrangian.Subgradient.default_config;
   }
 
 let pp ppf c =
   Fmt.pf ppf
     "@[<v>MaxR=%d NumIter=%d BestCol=%d+%d DualPen=%d alpha=%g c_hat=%g mu_hat=%g \
-     gimpel=%b incremental=%b seed=%d@]"
+     gimpel=%b incremental=%b seed=%d jobs=%d@]"
     c.max_rows_implicit c.num_iter c.best_col_start c.best_col_growth
     c.dual_pen_max_cols c.alpha c.c_hat c.mu_hat c.use_gimpel c.incremental_reduce
-    c.seed
+    c.seed c.jobs

@@ -40,6 +40,12 @@ type t = {
           Both produce the same cyclic core; the flag exists for
           differential testing and benchmarking. *)
   seed : int;  (** RNG seed for the randomised runs (default 0x5C6). *)
+  jobs : int;
+      (** worker count for component parallelism: cyclic-core components
+          are solved on a {!Par.Pool} of this many domains (default 1 =
+          the exact legacy sequential path, no domains spawned).  Covers,
+          costs and status are bit-identical for every [jobs] value; see
+          DESIGN.md §10. *)
   subgradient : Lagrangian.Subgradient.config;
 }
 

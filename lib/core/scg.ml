@@ -3,6 +3,7 @@ module Stats = Stats
 module Budget = Budget
 module Telemetry = Telemetry
 module Warm = Warm
+module Par = Par
 module Matrix = Covering.Matrix
 module Reduce = Covering.Reduce
 module Reduce2 = Covering.Reduce2
@@ -233,7 +234,21 @@ let construct ~(config : Config.t) ~budget ~telemetry ~component ~rand ~best_col
   descend space.Core_space.core [] 0 ~first:true;
   !root_lb
 
-let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null)
+(* Everything one component contributes to the merged answer.  Both the
+   sequential and the parallel paths produce these records and merge them
+   identically (in component order), which is the heart of the
+   determinism argument in DESIGN.md §10. *)
+type comp_result = {
+  comp_ids : int list;
+  comp_lb : int;
+  comp_steps : int;
+  comp_fixes : int;
+  comp_pen : int;
+  comp_iterations : int;
+  comp_best_iteration : int;
+}
+
+let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool
     ?(config = Config.default) input =
   for j = 0 to Matrix.n_cols input - 1 do
     if Matrix.col_id input j <> j then invalid_arg "Scg.solve: matrix already re-indexed"
@@ -307,16 +322,21 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null)
   else begin
     (* the oldest reduction of all (§2, "partitioning"): disconnected
        blocks of the cyclic core are independent subproblems, solved
-       separately — their bounds add up, so optimality proofs compose *)
-    let components = Covering.Partition.split core in
-    let rng = Random.State.make [| config.seed |] in
-    let rand bound = Random.State.int rng bound in
-    let steps = ref 0 and fixes = ref 0 and pen = ref 0 in
-    let iterations = ref 0 in
-    (* 0 until the greedy incumbent is actually improved by some run —
-       a solve where the seed survives every iteration reports 0 *)
-    let best_iteration = ref 0 in
-    let solve_component ~component sub =
+       separately — their bounds add up, so optimality proofs compose.
+       With [jobs > 1] (or an explicit pool) they are also solved
+       concurrently; the RNG is seeded per component in both paths, so
+       the parallel schedule cannot change any component's search and
+       covers/costs/status are bit-identical to the sequential run. *)
+    let components = Array.of_list (Covering.Partition.split core) in
+    let n_comp = Array.length components in
+    let solve_component ~budget ~telemetry ~component sub =
+      let rng = Random.State.make [| config.seed; component |] in
+      let rand bound = Random.State.int rng bound in
+      let steps = ref 0 and fixes = ref 0 and pen = ref 0 in
+      let iterations = ref 0 in
+      (* 0 until the greedy incumbent is actually improved by some run —
+         a solve where the seed survives every iteration reports 0 *)
+      let best_iteration = ref 0 in
       let space = Core_space.make sub in
       (* prime the incumbent with the plain greedy so every run has a bound *)
       let g = Covering.Greedy.solve_best sub in
@@ -326,7 +346,7 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null)
       (try
          for iter = 0 to config.num_iter - 1 do
            if Budget.tripped budget <> None then raise Exit;
-           iterations := max !iterations (iter + 1);
+           iterations := iter + 1;
            let best_cols = config.best_col_start + (iter * config.best_col_growth) in
            let before = !z_best in
            let lb =
@@ -335,42 +355,99 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null)
                    ~space ~z_best ~best_ids ~stats_steps:steps ~stats_fixes:fixes
                    ~stats_pen:pen)
            in
-           if !z_best < before then best_iteration := max !best_iteration (iter + 1);
+           if !z_best < before then best_iteration := iter + 1;
            best_lb := max !best_lb (ceil_int lb);
            if !z_best <= !best_lb then raise Exit
          done
        with Exit -> ());
-      (!best_ids, !best_lb)
+      {
+        comp_ids = !best_ids;
+        comp_lb = !best_lb;
+        comp_steps = !steps;
+        comp_fixes = !fixes;
+        comp_pen = !pen;
+        comp_iterations = !iterations;
+        comp_best_iteration = !best_iteration;
+      }
     in
-    let core_ids, lb_core_int, _ =
-      List.fold_left
-        (fun (ids, lb, component) sub ->
-          let ids', lb' =
-            Telemetry.span telemetry ~index:component "component" (fun () ->
-                solve_component ~component sub)
-          in
-          (ids' @ ids, lb + lb', component + 1))
-        ([], 0, 0) components
+    let sequential () =
+      (* the legacy path: parent budget and collector used directly, so
+         traces, budget tick accounting and the emitted record stream are
+         exactly those of the pre-parallel solver *)
+      Array.mapi
+        (fun component sub ->
+          Telemetry.span telemetry ~index:component "component" (fun () ->
+              solve_component ~budget ~telemetry ~component sub))
+        components
     in
-    finish ~core_ids ~lb_core_int ~steps:!steps ~iterations:!iterations
-      ~best_iteration:!best_iteration ~fixes:!fixes ~pen:!pen
+    let parallel pool =
+      (* per-worker ownership: each component gets a forked governor
+         (shared absolute deadline, private tick counters) and a forked
+         collector; merging back in component order keeps trip selection
+         and merged summaries deterministic.  Each worker domain builds
+         its ZDDs in its own domain-local manager. *)
+      let children =
+        Array.map (fun _ -> (Budget.fork budget, Telemetry.fork telemetry)) components
+      in
+      let out =
+        Par.map ~pool
+          (fun component ->
+            let b, t = children.(component) in
+            Telemetry.span t ~index:component "component" (fun () ->
+                solve_component ~budget:b ~telemetry:t ~component
+                  components.(component)))
+          (Array.init n_comp Fun.id)
+      in
+      Array.iter
+        (fun (b, t) ->
+          Budget.absorb budget b;
+          Telemetry.merge telemetry t)
+        children;
+      out
+    in
+    let results =
+      if n_comp <= 1 then sequential ()
+      else
+        match pool with
+        | Some p when Par.Pool.jobs p > 1 -> parallel p
+        | Some _ -> sequential ()
+        | None when config.jobs > 1 ->
+          Par.Pool.with_pool ~jobs:config.jobs parallel
+        | None -> sequential ()
+    in
+    let core_ids = Array.fold_left (fun acc r -> r.comp_ids @ acc) [] results in
+    let lb_core_int = Array.fold_left (fun acc r -> acc + r.comp_lb) 0 results in
+    let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+    let max_of f = Array.fold_left (fun acc r -> max acc (f r)) 0 results in
+    finish ~core_ids ~lb_core_int
+      ~steps:(sum (fun r -> r.comp_steps))
+      ~iterations:(max_of (fun r -> r.comp_iterations))
+      ~best_iteration:(max_of (fun r -> r.comp_best_iteration))
+      ~fixes:(sum (fun r -> r.comp_fixes))
+      ~pen:(sum (fun r -> r.comp_pen))
   end
 
-let solve_logic ?budget ?telemetry ?config ?cost ~on ~dc () =
+let solve_logic ?budget ?telemetry ?pool ?config ?cost ~on ~dc () =
   let bridge = Covering.From_logic.build ?cost ~on ~dc () in
-  let result = solve ?budget ?telemetry ?config bridge.Covering.From_logic.matrix in
+  let result =
+    solve ?budget ?telemetry ?pool ?config bridge.Covering.From_logic.matrix
+  in
   (result, bridge)
 
-let solve_logic_implicit ?budget ?telemetry ?config ?cost ~on ~dc () =
+let solve_logic_implicit ?budget ?telemetry ?pool ?config ?cost ~on ~dc () =
   let bridge = Covering.From_logic.build_implicit ?cost ~on ~dc () in
-  let result = solve ?budget ?telemetry ?config bridge.Covering.From_logic.imatrix in
+  let result =
+    solve ?budget ?telemetry ?pool ?config bridge.Covering.From_logic.imatrix
+  in
   (result, bridge)
 
-let solve_pla ?budget ?telemetry ?config pla ~output =
-  solve_logic ?budget ?telemetry ?config ~on:(Logic.Pla.onset pla output)
+let solve_pla ?budget ?telemetry ?pool ?config pla ~output =
+  solve_logic ?budget ?telemetry ?pool ?config ~on:(Logic.Pla.onset pla output)
     ~dc:(Logic.Pla.dcset pla output) ()
 
-let solve_pla_multi ?budget ?telemetry ?config pla =
+let solve_pla_multi ?budget ?telemetry ?pool ?config pla =
   let bridge = Covering.From_logic.build_multi pla in
-  let result = solve ?budget ?telemetry ?config bridge.Covering.From_logic.mmatrix in
+  let result =
+    solve ?budget ?telemetry ?pool ?config bridge.Covering.From_logic.mmatrix
+  in
   (result, bridge)

@@ -44,6 +44,13 @@ module Warm = Warm
 (** Multiplier memory used to warm-start λ/μ across the subproblems of a
     descent (§3.2); exposed for regression tests.  @inline *)
 
+module Par = Par
+(** The Domain-backed worker pool, re-exported so callers can write
+    [Scg.Par.Pool.with_pool].  Pass a pool to {!solve} (or set
+    {!Config.t.jobs}) to solve cyclic-core components concurrently; use
+    {!Par.map} over whole instances for batch parallelism.  Results are
+    bit-identical to sequential runs — see DESIGN.md §10.  @inline *)
+
 (** How the run ended.  Whatever the status, [solution] is a feasible
     cover and [lower_bound] a valid bound. *)
 type status =
@@ -66,6 +73,7 @@ type result = {
 val solve :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Par.Pool.t ->
   ?config:Config.t ->
   Covering.Matrix.t ->
   result
@@ -77,11 +85,20 @@ val solve :
     still-valid lower bound and [status = Feasible_budget_exhausted].
     [telemetry] (default: {!Telemetry.null}, a no-op) records phase
     spans, reduction/fixing counters and the per-step subgradient trace.
+
+    Cyclic-core components are solved concurrently when [pool] is given
+    (or when [config.jobs > 1], which creates a transient pool); covers,
+    costs, bounds and status are bit-identical to the sequential run for
+    every worker count.  Budget-governed runs still honour the anytime
+    contract under parallelism, but where a budget trips may differ
+    between jobs counts — tick counters are per-domain (only the
+    wall-clock deadline is shared); see DESIGN.md §10.
     @raise Invalid_argument if the matrix was already re-indexed. *)
 
 val solve_logic :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Par.Pool.t ->
   ?config:Config.t ->
   ?cost:(Logic.Cube.t -> int) ->
   on:Logic.Cover.t ->
@@ -95,6 +112,7 @@ val solve_logic :
 val solve_logic_implicit :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Par.Pool.t ->
   ?config:Config.t ->
   ?cost:(Logic.Cube.t -> int) ->
   on:Logic.Cover.t ->
@@ -109,6 +127,7 @@ val solve_logic_implicit :
 val solve_pla :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Par.Pool.t ->
   ?config:Config.t ->
   Logic.Pla.t ->
   output:int ->
@@ -118,6 +137,7 @@ val solve_pla :
 val solve_pla_multi :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Par.Pool.t ->
   ?config:Config.t ->
   Logic.Pla.t ->
   result * Covering.From_logic.multi

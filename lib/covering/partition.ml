@@ -54,9 +54,19 @@ let split m =
       Matrix.submatrix m ~keep_rows ~keep_cols)
     (components m)
 
-let solve_componentwise solver m =
-  List.fold_left
-    (fun (sol, cost) sub ->
-      let s, c = solver sub in
-      (s @ sol, c + cost))
-    ([], 0) (split m)
+let solve_componentwise ?pool solver m =
+  (* With a pool the components are solved concurrently; Par.map keys
+     results by component index, and the merge below folds them in the
+     same order as the sequential path, so the combined solution and
+     cost are bit-identical whatever the worker count.  The solver
+     closure must be safe to run on a worker domain (each call receives
+     a distinct submatrix; see DESIGN.md §10 on ownership). *)
+  let subs = Array.of_list (split m) in
+  let solved =
+    match pool with
+    | Some _ when Array.length subs > 1 -> Par.map ?pool solver subs
+    | _ -> Array.map solver subs
+  in
+  Array.fold_left
+    (fun (sol, cost) (s, c) -> (s @ sol, c + cost))
+    ([], 0) solved

@@ -7,8 +7,6 @@
    - whatever those two covers leave of l₀/l₁ is handed to the
      variable-free remainder, allowed inside u₀ ∧ u₁. *)
 
-let memo : (int * int, Zdd.t * Bdd.t) Hashtbl.t = Hashtbl.create 4_096
-
 let top2 l u =
   match (Bdd.is_zero l || Bdd.is_one l, Bdd.is_zero u || Bdd.is_one u) with
   | false, false -> min (Bdd.top_var l) (Bdd.top_var u)
@@ -22,7 +20,9 @@ let cof f v =
     let var, hi, lo = Bdd.cofactors f in
     if var = v then (hi, lo) else (f, f)
 
-let rec isop l u =
+(* The memo is per traversal (it was always reset at each [compute]),
+   which also keeps it domain-private under parallel solves. *)
+let rec isop memo l u =
   if Bdd.is_zero l then (Zdd.empty, Bdd.zero)
   else if Bdd.is_one u then (Zdd.base, Bdd.one)
   else
@@ -32,10 +32,10 @@ let rec isop l u =
       let v = top2 l u in
       let pos_var, neg_var = Cube.zdd_literal_vars v in
       let l1, l0 = cof l v and u1, u0 = cof u v in
-      let c0, f0 = isop (Bdd.bdiff l0 u1) u0 in
-      let c1, f1 = isop (Bdd.bdiff l1 u0) u1 in
+      let c0, f0 = isop memo (Bdd.bdiff l0 u1) u0 in
+      let c1, f1 = isop memo (Bdd.bdiff l1 u0) u1 in
       let rest0 = Bdd.bdiff l0 f0 and rest1 = Bdd.bdiff l1 f1 in
-      let cd, fd = isop (Bdd.bor rest0 rest1) (Bdd.band u0 u1) in
+      let cd, fd = isop memo (Bdd.bor rest0 rest1) (Bdd.band u0 u1) in
       let cubes =
         Zdd.union cd (Zdd.union (Zdd.change c0 neg_var) (Zdd.change c1 pos_var))
       in
@@ -50,8 +50,8 @@ let rec isop l u =
       r
 
 let compute ~on ~dc =
-  Hashtbl.reset memo;
-  let cubes, f = isop on (Bdd.bor on dc) in
+  let memo : (int * int, Zdd.t * Bdd.t) Hashtbl.t = Hashtbl.create 4_096 in
+  let cubes, f = isop memo on (Bdd.bor on dc) in
   (* sanity: the interval property is part of the algorithm's contract *)
   assert (Bdd.implies on f);
   assert (Bdd.implies f (Bdd.bor on dc));

@@ -9,11 +9,10 @@
    implicants of the product form a sub-order of the implicants of each
    factor. *)
 
-let memo : (int, Zdd.t) Hashtbl.t Lazy.t = lazy (Hashtbl.create 4_096)
-
 let of_bdd f =
-  let memo = Lazy.force memo in
-  Hashtbl.reset memo;
+  (* per-call memo (it was always reset at entry), so it is also
+     domain-private under parallel solves *)
+  let memo : (int, Zdd.t) Hashtbl.t = Hashtbl.create 4_096 in
   let rec go f =
     if Bdd.is_zero f then Zdd.empty
     else if Bdd.is_one f then Zdd.base

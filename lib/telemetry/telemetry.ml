@@ -17,17 +17,22 @@ type span = {
 (* The GC probes are built in; further in-process gauges (the ZDD
    unique-table ones live in Scg, which links both worlds) register here
    before any collector is created — the registry is snapshot by
-   [create], so registration is a link-time concern, not a per-run one. *)
-let probe_registry : (string * (unit -> float)) list ref = ref []
+   [create], so registration is a link-time concern, not a per-run one.
+   The registry is an [Atomic] over an immutable list so that collectors
+   forked onto worker domains can snapshot it without racing a
+   registration (registration itself is idempotent CAS-retry). *)
+let probe_registry : (string * (unit -> float)) list Atomic.t = Atomic.make []
 
-let register_probe name sample =
-  if not (List.mem_assoc name !probe_registry) then
-    probe_registry := !probe_registry @ [ (name, sample) ]
+let rec register_probe name sample =
+  let current = Atomic.get probe_registry in
+  if not (List.mem_assoc name current) then
+    if not (Atomic.compare_and_set probe_registry current (current @ [ (name, sample) ]))
+    then register_probe name sample
 
 let gc_probe_names = [| "gc.minor_words"; "gc.promoted_words"; "gc.major_collections" |]
 
 let probes_snapshot () =
-  let registered = !probe_registry in
+  let registered = Atomic.get probe_registry in
   let names =
     Array.append gc_probe_names (Array.of_list (List.map fst registered))
   in
@@ -288,3 +293,72 @@ let close t =
       | _ -> ());
       a.flush ()
     end
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain collectors: fork and merge                               *)
+(* ------------------------------------------------------------------ *)
+
+let fork t =
+  match t with
+  | None -> None
+  | Some a ->
+    (* Same clock and epoch, so child span timestamps line up with the
+       parent trace; no sink — a child records in memory only (streaming
+       from several domains would interleave half-lines), and its totals
+       reach the trace through the parent's final summary after [merge].
+       Gauges are sampled fresh on the worker domain: the ZDD probes are
+       domain-local meters, so a child must not inherit parent samples. *)
+    let gauge_names, gauge_sample = probes_snapshot () in
+    let g0 = gauge_sample () in
+    Some
+      {
+        clock = a.clock;
+        t0 = a.t0;
+        sink = None;
+        flush = (fun () -> ());
+        depth = 0;
+        spans_rev = [];
+        counters = Hashtbl.create 32;
+        event_counts = Hashtbl.create 16;
+        step_counts = Hashtbl.create 4;
+        step_best = Hashtbl.create 4;
+        gauge_names;
+        gauge_sample;
+        gauge_last = Array.copy g0;
+        gauge_peak = Array.copy g0;
+        closed = false;
+      }
+
+let merge t child =
+  match (t, child) with
+  | None, _ | _, None -> ()
+  | Some a, Some c ->
+    Hashtbl.iter
+      (fun name v ->
+        Hashtbl.replace a.counters name
+          (v + Option.value ~default:0 (Hashtbl.find_opt a.counters name)))
+      c.counters;
+    Hashtbl.iter
+      (fun name v ->
+        Hashtbl.replace a.event_counts name
+          (v + Option.value ~default:0 (Hashtbl.find_opt a.event_counts name)))
+      c.event_counts;
+    Hashtbl.iter
+      (fun phase n ->
+        Hashtbl.replace a.step_counts phase
+          (n + Option.value ~default:0 (Hashtbl.find_opt a.step_counts phase)))
+      c.step_counts;
+    (* callers merge children in component order, so "last best" follows
+       the same deterministic order as the sequential path *)
+    Hashtbl.iter (fun phase b -> Hashtbl.replace a.step_best phase b) c.step_best;
+    a.spans_rev <- c.spans_rev @ a.spans_rev;
+    (* fold gauge peaks by name: the registries of parent and child are
+       snapshots of the same atomic list, but match names defensively *)
+    Array.iteri
+      (fun ci cname ->
+        Array.iteri
+          (fun ai aname ->
+            if String.equal aname cname && c.gauge_peak.(ci) > a.gauge_peak.(ai)
+            then a.gauge_peak.(ai) <- c.gauge_peak.(ci))
+          a.gauge_names)
+      c.gauge_names

@@ -6,7 +6,15 @@
    The subset/superset operations ([no_sup_set], [no_sub_set], [minimal],
    [maximal]) implement implicit dominance removal; their recursions follow
    the standard cube-set algebra (see e.g. Coudert, "Two-level logic
-   minimization: an overview", INTEGRATION 1994). *)
+   minimization: an overview", INTEGRATION 1994).
+
+   The unique table, tag counter and operation caches live in
+   domain-local storage: each OCaml 5 domain owns a private manager, so
+   parallel workers never contend on (or corrupt) a shared table.  The
+   two constants [empty]/[base] are immutable and shared.  The flip side
+   is an ownership rule: a ZDD value is only meaningful on the domain
+   that built it — nodes from one domain's table must not be mixed into
+   another's operations (see DESIGN.md §10). *)
 
 type elt = int
 type t = { tag : int; node : node }
@@ -34,45 +42,6 @@ end
 
 module Unique = Hashtbl.Make (Triple)
 
-let unique : t Unique.t = Unique.create 65_536
-let next_tag = ref 2
-let peak = ref 0
-
-let mk var hi lo =
-  if is_empty hi then lo
-  else
-    let key = (var, hi.tag, lo.tag) in
-    match Unique.find_opt unique key with
-    | Some n -> n
-    | None ->
-      let n = { tag = !next_tag; node = Node { var; hi; lo } } in
-      incr next_tag;
-      Unique.add unique key n;
-      let occ = Unique.length unique in
-      if occ > !peak then peak := occ;
-      n
-
-let node_count () = Unique.length unique
-let peak_node_count () = max !peak (Unique.length unique)
-
-let top_var f =
-  match f.node with
-  | Node { var; _ } -> var
-  | Empty | Base -> invalid_arg "Zdd.top_var: constant"
-
-let singleton v =
-  if v < 0 then invalid_arg "Zdd.singleton: negative element";
-  mk v base empty
-
-let of_set elems =
-  let sorted = List.sort_uniq Stdlib.compare elems in
-  List.iter (fun v -> if v < 0 then invalid_arg "Zdd.of_set: negative element") sorted;
-  List.fold_left (fun acc v -> mk v acc empty) base (List.rev sorted)
-
-(* ------------------------------------------------------------------ *)
-(* Caches                                                             *)
-(* ------------------------------------------------------------------ *)
-
 module Pair = struct
   type t = int * int
 
@@ -83,26 +52,90 @@ end
 module Cache2 = Hashtbl.Make (Pair)
 module Cache1 = Hashtbl.Make (Int)
 
-let union_cache : t Cache2.t = Cache2.create 65_536
-let inter_cache : t Cache2.t = Cache2.create 65_536
-let diff_cache : t Cache2.t = Cache2.create 65_536
-let product_cache : t Cache2.t = Cache2.create 65_536
-let nosup_cache : t Cache2.t = Cache2.create 65_536
-let nosub_cache : t Cache2.t = Cache2.create 65_536
-let minimal_cache : t Cache1.t = Cache1.create 4_096
-let maximal_cache : t Cache1.t = Cache1.create 4_096
-let count_cache : float Cache1.t = Cache1.create 4_096
+(* One manager per domain: unique table, tag allocator, peak meter and
+   the operation caches.  Tags are domain-private (they only key this
+   domain's tables), so independent domains reusing the same tag values
+   is harmless. *)
+type state = {
+  unique : t Unique.t;
+  mutable next_tag : int;
+  mutable peak : int;
+  union_cache : t Cache2.t;
+  inter_cache : t Cache2.t;
+  diff_cache : t Cache2.t;
+  product_cache : t Cache2.t;
+  nosup_cache : t Cache2.t;
+  nosub_cache : t Cache2.t;
+  minimal_cache : t Cache1.t;
+  maximal_cache : t Cache1.t;
+  count_cache : float Cache1.t;
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        unique = Unique.create 65_536;
+        next_tag = 2;
+        peak = 0;
+        union_cache = Cache2.create 65_536;
+        inter_cache = Cache2.create 65_536;
+        diff_cache = Cache2.create 65_536;
+        product_cache = Cache2.create 65_536;
+        nosup_cache = Cache2.create 65_536;
+        nosub_cache = Cache2.create 65_536;
+        minimal_cache = Cache1.create 4_096;
+        maximal_cache = Cache1.create 4_096;
+        count_cache = Cache1.create 4_096;
+      })
+
+let state () = Domain.DLS.get state_key
+
+let mk st var hi lo =
+  if is_empty hi then lo
+  else
+    let key = (var, hi.tag, lo.tag) in
+    match Unique.find_opt st.unique key with
+    | Some n -> n
+    | None ->
+      let n = { tag = st.next_tag; node = Node { var; hi; lo } } in
+      st.next_tag <- st.next_tag + 1;
+      Unique.add st.unique key n;
+      let occ = Unique.length st.unique in
+      if occ > st.peak then st.peak <- occ;
+      n
+
+let node_count () = Unique.length (state ()).unique
+
+let peak_node_count () =
+  let st = state () in
+  max st.peak (Unique.length st.unique)
+
+let top_var f =
+  match f.node with
+  | Node { var; _ } -> var
+  | Empty | Base -> invalid_arg "Zdd.top_var: constant"
+
+let singleton v =
+  if v < 0 then invalid_arg "Zdd.singleton: negative element";
+  mk (state ()) v base empty
+
+let of_set elems =
+  let sorted = List.sort_uniq Stdlib.compare elems in
+  List.iter (fun v -> if v < 0 then invalid_arg "Zdd.of_set: negative element") sorted;
+  let st = state () in
+  List.fold_left (fun acc v -> mk st v acc empty) base (List.rev sorted)
 
 let clear_caches () =
-  Cache2.reset union_cache;
-  Cache2.reset inter_cache;
-  Cache2.reset diff_cache;
-  Cache2.reset product_cache;
-  Cache2.reset nosup_cache;
-  Cache2.reset nosub_cache;
-  Cache1.reset minimal_cache;
-  Cache1.reset maximal_cache;
-  Cache1.reset count_cache
+  let st = state () in
+  Cache2.reset st.union_cache;
+  Cache2.reset st.inter_cache;
+  Cache2.reset st.diff_cache;
+  Cache2.reset st.product_cache;
+  Cache2.reset st.nosup_cache;
+  Cache2.reset st.nosub_cache;
+  Cache1.reset st.minimal_cache;
+  Cache1.reset st.maximal_cache;
+  Cache1.reset st.count_cache
 
 (* Cofactors of [f] with respect to [v], assuming [v <= top_var f]:
    [hi] = sets containing v (with v removed), [lo] = sets without v. *)
@@ -119,54 +152,54 @@ let top2 f g =
   | (Empty | Base), (Empty | Base) -> assert false
 
 (* ------------------------------------------------------------------ *)
-(* Boolean family algebra                                             *)
+(* Boolean family algebra                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec union f g =
+let rec union_st st f g =
   if f == g then f
   else if is_empty f then g
   else if is_empty g then f
   else begin
     let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
-    match Cache2.find_opt union_cache key with
+    match Cache2.find_opt st.union_cache key with
     | Some r -> r
     | None ->
       let v = top2 f g in
       let f1, f0 = cof f v and g1, g0 = cof g v in
-      let r = mk v (union f1 g1) (union f0 g0) in
-      Cache2.add union_cache key r;
+      let r = mk st v (union_st st f1 g1) (union_st st f0 g0) in
+      Cache2.add st.union_cache key r;
       r
   end
 
-let rec inter f g =
+let rec contains_empty_set f =
+  match f.node with
+  | Empty -> false
+  | Base -> true
+  | Node { lo; _ } -> contains_empty_set lo
+
+let rec inter_st st f g =
   if f == g then f
   else if is_empty f || is_empty g then empty
   else if is_base f then if contains_empty_set g then base else empty
   else if is_base g then if contains_empty_set f then base else empty
   else begin
     let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
-    match Cache2.find_opt inter_cache key with
+    match Cache2.find_opt st.inter_cache key with
     | Some r -> r
     | None ->
       let v = top2 f g in
       let f1, f0 = cof f v and g1, g0 = cof g v in
-      let r = mk v (inter f1 g1) (inter f0 g0) in
-      Cache2.add inter_cache key r;
+      let r = mk st v (inter_st st f1 g1) (inter_st st f0 g0) in
+      Cache2.add st.inter_cache key r;
       r
   end
 
-and contains_empty_set f =
-  match f.node with
-  | Empty -> false
-  | Base -> true
-  | Node { lo; _ } -> contains_empty_set lo
-
-let rec diff f g =
+let rec diff_st st f g =
   if f == g || is_empty f then empty
   else if is_empty g then f
   else begin
     let key = (f.tag, g.tag) in
-    match Cache2.find_opt diff_cache key with
+    match Cache2.find_opt st.diff_cache key with
     | Some r -> r
     | None ->
       let r =
@@ -175,67 +208,88 @@ let rec diff f g =
         | Base, _ -> if contains_empty_set g then empty else base
         | Node { var; hi; lo }, Base ->
           (* g = {∅}: remove the empty set, which lives down the lo spine *)
-          mk var hi (diff lo g)
+          mk st var hi (diff_st st lo g)
         | Node _, (Empty | Node _) ->
           (* split on the smaller top variable of the two operands *)
           let v = top2 f g in
           let f1, f0 = cof f v and g1, g0 = cof g v in
-          mk v (diff f1 g1) (diff f0 g0)
+          mk st v (diff_st st f1 g1) (diff_st st f0 g0)
       in
-      Cache2.add diff_cache key r;
+      Cache2.add st.diff_cache key r;
       r
   end
 
+let union f g = union_st (state ()) f g
+let inter f g = inter_st (state ()) f g
+let diff f g = diff_st (state ()) f g
+
 (* ------------------------------------------------------------------ *)
-(* Element-wise operations                                            *)
+(* Element-wise operations                                             *)
 (* ------------------------------------------------------------------ *)
 
-let rec subset1 f v =
-  match f.node with
-  | Empty | Base -> empty
-  | Node { var; hi; lo } ->
-    if var = v then hi else if var > v then empty else mk var (subset1 hi v) (subset1 lo v)
+let subset1 f v =
+  let st = state () in
+  let rec go f =
+    match f.node with
+    | Empty | Base -> empty
+    | Node { var; hi; lo } ->
+      if var = v then hi else if var > v then empty else mk st var (go hi) (go lo)
+  in
+  go f
 
-let rec subset0 f v =
-  match f.node with
-  | Empty | Base -> f
-  | Node { var; hi; lo } ->
-    if var = v then lo else if var > v then f else mk var (subset0 hi v) (subset0 lo v)
+let subset0 f v =
+  let st = state () in
+  let rec go f =
+    match f.node with
+    | Empty | Base -> f
+    | Node { var; hi; lo } ->
+      if var = v then lo else if var > v then f else mk st var (go hi) (go lo)
+  in
+  go f
 
-let rec change f v =
-  match f.node with
-  | Empty -> empty
-  | Base -> singleton v
-  | Node { var; hi; lo } ->
-    if var = v then mk var lo hi
-    else if var > v then mk v f empty
-    else mk var (change hi v) (change lo v)
+let change f v =
+  let st = state () in
+  let rec go f =
+    match f.node with
+    | Empty -> empty
+    | Base -> mk st v base empty
+    | Node { var; hi; lo } ->
+      if var = v then mk st var lo hi
+      else if var > v then mk st v f empty
+      else mk st var (go hi) (go lo)
+  in
+  go f
 
 let project_out f v = union (subset0 f v) (subset1 f v)
 let restrict_without = subset0
 
 (* ------------------------------------------------------------------ *)
-(* Unate cube-set algebra                                             *)
+(* Unate cube-set algebra                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec product f g =
+let rec product_st st f g =
   if is_empty f || is_empty g then empty
   else if is_base f then g
   else if is_base g then f
   else begin
     let key = if f.tag <= g.tag then (f.tag, g.tag) else (g.tag, f.tag) in
-    match Cache2.find_opt product_cache key with
+    match Cache2.find_opt st.product_cache key with
     | Some r -> r
     | None ->
       let v = top2 f g in
       let f1, f0 = cof f v and g1, g0 = cof g v in
-      let hi = union (product f1 g1) (union (product f1 g0) (product f0 g1)) in
-      let r = mk v hi (product f0 g0) in
-      Cache2.add product_cache key r;
+      let hi =
+        union_st st (product_st st f1 g1)
+          (union_st st (product_st st f1 g0) (product_st st f0 g1))
+      in
+      let r = mk st v hi (product_st st f0 g0) in
+      Cache2.add st.product_cache key r;
       r
   end
 
-let rec no_sup_set a b =
+let product f g = product_st (state ()) f g
+
+let rec no_sup_set_st st a b =
   (* { s ∈ a : no t ∈ b with t ⊆ s } *)
   if is_empty a || is_empty b then a
   else if contains_empty_set b then empty
@@ -243,7 +297,7 @@ let rec no_sup_set a b =
   else if a == b then empty
   else begin
     let key = (a.tag, b.tag) in
-    match Cache2.find_opt nosup_cache key with
+    match Cache2.find_opt st.nosup_cache key with
     | Some r -> r
     | None ->
       let r =
@@ -251,97 +305,110 @@ let rec no_sup_set a b =
         | Node { var = va; hi = ha; lo = la }, Node { var = vb; hi = _; lo = lb }
           when va = vb ->
           let hb = (match b.node with Node { hi; _ } -> hi | _ -> assert false) in
-          let hi = no_sup_set (no_sup_set ha lb) hb in
-          let lo = no_sup_set la lb in
-          mk va hi lo
+          let hi = no_sup_set_st st (no_sup_set_st st ha lb) hb in
+          let lo = no_sup_set_st st la lb in
+          mk st va hi lo
         | Node { var = va; hi = ha; lo = la }, Node { var = vb; _ } when va < vb ->
-          mk va (no_sup_set ha b) (no_sup_set la b)
+          mk st va (no_sup_set_st st ha b) (no_sup_set_st st la b)
         | Node _, Node { lo = lb; _ } ->
           (* vb < va: members of b containing vb subsume nothing in a *)
-          no_sup_set a lb
+          no_sup_set_st st a lb
         | (Empty | Base | Node _), (Empty | Base) -> assert false
         | (Empty | Base), Node _ -> assert false
       in
-      Cache2.add nosup_cache key r;
+      Cache2.add st.nosup_cache key r;
       r
   end
 
-let rec no_sub_set a b =
+let no_sup_set a b = no_sup_set_st (state ()) a b
+
+let rec no_sub_set_st st a b =
   (* { s ∈ a : no t ∈ b with s ⊆ t } *)
   if is_empty a || is_empty b then a
   else if is_base a then empty (* ∅ ⊆ every member of the non-empty b *)
   else if a == b then empty
   else begin
     let key = (a.tag, b.tag) in
-    match Cache2.find_opt nosub_cache key with
+    match Cache2.find_opt st.nosub_cache key with
     | Some r -> r
     | None ->
       let r =
         match (a.node, b.node) with
         | Node { var = va; hi = ha; lo = la }, Node { var = vb; hi = hb; lo = lb }
           when va = vb ->
-          mk va (no_sub_set ha hb) (no_sub_set la (union lb hb))
+          mk st va (no_sub_set_st st ha hb) (no_sub_set_st st la (union_st st lb hb))
         | Node { var = va; hi = ha; lo = la }, Node { var = vb; _ } when va < vb ->
           (* sets containing va cannot be ⊆ any t ∈ b (no t has va), so the
              whole hi branch survives verbatim *)
-          mk va ha (no_sub_set la b)
+          mk st va ha (no_sub_set_st st la b)
         | Node _, Node { hi = hb; lo = lb; _ } ->
           (* vb < va: s lacks vb, so s ⊆ t∪{vb} iff s ⊆ t *)
-          no_sub_set a (union hb lb)
+          no_sub_set_st st a (union_st st hb lb)
         | Node _, Base ->
           (* only ∅ is a subset of ∅: drop it from a if present *)
-          diff a b
+          diff_st st a b
         | (Empty | Base | Node _), Empty | (Empty | Base), (Base | Node _) ->
           assert false
       in
-      Cache2.add nosub_cache key r;
+      Cache2.add st.nosub_cache key r;
       r
   end
+
+let no_sub_set a b = no_sub_set_st (state ()) a b
 
 let sup_set a b = diff a (no_sup_set a b)
 let sub_set a b = diff a (no_sub_set a b)
 
-let rec minimal f =
-  match f.node with
-  | Empty | Base -> f
-  | Node { var; hi; lo } -> (
-    match Cache1.find_opt minimal_cache f.tag with
-    | Some r -> r
-    | None ->
-      let lo' = minimal lo in
-      let hi' = no_sup_set (minimal hi) lo' in
-      let r = mk var hi' lo' in
-      Cache1.add minimal_cache f.tag r;
-      r)
+let minimal f =
+  let st = state () in
+  let rec go f =
+    match f.node with
+    | Empty | Base -> f
+    | Node { var; hi; lo } -> (
+      match Cache1.find_opt st.minimal_cache f.tag with
+      | Some r -> r
+      | None ->
+        let lo' = go lo in
+        let hi' = no_sup_set_st st (go hi) lo' in
+        let r = mk st var hi' lo' in
+        Cache1.add st.minimal_cache f.tag r;
+        r)
+  in
+  go f
 
-let rec maximal f =
-  match f.node with
-  | Empty | Base -> f
-  | Node { var; hi; lo } -> (
-    match Cache1.find_opt maximal_cache f.tag with
-    | Some r -> r
-    | None ->
-      let hi' = maximal hi in
-      let lo' = no_sub_set (maximal lo) hi' in
-      let r = mk var hi' lo' in
-      Cache1.add maximal_cache f.tag r;
-      r)
+let maximal f =
+  let st = state () in
+  let rec go f =
+    match f.node with
+    | Empty | Base -> f
+    | Node { var; hi; lo } -> (
+      match Cache1.find_opt st.maximal_cache f.tag with
+      | Some r -> r
+      | None ->
+        let hi' = go hi in
+        let lo' = no_sub_set_st st (go lo) hi' in
+        let r = mk st var hi' lo' in
+        Cache1.add st.maximal_cache f.tag r;
+        r)
+  in
+  go f
 
 (* ------------------------------------------------------------------ *)
-(* Queries                                                            *)
+(* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let count f =
+  let st = state () in
   let rec go f =
     match f.node with
     | Empty -> 0.
     | Base -> 1.
     | Node { hi; lo; _ } -> (
-      match Cache1.find_opt count_cache f.tag with
+      match Cache1.find_opt st.count_cache f.tag with
       | Some c -> c
       | None ->
         let c = go hi +. go lo in
-        Cache1.add count_cache f.tag c;
+        Cache1.add st.count_cache f.tag c;
         c)
   in
   go f
@@ -425,7 +492,19 @@ let fold_sets f ~init ~f:step =
 
 let to_sets f = List.rev (fold_sets f ~init:[] ~f:(fun acc s -> s :: acc))
 
-let of_sets sets = List.fold_left (fun acc s -> union acc (of_set s)) empty sets
+let of_sets sets =
+  let st = state () in
+  List.fold_left
+    (fun acc s ->
+      let one =
+        let sorted = List.sort_uniq Stdlib.compare s in
+        List.iter
+          (fun v -> if v < 0 then invalid_arg "Zdd.of_sets: negative element")
+          sorted;
+        List.fold_left (fun acc v -> mk st v acc empty) base (List.rev sorted)
+      in
+      union_st st acc one)
+    empty sets
 
 let size f =
   let seen : unit Cache1.t = Cache1.create 256 in
