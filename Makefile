@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke bench-par bench-check fault-smoke trace-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-check bench-check-dense fault-smoke trace-smoke doc examples clean
 
 all: build
 
@@ -34,11 +34,21 @@ JOBS ?= 0
 bench-par:
 	dune exec bench/main.exe -- --no-csv --table par --jobs $(JOBS)
 
+# dense bit-slice kernels vs the sparse lists: registry-wide identity
+# sweep plus kernel timings on the dense+difficult suites, leaving
+# BENCH_dense.json behind
+bench-dense:
+	dune exec bench/main.exe -- --no-csv --table dense --reduce-reps 5 \
+	  --dense-json BENCH_dense.json
+
 # regression gate: re-run the benchmark the committed baseline describes
-# and compare (speedup ratios for the reduce baseline, so the gate is
-# machine-independent); nonzero exit on regression
+# and compare (speedup ratios for the reduce/dense baselines, so the gate
+# is machine-independent); nonzero exit on regression
 bench-check:
 	dune exec bench/main.exe -- --check bench/BASELINE_reduce.json
+
+bench-check-dense:
+	dune exec bench/main.exe -- --check bench/BASELINE_dense.json
 
 # resource-governor sanity: the fault-injection and typed-failure suites
 # plus the CLI exit-code contract (also part of the default `dune runtest`)

@@ -843,7 +843,12 @@ let run_par ~jobs () =
     (fun (name, parts) ->
       let m = block_diagonal parts in
       let n_comp = List.length (Covering.Partition.components m) in
+      (* compact before each leg: these are single-shot multi-second
+         timings, and whichever leg runs later would otherwise pay the
+         major-GC debt of everything timed before it *)
+      Gc.compact ();
       let seq, seq_s = timed (fun () -> Scg.solve m) in
+      Gc.compact ();
       let par, par_s =
         timed (fun () -> Scg.solve ~config:{ Scg.Config.default with jobs } m)
       in
@@ -879,10 +884,23 @@ let run_par ~jobs () =
      `ucp_solve --jobs N FILE...` does *)
   let batch = Array.of_list difficult in
   let solve (_, m) = Scg.solve m in
+  Gc.compact ();
   let seq_rs, batch_seq_s = timed (fun () -> Array.map solve batch) in
   let par_rs, batch_par_s =
+    (* same wiring as `ucp_solve --jobs N FILE...`: instances below the
+       work-size threshold solve inline, and when fewer than two big ones
+       remain no pool is spun up at all (an idle domain taxes every
+       minor collection, so small batches must never pay for one) *)
+    let big (_, m) = Covering.Matrix.n_rows m >= Scg.Par.default_min_rows in
+    let n_big =
+      Array.fold_left (fun acc it -> if big it then acc + 1 else acc) 0 batch
+    in
+    Gc.compact ();
     timed (fun () ->
-        Scg.Par.Pool.with_pool ~jobs (fun pool -> Scg.Par.map ~pool solve batch))
+        if n_big > 1 then
+          Scg.Par.Pool.with_pool ~jobs (fun pool ->
+              Scg.Par.map_if ~pool ~big solve batch)
+        else Array.map solve batch)
   in
   let batch_same =
     Array.length seq_rs = Array.length par_rs
@@ -921,6 +939,243 @@ let run_par ~jobs () =
   close_out oc;
   pr "wrote BENCH_par.json@.";
   if not !all_same then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Dense bit-slice kernels (BENCH_dense.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two halves.  Identity: the adaptive dense dispatch (the default
+   config) must give bit-identical solver output to the forced sparse
+   path (dense_threshold = 0) across the whole registry — the dense
+   kernels are drop-in integer/word replacements, never approximations.
+   Timing: the word-parallel kernels measured dense vs sparse on the
+   dense+difficult suites — the dominance subset-test sweep, greedy
+   cover scoring, and the subgradient sweep.  The mirrors are built
+   once per instance and reused across the timed repetitions, matching
+   how the solver uses them (one mirror per cyclic core, reused by
+   every reduction round, greedy run and subgradient step of the
+   descent); the one-off build cost is reported in its own column.
+   The gated quantity mirrors run_reduce: a per-instance and aggregate
+   speedup *ratio* (both sides measured in-process on the same host),
+   where "total" is the dominance+greedy hot-loop pair; the subgradient
+   ratio is reported but not gated per instance, since its dense arm
+   runs the honest attach-based dispatch (build included, and
+   density-ineligible cores fall back to sparse at 1.0x by design). *)
+let run_dense ~reps ~json_path () =
+  let module J = Telemetry.Json in
+  pr "@.== Dense bit-slice kernels — packed words vs sparse lists ==@.";
+  pr "identity: adaptive dispatch (default) vs forced sparse (dense_threshold=0)@.";
+  let identical_all = ref true in
+  let sweep suite_name cfg instances =
+    let bad = ref 0 in
+    List.iter
+      (fun (inst : Registry.instance) ->
+        let m = Registry.matrix inst in
+        let dense_r = Scg.solve ~config:cfg m in
+        let sparse_r =
+          Scg.solve ~config:{ cfg with Scg.Config.dense_threshold = 0 } m
+        in
+        if not (same_scg_result dense_r sparse_r) then begin
+          incr bad;
+          identical_all := false;
+          pr "MISMATCH %s: dense and sparse dispatch disagree@." inst.Registry.name
+        end)
+      instances;
+    pr "identity %-11s: %2d instances, %s@." suite_name (List.length instances)
+      (if !bad = 0 then "all identical"
+       else Printf.sprintf "%d MISMATCHED" !bad)
+  in
+  (* the challenging suite gets a shortened solve — identity holds for
+     any configuration, and the full default descent on pdc-class
+     instances would dominate the bench's runtime for no extra signal *)
+  let quick_cfg =
+    {
+      Scg.Config.default with
+      num_iter = 1;
+      subgradient =
+        { Lagrangian.Subgradient.default_config with max_steps = 100 };
+    }
+  in
+  sweep "easy" Scg.Config.default (Registry.easy ());
+  sweep "difficult" Scg.Config.default (Registry.difficult ());
+  sweep "dense" Scg.Config.default (Registry.dense ());
+  sweep "challenging" quick_cfg (Registry.challenging ());
+  (* kernel timings, best of 3 batches of [reps] as in run_reduce *)
+  hline 104;
+  pr "%-10s | %5s %5s %5s %8s | %8s %8s %6s | %8s %8s %6s | %6s | %6s@." "name"
+    "rows" "cols" "dens" "build" "dom-sp" "dom-dn" "ratio" "grd-sp" "grd-dn"
+    "ratio" "subgr" "total";
+  hline 104;
+  let rows = ref [] in
+  List.iter
+    (fun (inst : Registry.instance) ->
+      let m = Registry.matrix inst in
+      (* once per instance: the full worklist reduction with and without
+         the mirror must agree on core and fixed cost — this exercises
+         the Dense.Mut maintenance protocol through every deletion,
+         Gimpel append and rollback of a real reduction *)
+      let reduce_with dense =
+        let e =
+          Covering.Reduce2.engine ~gimpel:true (Covering.Sparse.of_matrix ~dense m)
+        in
+        Covering.Reduce2.seed_all e;
+        Covering.Reduce2.run e;
+        e
+      in
+      let core_of e = Covering.Sparse.to_matrix (Covering.Reduce2.sparse e) in
+      let ed = reduce_with true and es = reduce_with false in
+      let identical =
+        matrices_identical (core_of ed) (core_of es)
+        && Covering.Reduce2.fixed_cost ed = Covering.Reduce2.fixed_cost es
+      in
+      (* the kernels run on the cyclic core — the solver's actual input;
+         falls back to the original matrix when the reductions close the
+         instance outright *)
+      let core = core_of es in
+      let gm = if Matrix.is_empty core then m else core in
+      let ss = Covering.Sparse.of_matrix gm in
+      let sd = Covering.Sparse.of_matrix ~dense:true gm in
+      let d = Covering.Dense.of_matrix gm in
+      let t_build =
+        time_reps ~reps (fun () ->
+            ignore (Covering.Sparse.of_matrix ~dense:true gm);
+            ignore (Covering.Dense.of_matrix gm))
+      in
+      (* dominance: the all-pairs row- and column-dominance sweep the
+         reduction engines' batched rounds perform, through the
+         production Sparse API (the mirror, when present, backs the
+         subset tests) *)
+      let dominance_sweep s =
+        let nr = Covering.Sparse.n_rows s and nc = Covering.Sparse.n_cols s in
+        let count = ref 0 in
+        for i = 0 to nr - 1 do
+          for i' = 0 to nr - 1 do
+            if i <> i' && Covering.Sparse.row_subset s i i' then incr count
+          done
+        done;
+        for j = 0 to nc - 1 do
+          for j' = 0 to nc - 1 do
+            if j <> j' && Covering.Sparse.col_subset s j j' then incr count
+          done
+        done;
+        !count
+      in
+      let identical = identical && dominance_sweep sd = dominance_sweep ss in
+      let t_dom_sparse = time_reps ~reps (fun () -> ignore (dominance_sweep ss)) in
+      let t_dom_dense = time_reps ~reps (fun () -> ignore (dominance_sweep sd)) in
+      (* greedy cover scoring against the prebuilt mirror *)
+      let greedy_dense () = Covering.Greedy.solve_best ~dense:d gm in
+      let greedy_sparse () = Covering.Greedy.solve_best gm in
+      let identical = identical && greedy_dense () = greedy_sparse () in
+      let t_grd_sparse = time_reps ~reps (fun () -> ignore (greedy_sparse ())) in
+      let t_grd_dense = time_reps ~reps (fun () -> ignore (greedy_dense ())) in
+      (* subgradient sweep through the adaptive dispatch itself *)
+      let sub_cfg =
+        { Lagrangian.Subgradient.default_config with max_steps = 150 }
+      in
+      let sub_with threshold =
+        Lagrangian.Subgradient.run ~config:sub_cfg ~dense_threshold:threshold gm
+      in
+      let identical = identical && sub_with max_int = sub_with 0 in
+      let t_sub_sparse = time_reps ~reps (fun () -> ignore (sub_with 0)) in
+      let t_sub_dense = time_reps ~reps (fun () -> ignore (sub_with max_int)) in
+      if not identical then identical_all := false;
+      let ratio sp dn = if dn > 0. then sp /. dn else Float.nan in
+      let hot_sparse = t_dom_sparse +. t_grd_sparse
+      and hot_dense = t_dom_dense +. t_grd_dense in
+      pr "%-10s | %5d %5d %5.2f %8.5f | %8.5f %8.5f %5.2fx | %8.5f %8.5f %5.2fx | %5.2fx | %5.2fx%s@."
+        inst.Registry.name (Matrix.n_rows gm) (Matrix.n_cols gm)
+        (Matrix.density gm) t_build t_dom_sparse t_dom_dense
+        (ratio t_dom_sparse t_dom_dense)
+        t_grd_sparse t_grd_dense
+        (ratio t_grd_sparse t_grd_dense)
+        (ratio t_sub_sparse t_sub_dense)
+        (ratio hot_sparse hot_dense)
+        (if identical then "" else "  MISMATCH");
+      csv_emit
+        [
+          "dense"; inst.Registry.name; "kernels"; "";
+          string_of_bool identical; "";
+          Printf.sprintf "%.6f" hot_dense;
+          Printf.sprintf "sparse=%.6f speedup=%.2f" hot_sparse
+            (ratio hot_sparse hot_dense);
+        ];
+      rows :=
+        ( inst.Registry.name,
+          Matrix.n_rows gm,
+          Matrix.n_cols gm,
+          (Matrix.density gm, t_build),
+          (t_dom_sparse, t_dom_dense),
+          (t_grd_sparse, t_grd_dense),
+          (t_sub_sparse, t_sub_dense),
+          identical )
+        :: !rows)
+    (Registry.dense () @ Registry.difficult ());
+  hline 104;
+  let rows = List.rev !rows in
+  let hot (_, _, _, _, (ds, dd), (gs, gd), _, _) = (ds +. gs, dd +. gd) in
+  let speedups = List.map (fun r -> let s, d = hot r in s /. d) rows in
+  let geomean xs =
+    exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+  in
+  let gm = geomean speedups and mn = List.fold_left min infinity speedups in
+  let agg =
+    List.fold_left (fun a r -> a +. fst (hot r)) 0. rows
+    /. List.fold_left (fun a r -> a +. snd (hot r)) 0. rows
+  in
+  pr
+    "hot-loop (dominance+greedy) speedup: suite aggregate %.2fx, geometric mean \
+     %.2fx, minimum %.2fx@."
+    agg gm mn;
+  pr "results %s@."
+    (if !identical_all then "identical on every instance and suite"
+     else "MISMATCHED");
+  let pair sparse_s dense_s =
+    [
+      ("sparse_s", J.Float sparse_s);
+      ("dense_s", J.Float dense_s);
+      ("speedup", J.Float (if dense_s > 0. then sparse_s /. dense_s else Float.nan));
+    ]
+  in
+  let json =
+    J.Obj
+      [
+        ("mode", J.String "dense");
+        ("suite", J.String "dense+difficult");
+        ("reps", J.Int reps);
+        ("identical_results", J.Bool !identical_all);
+        ("aggregate_total_speedup", J.Float agg);
+        ("geomean_total_speedup", J.Float gm);
+        ("min_total_speedup", J.Float mn);
+        ( "instances",
+          J.List
+            (List.map
+               (fun ((name, nr, nc, (density, build_s), (ds, dd), (gs, gd),
+                      (ss, sd), identical)
+                     as r) ->
+                 let hs, hd = hot r in
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("rows", J.Int nr);
+                     ("cols", J.Int nc);
+                     ("density", J.Float density);
+                     ("mirror_build_s", J.Float build_s);
+                     ("identical", J.Bool identical);
+                     ("dominance", J.Obj (pair ds dd));
+                     ("greedy", J.Obj (pair gs gd));
+                     ("subgradient", J.Obj (pair ss sd));
+                     ("total", J.Obj (pair hs hd));
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  pr "wrote %s@." json_path;
+  if not !identical_all then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table                 *)
@@ -1015,6 +1270,10 @@ let run_check ~tolerance ~reduce_reps baseline_path =
       let path = "BENCH_reduce.json" in
       run_reduce ~reps:reduce_reps ~json_path:path ();
       path
+    | Some "dense", _ ->
+      let path = "BENCH_dense.json" in
+      run_dense ~reps:reduce_reps ~json_path:path ();
+      path
     | _, Some table_id ->
       (match table_id with
       | "table1" -> run_table1 ()
@@ -1042,10 +1301,10 @@ let run_check ~tolerance ~reduce_reps baseline_path =
 
 let usage () =
   pr
-    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|par|all] [--verbose]@,\
+    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|dense|par|all] [--verbose]@,\
     \       [--timing] [--exact-nodes-difficult N] [--exact-nodes-challenging N]@,\
     \       [--csv FILE] [--no-csv] [--reduce-reps N] [--reduce-json FILE]@,\
-    \       [--jobs N] [--check BASELINE.json] [--check-tolerance T]@.";
+    \       [--dense-json FILE] [--jobs N] [--check BASELINE.json] [--check-tolerance T]@.";
   exit 2
 
 let () =
@@ -1060,6 +1319,7 @@ let () =
   let csv = ref (Some "bench_results.csv") in
   let reduce_reps = ref 5 in
   let reduce_json = ref "BENCH_reduce.json" in
+  let dense_json = ref "BENCH_dense.json" in
   (* 0 = the machine's recommended domain count, resolved at use *)
   let jobs = ref 0 in
   let check = ref None in
@@ -1092,6 +1352,9 @@ let () =
       parse rest
     | "--reduce-json" :: path :: rest ->
       reduce_json := path;
+      parse rest
+    | "--dense-json" :: path :: rest ->
+      dense_json := path;
       parse rest
     | "--jobs" :: n :: rest ->
       jobs := int_of_string n;
@@ -1128,6 +1391,7 @@ let () =
   if want "4" then run_table4 ~max_nodes:!nodes_challenging ();
   if want "ablation" then run_ablation ();
   if want "reduce" then run_reduce ~reps:!reduce_reps ~json_path:!reduce_json ();
+  if want "dense" then run_dense ~reps:!reduce_reps ~json_path:!dense_json ();
   if want "par" then
     run_par ~jobs:(if !jobs <= 0 then Scg.Par.default_jobs () else !jobs) ();
   if want "methods" then run_methods ();

@@ -412,10 +412,26 @@ let run_batch ~budget ~jobs solver input_kind paths output multi max_nodes =
       (Buffer.contents buf, infeasible, Budget.tripped budget)
   in
   let indices = Array.init (Array.length inputs) Fun.id in
+  (* work-size gate: a tiny matrix solves faster than it ships across a
+     domain boundary, so only matrices with at least Par.default_min_rows
+     rows (plus every spec/PLA input, whose covering problem size is
+     unknown before the solve) count as parallel work; with fewer than
+     two such inputs the batch stays on the calling domain and no pool
+     is spun up *)
+  let big i =
+    match inputs.(i) with
+    | _, Error _ -> false
+    | _, Ok (`Matrix m) ->
+      Covering.Matrix.n_rows m >= Scg.Par.default_min_rows
+    | _, Ok (`Spec _ | `Pla _) -> true
+  in
+  let n_big =
+    Array.fold_left (fun acc i -> if big i then acc + 1 else acc) 0 indices
+  in
   let results =
-    if jobs > 1 then
+    if jobs > 1 && n_big > 1 then
       Scg.Par.Pool.with_pool ~jobs (fun pool ->
-          Scg.Par.map ~pool solve_one indices)
+          Scg.Par.map_if ~pool ~big solve_one indices)
     else Array.map solve_one indices
   in
   let any_infeasible = ref false and any_trip = ref false in

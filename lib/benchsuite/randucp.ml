@@ -31,6 +31,25 @@ let reducible ~name ~n_rows ~n_cols () =
   in
   Matrix.create ~n_cols rows
 
+let dense_cyclic ~name ~n_rows ~n_cols ~density ?(cost_spread = 0) () =
+  if density <= 0. || density >= 1. then
+    invalid_arg "Randucp.dense_cyclic: density must be in (0, 1)";
+  let rng = Rng.of_string name in
+  (* row-regular like [cyclic], but with k a fixed fraction of the
+     columns instead of a small constant: essentiality stays impossible
+     (k >= 2) and no row nests inside another except by rare accident,
+     while every dominance test now walks a long support — the workload
+     the bit-slice kernels are built for *)
+  let k = max 2 (int_of_float (density *. float_of_int n_cols)) in
+  let rows =
+    List.init n_rows (fun _ -> sample_distinct rng ~bound:n_cols ~k)
+  in
+  let cost =
+    if cost_spread = 0 then None
+    else Some (Array.init n_cols (fun _ -> 1 + Rng.int rng (cost_spread + 1)))
+  in
+  Matrix.create ?cost ~n_cols rows
+
 let beasley ~name ~n_rows ~n_cols ~rows_per_col ?(cost_spread = 9) () =
   let rng = Rng.of_string name in
   let col_rows = Array.make n_cols [] in

@@ -23,6 +23,23 @@ val cyclic :
 (** [cost_spread] = 0 (default) gives uniform cost 1; otherwise costs are
     uniform in [1, 1 + cost_spread]. *)
 
+val dense_cyclic :
+  name:string ->
+  n_rows:int ->
+  n_cols:int ->
+  density:float ->
+  ?cost_spread:int ->
+  unit ->
+  Covering.Matrix.t
+(** Row-regular like {!cyclic} but with every row covering a [density]
+    fraction of the columns (k = density·n_cols distinct draws, k ≥ 2)
+    instead of a small constant — the profile of the dense cyclic cores
+    that the bit-slice kernels ({!Covering.Dense}) target: essentiality
+    still impossible, dominance still rare, but every subset test and
+    cover count walks a long support.  [density] must lie in (0, 1);
+    keep it ≤ 0.5 so the rejection sampler stays cheap.  [cost_spread]
+    as in {!cyclic}. *)
+
 val beasley :
   name:string ->
   n_rows:int ->

@@ -7,6 +7,9 @@
       heuristic should prove optimality on essentially all of them;
     - {e difficult cyclic} (7 instances — Table 1/3): genuine cyclic cores
       the exact solver can still finish;
+    - {e dense cyclic} (5 instances, ours): row-regular cores whose rows
+      cover 20-45% of the columns — the dense-core regime the bit-slice
+      kernels ({!Covering.Dense}) target, timed by [bench --table dense];
     - {e challenging} (16 instances — Table 2/4): large cyclic cores; on
       the biggest, the exact solver exhausts its budget and only reports an
       incumbent, reproducing the "H"-marked rows of the paper.
@@ -18,6 +21,7 @@
 type category =
   | Easy
   | Difficult
+  | Dense_cyclic
   | Challenging
 
 type problem =
@@ -40,6 +44,9 @@ val all : unit -> instance list
 val easy : unit -> instance list
 val difficult : unit -> instance list
 (** In Table 1/3 order: bench1 ex5 exam max1024 prom2 t1 test4. *)
+
+val dense : unit -> instance list
+(** dense-a … dense-e, ordered by name. *)
 
 val challenging : unit -> instance list
 (** In Table 2/4 order: ex1010 ex4 ibm jbp misg mish misj pdc shift

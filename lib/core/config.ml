@@ -14,6 +14,8 @@ type t = {
   incremental_reduce : bool;
   seed : int;
   jobs : int;
+  par_min_rows : int;
+  dense_threshold : int;
   subgradient : Lagrangian.Subgradient.config;
 }
 
@@ -34,13 +36,15 @@ let default =
     incremental_reduce = true;
     seed = 0x5C6;
     jobs = 1;
+    par_min_rows = Par.default_min_rows;
+    dense_threshold = Covering.Dense.default_threshold;
     subgradient = Lagrangian.Subgradient.default_config;
   }
 
 let pp ppf c =
   Fmt.pf ppf
     "@[<v>MaxR=%d NumIter=%d BestCol=%d+%d DualPen=%d alpha=%g c_hat=%g mu_hat=%g \
-     gimpel=%b incremental=%b seed=%d jobs=%d@]"
+     gimpel=%b incremental=%b seed=%d jobs=%d par_min_rows=%d dense=%d@]"
     c.max_rows_implicit c.num_iter c.best_col_start c.best_col_growth
     c.dual_pen_max_cols c.alpha c.c_hat c.mu_hat c.use_gimpel c.incremental_reduce
-    c.seed c.jobs
+    c.seed c.jobs c.par_min_rows c.dense_threshold

@@ -46,6 +46,22 @@ type t = {
           the exact legacy sequential path, no domains spawned).  Covers,
           costs and status are bit-identical for every [jobs] value; see
           DESIGN.md §10. *)
+  par_min_rows : int;
+      (** work-size threshold for component parallelism: components
+          below this many rows are solved inline on the caller instead
+          of crossing a domain boundary, and when fewer than two
+          components reach it, no pool is spun up at all (default
+          {!Par.default_min_rows} = 256).  Results are bit-identical for
+          every value. *)
+  dense_threshold : int;
+      (** adaptive bit-slice dispatch: matrices with
+          [rows·cols <= dense_threshold] (and density ≥ 1/word) get a
+          {!Covering.Dense} packed-bitset mirror for the reduction,
+          greedy and subgradient hot loops (default
+          {!Covering.Dense.default_threshold} = 2{^20} cells; [0]
+          forces the pure sparse path everywhere).  Results are
+          bit-identical for every value — the knob trades memory for
+          speed only. *)
   subgradient : Lagrangian.Subgradient.config;
 }
 

@@ -12,14 +12,19 @@ module Subgradient = Lagrangian.Subgradient
 module Penalties = Lagrangian.Penalties
 module Fixing = Lagrangian.Fixing
 
-(* ZDD unique-table gauges, sampled at every span boundary by any
-   collector created after this module is linked — which is every solver
-   entry point, since they all reference Scg. *)
+(* ZDD unique-table and dense-mirror gauges, sampled at every span
+   boundary by any collector created after this module is linked.  The
+   scg library is built with -linkall, so linking against it is enough —
+   no value of this module needs to be touched first (DESIGN.md §8). *)
 let () =
   Telemetry.register_probe "zdd.nodes" (fun () ->
       float_of_int (Zdd.node_count ()));
   Telemetry.register_probe "zdd.peak_nodes" (fun () ->
-      float_of_int (Zdd.peak_node_count ()))
+      float_of_int (Zdd.peak_node_count ()));
+  Telemetry.register_probe "dense.components" (fun () ->
+      float_of_int (Atomic.get Covering.Dense.built_total));
+  Telemetry.register_probe "dense.words" (fun () ->
+      float_of_int (Atomic.get Covering.Dense.words_total))
 
 let src = Logs.Src.create "scg" ~doc:"ZDD_SCG solver"
 
@@ -47,7 +52,8 @@ let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
    as the ungoverned differential baseline. *)
 let cyclic_core ~(config : Config.t) ~budget ~telemetry ~gimpel m =
   if config.Config.incremental_reduce then
-    Reduce2.cyclic_core ~budget ~telemetry ~gimpel m
+    Reduce2.cyclic_core ~budget ~telemetry ~gimpel
+      ~dense_threshold:config.Config.dense_threshold m
   else Reduce.cyclic_core ~telemetry ~gimpel m
 
 (* Bookkeeping for solutions expressed as column identifiers of the saved
@@ -108,7 +114,12 @@ let construct ~(config : Config.t) ~budget ~telemetry ~component ~rand ~best_col
          the remaining matrix so this path still yields a feasible
          candidate, then stop descending *)
       consider
-        (committed_ids @ List.map (Matrix.col_id m) (Covering.Greedy.solve_best m))
+        (committed_ids
+        @ List.map (Matrix.col_id m)
+            (Covering.Greedy.solve_best
+               ?dense:
+                 (Covering.Dense.attach ~threshold:config.Config.dense_threshold m)
+               m))
     else begin
       let lambda0 = if config.Config.warm_start then Warm.lambda0 lambda_mem m else None in
       let mu0 = if config.Config.warm_start then Warm.mu0 mu_mem m else None in
@@ -123,7 +134,8 @@ let construct ~(config : Config.t) ~budget ~telemetry ~component ~rand ~best_col
                       ~value ~best)
               else None
             in
-            Subgradient.run ~budget ~config:config.Config.subgradient ?lambda0 ?mu0
+            Subgradient.run ~budget ~config:config.Config.subgradient
+              ~dense_threshold:config.Config.dense_threshold ?lambda0 ?mu0
               ?on_step ~ub m)
       in
       stats_steps := !stats_steps + sg.Subgradient.steps;
@@ -339,7 +351,11 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool
       let best_iteration = ref 0 in
       let space = Core_space.make sub in
       (* prime the incumbent with the plain greedy so every run has a bound *)
-      let g = Covering.Greedy.solve_best sub in
+      let g =
+        Covering.Greedy.solve_best
+          ?dense:(Covering.Dense.attach ~threshold:config.Config.dense_threshold sub)
+          sub
+      in
       let z_best = ref (Matrix.cost_of sub g) in
       let best_ids = ref (List.map (Matrix.col_id sub) g) in
       let best_lb = ref 0 in
@@ -385,12 +401,17 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool
          (shared absolute deadline, private tick counters) and a forked
          collector; merging back in component order keeps trip selection
          and merged summaries deterministic.  Each worker domain builds
-         its ZDDs in its own domain-local manager. *)
+         its ZDDs in its own domain-local manager.  Components below
+         [par_min_rows] rows run inline on the caller — they still get
+         forked budget/telemetry, so the merged records are identical
+         whichever side of the threshold a component lands on. *)
       let children =
         Array.map (fun _ -> (Budget.fork budget, Telemetry.fork telemetry)) components
       in
       let out =
-        Par.map ~pool
+        Par.map_if ~pool
+          ~big:(fun component ->
+            Matrix.n_rows components.(component) >= config.Config.par_min_rows)
           (fun component ->
             let b, t = children.(component) in
             Telemetry.span t ~index:component "component" (fun () ->
@@ -405,13 +426,22 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool
         children;
       out
     in
+    (* a pool only pays off when at least two components are big enough
+       to cross a domain boundary; otherwise stay on the legacy
+       sequential path and spawn nothing *)
+    let n_big =
+      Array.fold_left
+        (fun acc sub ->
+          if Matrix.n_rows sub >= config.Config.par_min_rows then acc + 1 else acc)
+        0 components
+    in
     let results =
       if n_comp <= 1 then sequential ()
       else
         match pool with
-        | Some p when Par.Pool.jobs p > 1 -> parallel p
+        | Some p when Par.Pool.jobs p > 1 && n_big > 1 -> parallel p
         | Some _ -> sequential ()
-        | None when config.jobs > 1 ->
+        | None when config.jobs > 1 && n_big > 1 ->
           Par.Pool.with_pool ~jobs:config.jobs parallel
         | None -> sequential ()
     in

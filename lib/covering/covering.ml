@@ -11,6 +11,7 @@ exception Infeasible = Infeasible.Infeasible
     pre-validated parts ({!Matrix.of_parts}) can. *)
 
 module Matrix = Matrix
+module Dense = Dense
 module Sparse = Sparse
 module Reduce = Reduce
 module Reduce2 = Reduce2

@@ -16,62 +16,107 @@ let rate rule ~cost ~n_fresh ~row_weight =
   | Cost_per_row_log -> cost /. (n *. log2 (n +. 1.))
   | Weighted_rows -> cost /. row_weight
 
-let solve ?(rule = Cost_per_row) m =
+(* static row importance: rows covered by few columns weigh more; a
+   singleton row makes its column irresistible *)
+let row_unit m i =
+  let deg = Array.length (Matrix.row m i) in
+  if deg <= 1 then 1e9 else 1. /. float_of_int (deg - 1)
+
+(* Bit-slice scoring loop: fresh counts by popcount, the Weighted_rows
+   float sum by ascending-order bit iteration — identical arithmetic to
+   the sparse loop below, so both paths choose identical columns. *)
+let solve_dense ~rule d m =
+  let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
+  let covered = Dense.make_row_set d in
+  let n_uncovered = ref n_rows in
+  let chosen = ref [] in
+  let weighted = rule = Weighted_rows in
+  while !n_uncovered > 0 do
+    let best = ref (-1) and best_rate = ref infinity in
+    for j = 0 to n_cols - 1 do
+      let n_fresh = Dense.col_fresh d j ~covered in
+      if n_fresh > 0 then begin
+        let weight =
+          if weighted then begin
+            let w = ref 0. in
+            Dense.iter_col_fresh d j ~covered (fun i -> w := !w +. row_unit m i);
+            !w
+          end
+          else 0.
+        in
+        let r =
+          rate rule ~cost:(float_of_int (Matrix.cost m j)) ~n_fresh
+            ~row_weight:weight
+        in
+        if r < !best_rate then begin
+          best_rate := r;
+          best := j
+        end
+      end
+    done;
+    if !best < 0 then begin
+      let row = ref 0 in
+      while Dense.mem_bit covered !row do incr row done;
+      raise (Infeasible.Infeasible { row = !row; row_id = Matrix.row_id m !row })
+    end;
+    chosen := !best :: !chosen;
+    n_uncovered := !n_uncovered - Dense.cover_col d !best ~covered
+  done;
+  Matrix.irredundant m (List.rev !chosen)
+
+let solve ?(rule = Cost_per_row) ?dense m =
   let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
   if n_rows = 0 then []
-  else begin
-    let covered = Array.make n_rows false in
-    let n_uncovered = ref n_rows in
-    let chosen = ref [] in
-    (* static row importance: rows covered by few columns weigh more; a
-       singleton row makes its column irresistible *)
-    let row_unit i =
-      let deg = Array.length (Matrix.row m i) in
-      if deg <= 1 then 1e9 else 1. /. float_of_int (deg - 1)
-    in
-    while !n_uncovered > 0 do
-      let best = ref (-1) and best_rate = ref infinity in
-      for j = 0 to n_cols - 1 do
-        let n_fresh = ref 0 and weight = ref 0. in
+  else
+    match dense with
+    | Some d when Dense.matrix d == m -> solve_dense ~rule d m
+    | Some _ -> invalid_arg "Greedy.solve: dense mirror of a different matrix"
+    | None ->
+      let covered = Array.make n_rows false in
+      let n_uncovered = ref n_rows in
+      let chosen = ref [] in
+      while !n_uncovered > 0 do
+        let best = ref (-1) and best_rate = ref infinity in
+        for j = 0 to n_cols - 1 do
+          let n_fresh = ref 0 and weight = ref 0. in
+          Array.iter
+            (fun i ->
+              if not covered.(i) then begin
+                incr n_fresh;
+                weight := !weight +. row_unit m i
+              end)
+            (Matrix.col m j);
+          if !n_fresh > 0 then begin
+            let r =
+              rate rule ~cost:(float_of_int (Matrix.cost m j)) ~n_fresh:!n_fresh
+                ~row_weight:!weight
+            in
+            if r < !best_rate then begin
+              best_rate := r;
+              best := j
+            end
+          end
+        done;
+        if !best < 0 then begin
+          (* no column covers any remaining row: the problem is infeasible.
+             Report the first uncovered row rather than an Assert_failure. *)
+          let row = ref 0 in
+          while covered.(!row) do incr row done;
+          raise (Infeasible.Infeasible { row = !row; row_id = Matrix.row_id m !row })
+        end;
+        chosen := !best :: !chosen;
         Array.iter
           (fun i ->
             if not covered.(i) then begin
-              incr n_fresh;
-              weight := !weight +. row_unit i
+              covered.(i) <- true;
+              decr n_uncovered
             end)
-          (Matrix.col m j);
-        if !n_fresh > 0 then begin
-          let r =
-            rate rule ~cost:(float_of_int (Matrix.cost m j)) ~n_fresh:!n_fresh
-              ~row_weight:!weight
-          in
-          if r < !best_rate then begin
-            best_rate := r;
-            best := j
-          end
-        end
+          (Matrix.col m !best)
       done;
-      if !best < 0 then begin
-        (* no column covers any remaining row: the problem is infeasible.
-           Report the first uncovered row rather than an Assert_failure. *)
-        let row = ref 0 in
-        while covered.(!row) do incr row done;
-        raise (Infeasible.Infeasible { row = !row; row_id = Matrix.row_id m !row })
-      end;
-      chosen := !best :: !chosen;
-      Array.iter
-        (fun i ->
-          if not covered.(i) then begin
-            covered.(i) <- true;
-            decr n_uncovered
-          end)
-        (Matrix.col m !best)
-    done;
-    Matrix.irredundant m (List.rev !chosen)
-  end
+      Matrix.irredundant m (List.rev !chosen)
 
-let solve_best m =
-  let candidates = List.map (fun rule -> solve ~rule m) all_rules in
+let solve_best ?dense m =
+  let candidates = List.map (fun rule -> solve ~rule ?dense m) all_rules in
   match candidates with
   | [] -> assert false
   | first :: rest ->
@@ -181,8 +226,8 @@ let two_for_one m sol =
   | Some (j1, j2, k) ->
     (k :: List.filter (fun j -> j <> j1 && j <> j2) sol, true)
 
-let solve_exchange ?(rounds = 3) m =
-  let sol = ref (solve_best m) in
+let solve_exchange ?(rounds = 3) ?dense m =
+  let sol = ref (solve_best ?dense m) in
   (try
      for _ = 1 to rounds do
        let sol', improved = one_exchange m !sol in

@@ -23,19 +23,28 @@ val rate : rule -> cost:float -> n_fresh:int -> row_weight:float -> float
 (** The rating value; lower is better.  [row_weight] is the denominator of
     {!Weighted_rows} (ignored by the other rules). *)
 
-val solve : ?rule:rule -> Matrix.t -> int list
+val solve : ?rule:rule -> ?dense:Dense.t -> Matrix.t -> int list
 (** A feasible, irredundant cover (column indices).  Default rule:
     {!Cost_per_row}.  Deterministic (ties towards lower index).
+
+    [dense] must be a {!Dense} mirror of [m] (checked physically;
+    {!Dense.attach} is the usual source): the scoring loop then counts
+    fresh rows by popcount and updates coverage by word masking — the
+    chosen columns, tie-breaks and float sums are identical to the
+    sparse loop.
     @raise Infeasible.Infeasible (re-exported as [Covering.Infeasible])
     when some row is covered by no column — possible only for matrices
     assembled from pre-validated parts, since {!Matrix.create} rejects
-    empty rows. *)
+    empty rows.
+    @raise Invalid_argument if [dense] mirrors a different matrix. *)
 
-val solve_best : Matrix.t -> int list
+val solve_best : ?dense:Dense.t -> Matrix.t -> int list
 (** Run all four rules, return the cheapest result. *)
 
-val solve_exchange : ?rounds:int -> Matrix.t -> int list
+val solve_exchange : ?rounds:int -> ?dense:Dense.t -> Matrix.t -> int list
 (** {!solve_best} followed by 1-exchange local search: try replacing each
     chosen column with a cheaper column that preserves feasibility, then
     re-run irredundancy; repeat up to [rounds] (default 3) times.  The
-    "Espresso strong"-grade baseline for pure-matrix instances. *)
+    "Espresso strong"-grade baseline for pure-matrix instances.  [dense]
+    accelerates the underlying {!solve_best}; the exchange passes are
+    index scans either way. *)

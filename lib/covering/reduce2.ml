@@ -271,10 +271,14 @@ let run e =
     end
   done
 
-let cyclic_core ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(gimpel = true) m =
+let cyclic_core ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(gimpel = true)
+    ?(dense_threshold = Dense.default_threshold) m =
   if Matrix.n_rows m = 0 then { Reduce.core = m; trace = []; fixed_cost = 0 }
   else begin
-    let e = engine ~budget ~telemetry ~gimpel (Sparse.of_matrix m) in
+    (* adaptive dispatch: small dense inputs get a bitset mirror so the
+       dominance subset tests run word-parallel; results are identical *)
+    let dense = Dense.eligible ~threshold:dense_threshold m in
+    let e = engine ~budget ~telemetry ~gimpel (Sparse.of_matrix ~dense m) in
     seed_all e;
     run e;
     let core =

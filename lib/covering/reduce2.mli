@@ -20,7 +20,12 @@
     states and tie-breaks resolve identically. *)
 
 val cyclic_core :
-  ?budget:Budget.t -> ?telemetry:Telemetry.t -> ?gimpel:bool -> Matrix.t -> Reduce.result
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?gimpel:bool ->
+  ?dense_threshold:int ->
+  Matrix.t ->
+  Reduce.result
 (** Drop-in replacement for {!Reduce.cyclic_core}; [gimpel] defaults to
     [true].  Solutions of the core lift through {!Reduce.lift} exactly
     as with the legacy engine.  Every worklist step is a {!Budget.tick}
@@ -28,7 +33,12 @@ val cyclic_core :
     stops early and the partially reduced — still equivalent — matrix is
     returned as the core.  [telemetry] counts eliminations per rule
     ([reduce.cols_essential], [reduce.rows_covered_essential],
-    [reduce.rows_dominated], [reduce.cols_dominated], [reduce.gimpel]). *)
+    [reduce.rows_dominated], [reduce.cols_dominated], [reduce.gimpel]).
+
+    When the input is {!Dense.eligible} under [dense_threshold] (default
+    {!Dense.default_threshold}; [0] forces the pure sparse path) the
+    engine runs its dominance subset tests on a {!Dense.Mut} bitset
+    mirror — same reductions, same core, word-parallel inner loops. *)
 
 (** {1 Persistent engine}
 

@@ -39,6 +39,9 @@ type t = {
   mutable trailing : bool;
   mutable trail : op list;
   mutable trail_len : int;
+  mirror : Dense.Mut.t option;
+      (* word-parallel bitset mirror for the dominance subset tests;
+         kept in sync by every mutation and by rollback *)
 }
 
 let sentinel row col =
@@ -63,7 +66,7 @@ let record t op =
     t.trail_len <- t.trail_len + 1
   end
 
-let of_matrix m =
+let of_matrix ?(dense = false) m =
   let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
   let t =
     {
@@ -83,6 +86,7 @@ let of_matrix m =
       trailing = false;
       trail = [];
       trail_len = 0;
+      mirror = (if dense then Some (Dense.Mut.create ~n_rows ~n_cols) else None);
     }
   in
   for i = 0 to n_rows - 1 do
@@ -95,7 +99,15 @@ let of_matrix m =
         t.col_len.(j) <- t.col_len.(j) + 1)
       (Matrix.row m i)
   done;
+  (match t.mirror with
+  | None -> ()
+  | Some d ->
+    for i = 0 to n_rows - 1 do
+      Array.iter (fun j -> Dense.Mut.set d i j) (Matrix.row m i)
+    done);
   t
+
+let has_mirror t = t.mirror <> None
 
 (* ---- accessors ---- *)
 
@@ -160,27 +172,41 @@ let shortest_row_of_col t j =
   iter_col t j (fun i -> if t.row_len.(i) < t.row_len.(!best) then best := i);
   !best
 
+(* Subset tests dispatch to the bitset mirror when one is attached: a
+   word-wise [a AND NOT b = 0] scan instead of the element merge walk.
+   The O(1) length precheck stays in front of both. *)
+
 let row_subset t i i' =
-  let h = t.row_head.(i) and h' = t.row_head.(i') in
-  let rec go e e' =
-    if e == h then true
-    else if e' == h' then false
-    else if e.e_col = e'.e_col then go e.right e'.right
-    else if e.e_col > e'.e_col then go e e'.right
-    else false
-  in
-  t.row_len.(i) <= t.row_len.(i') && go h.right h'.right
+  t.row_len.(i) <= t.row_len.(i')
+  &&
+  match t.mirror with
+  | Some d -> Dense.Mut.row_subset d i i'
+  | None ->
+    let h = t.row_head.(i) and h' = t.row_head.(i') in
+    let rec go e e' =
+      if e == h then true
+      else if e' == h' then false
+      else if e.e_col = e'.e_col then go e.right e'.right
+      else if e.e_col > e'.e_col then go e e'.right
+      else false
+    in
+    go h.right h'.right
 
 let col_subset t j j' =
-  let h = t.col_head.(j) and h' = t.col_head.(j') in
-  let rec go e e' =
-    if e == h then true
-    else if e' == h' then false
-    else if e.e_row = e'.e_row then go e.down e'.down
-    else if e.e_row > e'.e_row then go e e'.down
-    else false
-  in
-  t.col_len.(j) <= t.col_len.(j') && go h.down h'.down
+  t.col_len.(j) <= t.col_len.(j')
+  &&
+  match t.mirror with
+  | Some d -> Dense.Mut.col_subset d j j'
+  | None ->
+    let h = t.col_head.(j) and h' = t.col_head.(j') in
+    let rec go e e' =
+      if e == h then true
+      else if e' == h' then false
+      else if e.e_row = e'.e_row then go e.down e'.down
+      else if e.e_row > e'.e_row then go e e'.down
+      else false
+    in
+    go h.down h'.down
 
 (* ---- mutation ---- *)
 
@@ -195,6 +221,9 @@ let delete_row t i =
       e.up.down <- e.down;
       e.down.up <- e.up;
       t.col_len.(e.e_col) <- t.col_len.(e.e_col) - 1;
+      (match t.mirror with
+      | Some d -> Dense.Mut.clear_in_col d i e.e_col
+      | None -> ());
       record t (Vrelink e);
       go e.right
     end
@@ -212,6 +241,9 @@ let delete_col t j =
       e.left.right <- e.right;
       e.right.left <- e.left;
       t.row_len.(e.e_row) <- t.row_len.(e.e_row) - 1;
+      (match t.mirror with
+      | Some d -> Dense.Mut.clear_in_row d e.e_row j
+      | None -> ());
       record t (Hrelink e);
       go e.down
     end
@@ -247,6 +279,7 @@ let add_col t ~cost ~id ~rows =
   t.col_ok.(j) <- true;
   t.cost.(j) <- cost;
   t.col_ids.(j) <- id;
+  (match t.mirror with Some d -> Dense.Mut.ensure_col d j | None -> ());
   let prev = ref (-1) in
   List.iter
     (fun i ->
@@ -259,7 +292,8 @@ let add_col t ~cost ~id ~rows =
       link_row_tail t.row_head.(i) e;
       link_col_tail t.col_head.(j) e;
       t.row_len.(i) <- t.row_len.(i) + 1;
-      t.col_len.(j) <- t.col_len.(j) + 1)
+      t.col_len.(j) <- t.col_len.(j) + 1;
+      match t.mirror with Some d -> Dense.Mut.set d i j | None -> ())
     rows;
   record t (Drop_col j);
   j
@@ -284,11 +318,17 @@ let rollback t m =
       | Vrelink e ->
         e.up.down <- e;
         e.down.up <- e;
-        t.col_len.(e.e_col) <- t.col_len.(e.e_col) + 1
+        t.col_len.(e.e_col) <- t.col_len.(e.e_col) + 1;
+        (match t.mirror with
+        | Some d -> Dense.Mut.set_in_col d e.e_row e.e_col
+        | None -> ())
       | Hrelink e ->
         e.left.right <- e;
         e.right.left <- e;
-        t.row_len.(e.e_row) <- t.row_len.(e.e_row) + 1
+        t.row_len.(e.e_row) <- t.row_len.(e.e_row) + 1;
+        (match t.mirror with
+        | Some d -> Dense.Mut.set_in_row d e.e_row e.e_col
+        | None -> ())
       | Revive_row i ->
         t.row_ok.(i) <- true;
         t.rows_alive <- t.rows_alive + 1
@@ -304,6 +344,9 @@ let rollback t m =
             e.left.right <- e.right;
             e.right.left <- e.left;
             t.row_len.(e.e_row) <- t.row_len.(e.e_row) - 1;
+            (match t.mirror with
+            | Some d -> Dense.Mut.clear_in_row d e.e_row j
+            | None -> ());
             go e.down
           end
         in
@@ -397,4 +440,27 @@ let check t =
   done;
   assert (!live_rows = t.rows_alive);
   assert (!live_cols = t.cols_alive);
-  assert (!nnz_rows = !nnz_cols)
+  assert (!nnz_rows = !nnz_cols);
+  (* the bitset mirror must agree with the element lists, bit for bit,
+     on every live line (dead lines' bits are unspecified) *)
+  match t.mirror with
+  | None -> ()
+  | Some d ->
+    for i = 0 to t.n_rows - 1 do
+      if t.row_ok.(i) then begin
+        let present = Array.make (max 1 t.n_cols) false in
+        iter_row t i (fun j -> present.(j) <- true);
+        for j = 0 to t.n_cols - 1 do
+          assert (Dense.Mut.row_mem d i j = present.(j))
+        done
+      end
+    done;
+    for j = 0 to t.n_cols - 1 do
+      if t.col_ok.(j) then begin
+        let present = Array.make (max 1 t.n_rows) false in
+        iter_col t j (fun i -> present.(i) <- true);
+        for i = 0 to t.n_rows - 1 do
+          assert (Dense.Mut.col_mem d j i = present.(i))
+        done
+      end
+    done

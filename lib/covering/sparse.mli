@@ -20,8 +20,17 @@
 
 type t
 
-val of_matrix : Matrix.t -> t
-(** O(nnz) conversion; the input matrix is not retained. *)
+val of_matrix : ?dense:bool -> Matrix.t -> t
+(** O(nnz) conversion; the input matrix is not retained.  With
+    [~dense:true] a {!Dense.Mut} bitset mirror is built and kept in sync
+    through every mutation and rollback, turning {!row_subset} /
+    {!col_subset} — the dominance hot loop — into word-parallel scans.
+    Results are identical either way; the mirror costs
+    O(rows·cols/word) memory, so callers gate it on matrix size (see
+    {!Dense.eligible}).  Default [false]. *)
+
+val has_mirror : t -> bool
+(** Is a bitset mirror attached? *)
 
 val to_matrix : t -> Matrix.t
 (** The live submatrix as an immutable {!Matrix.t}: surviving rows and

@@ -10,6 +10,7 @@
 
 val run :
   ?rule:Covering.Greedy.rule ->
+  ?dense:Covering.Dense.t ->
   Covering.Matrix.t ->
   reduced_costs:float array ->
   int list
@@ -17,7 +18,13 @@ val run :
     {!Covering.Greedy.Cost_per_row}.  For columns with negative reduced
     cost the ratio rules would invert preference, so they are rated by
     [c̃·n] instead (more coverage, more negative — the Balas–Ho
-    convention). *)
+    convention).  [dense] must mirror [m] (checked physically): fresh-row
+    counts then run by popcount, with results identical to the sparse
+    loop. *)
 
-val run_all_rules : Covering.Matrix.t -> reduced_costs:float array -> int list
+val run_all_rules :
+  ?dense:Covering.Dense.t ->
+  Covering.Matrix.t ->
+  reduced_costs:float array ->
+  int list
 (** Best result across the four rules (by true cost). *)

@@ -1,4 +1,5 @@
 module Matrix = Covering.Matrix
+module Dense = Covering.Dense
 
 type eval = {
   reduced_costs : float array;
@@ -21,7 +22,11 @@ let lagrangian_costs m lambda =
         (float_of_int (Matrix.cost m j))
         (Matrix.col m j))
 
-let evaluate m lambda =
+let evaluate ?dense m lambda =
+  (match dense with
+  | Some d when Dense.matrix d != m ->
+    invalid_arg "Relax.evaluate: dense mirror of a different matrix"
+  | _ -> ());
   let reduced_costs = lagrangian_costs m lambda in
   let n_cols = Matrix.n_cols m and n_rows = Matrix.n_rows m in
   let in_solution = Array.map (fun c -> c <= 0.) reduced_costs in
@@ -33,13 +38,23 @@ let evaluate m lambda =
     value := !value +. lambda.(i)
   done;
   let subgradient =
-    Array.init n_rows (fun i ->
-        let covered =
-          Array.fold_left
-            (fun acc j -> if in_solution.(j) then acc + 1 else acc)
-            0 (Matrix.row m i)
-        in
-        1. -. float_of_int covered)
+    match dense with
+    | Some d ->
+      (* word-parallel covered counts: |row ∩ p*| by popcount against
+         the in-solution column bitset — integer counts, so exactly the
+         fold below *)
+      let sol = Dense.make_col_set d in
+      Array.iteri (fun j b -> if b then Dense.set_bit sol j) in_solution;
+      Array.init n_rows (fun i ->
+          1. -. float_of_int (Dense.row_hits d i ~cols:sol))
+    | None ->
+      Array.init n_rows (fun i ->
+          let covered =
+            Array.fold_left
+              (fun acc j -> if in_solution.(j) then acc + 1 else acc)
+              0 (Matrix.row m i)
+          in
+          1. -. float_of_int covered)
   in
   let violated = Array.fold_left (fun acc s -> if s > 0. then acc + 1 else acc) 0 subgradient in
   { reduced_costs; in_solution; value = !value; subgradient; violated }

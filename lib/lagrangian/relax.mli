@@ -21,9 +21,15 @@ type eval = {
 val lagrangian_costs : Covering.Matrix.t -> float array -> float array
 (** [c̃_j = c_j − Σ_{i ∈ rows(j)} λ_i]. *)
 
-val evaluate : Covering.Matrix.t -> float array -> eval
-(** Full evaluation at λ. @raise Invalid_argument on length mismatch or a
-    negative multiplier. *)
+val evaluate : ?dense:Covering.Dense.t -> Covering.Matrix.t -> float array -> eval
+(** Full evaluation at λ.  [dense] must mirror the matrix (checked
+    physically): the per-row covered counts of the subgradient then run
+    as word-parallel popcounts against the in-solution column bitset —
+    integer counts, so the result is bit-identical.  The float
+    reduced-cost folds stay on the sparse column lists either way (their
+    summation order defines the reference result).
+    @raise Invalid_argument on length mismatch, a negative multiplier,
+    or a mirror of a different matrix. *)
 
 val min_covering_costs : Covering.Matrix.t -> float array
 (** [c̄_i = min_{j : a_ij = 1} c_j] — the dual variable caps of problem (D). *)

@@ -36,7 +36,9 @@ let eps = 1e-9
 
 let ceil_int x = int_of_float (Float.ceil (x -. 1e-6))
 
-let run ?(budget = Budget.none) ?(config = default_config) ?lambda0 ?mu0 ?ub ?on_step m =
+let run ?(budget = Budget.none) ?(config = default_config)
+    ?(dense_threshold = Covering.Dense.default_threshold) ?lambda0 ?mu0 ?ub
+    ?on_step m =
   let n_rows = Matrix.n_rows m and n_cols = Matrix.n_cols m in
   if n_rows = 0 then
     {
@@ -58,8 +60,11 @@ let run ?(budget = Budget.none) ?(config = default_config) ?lambda0 ?mu0 ?ub ?on
         Array.map (fun x -> Float.max x 0.) l
       | None -> Dual_ascent.to_lambda (Dual_ascent.run ~budget m)
     in
+    (* one bitset mirror for the whole ascent: the relaxation sweep and
+       every greedy refresh below share it (None above the threshold) *)
+    let dense = Covering.Dense.attach ~threshold:dense_threshold m in
     (* incumbent from the plain greedy (also seeds μ₀) *)
-    let seed_sol = Greedy.solve_best m in
+    let seed_sol = Greedy.solve_best ?dense m in
     let best_solution = ref seed_sol in
     let best_cost = ref (Matrix.cost_of m seed_sol) in
     (* a caller-provided [ub] carries no solution, so it never replaces
@@ -100,7 +105,7 @@ let run ?(budget = Budget.none) ?(config = default_config) ?lambda0 ?mu0 ?ub ?on
       && not (Budget.tick budget Budget.Subgradient)
     do
       incr steps;
-      let ev = Relax.evaluate m lambda in
+      let ev = Relax.evaluate ?dense m lambda in
       (* track the best bound and the multipliers achieving it *)
       if ev.Relax.value > !lower_bound +. eps then begin
         lower_bound := ev.Relax.value;
@@ -118,7 +123,7 @@ let run ?(budget = Budget.none) ?(config = default_config) ?lambda0 ?mu0 ?ub ?on
       end;
       (* periodic Lagrangian heuristic (§3.5) *)
       if !steps = 1 || !steps mod config.heuristic_period = 0 then
-        try_solution (Lag_greedy.run m ~reduced_costs:ev.Relax.reduced_costs);
+        try_solution (Lag_greedy.run ?dense m ~reduced_costs:ev.Relax.reduced_costs);
       (* a feasible relaxed solution is a cover worth keeping *)
       if ev.Relax.violated = 0 then begin
         let sol = ref [] in
@@ -167,7 +172,7 @@ let run ?(budget = Budget.none) ?(config = default_config) ?lambda0 ?mu0 ?ub ?on
       end
     done;
     (* final refresh of the incumbent at the best multipliers *)
-    try_solution (Lag_greedy.run_all_rules m ~reduced_costs:!best_reduced);
+    try_solution (Lag_greedy.run_all_rules ?dense m ~reduced_costs:!best_reduced);
     let lb = if !lower_bound = neg_infinity then 0. else !lower_bound in
     {
       lambda = !best_lambda;

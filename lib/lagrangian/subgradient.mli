@@ -41,13 +41,20 @@ type outcome = {
 val run :
   ?budget:Budget.t ->
   ?config:config ->
+  ?dense_threshold:int ->
   ?lambda0:float array ->
   ?mu0:float array ->
   ?ub:int ->
   ?on_step:(step:int -> value:float -> best:float -> unit) ->
   Covering.Matrix.t ->
   outcome
-(** [budget] checkpoints every subgradient step (site
+(** [dense_threshold] governs the adaptive bit-slice dispatch (default
+    {!Covering.Dense.default_threshold}; [0] forces the sparse path):
+    when the matrix is {!Covering.Dense.eligible}, one bitset mirror is
+    built up front and shared by the relaxation sweeps
+    ({!Relax.evaluate}) and every greedy refresh ({!Lag_greedy}) — the
+    outcome is bit-identical for any threshold.
+    [budget] checkpoints every subgradient step (site
     {!Budget.Subgradient}, counted against the governor's step budget)
     and is also passed to the default dual-ascent seeding; a trip ends
     the ascent early with the best bound found so far (0 when tripped

@@ -29,12 +29,13 @@ let find_instance name j =
 (* and tolerant of absolute CI slowness.                               *)
 (* ------------------------------------------------------------------ *)
 
-let check_reduce ~tolerance ~baseline ~fresh =
+let check_reduce ?(sides = "incremental and legacy engines") ~tolerance ~baseline
+    ~fresh () =
   let fails = ref [] and lines = ref [] in
   let note fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
   let fail fmt = Format.kasprintf (fun s -> fails := s :: !fails; lines := s :: !lines) fmt in
   (if member_b "identical_results" fresh <> Some true then
-     fail "FAIL identical_results: incremental and legacy engines disagree");
+     fail "FAIL identical_results: %s disagree" sides);
   List.iter
     (fun base_inst ->
       match member_s "name" base_inst with
@@ -136,7 +137,12 @@ let check_table ~tolerance ~min_seconds ~baseline ~fresh =
 let check ?(tolerance = default_tolerance) ?(min_seconds = default_min_seconds)
     ~baseline ~fresh () =
   match (member_s "mode" baseline, member_s "table" baseline) with
-  | Some "reduce", _ -> check_reduce ~tolerance ~baseline ~fresh
+  | Some "reduce", _ -> check_reduce ~tolerance ~baseline ~fresh ()
+  | Some "dense", _ ->
+    (* BENCH_dense.json shares the reduce-mode shape: identical_results,
+       per-instance total.speedup (the dominance+greedy hot loops) and
+       the aggregate ratio — only the two sides of the ratio differ *)
+    check_reduce ~sides:"dense and sparse paths" ~tolerance ~baseline ~fresh ()
   | _, Some _ -> check_table ~tolerance ~min_seconds ~baseline ~fresh
   | _ ->
     {

@@ -2,7 +2,7 @@
     against a committed baseline JSON and produce a pass/fail verdict
     with one line per check.
 
-    Two baseline shapes are understood (dispatch on their top-level
+    Three baseline shapes are understood (dispatch on their top-level
     fields):
 
     - [{"mode":"reduce", ...}] — the reduction-engine comparison
@@ -11,6 +11,10 @@
       aggregate: both sides are measured in the same process, so the
       gate is portable across machines.  Engine-result mismatches fail
       unconditionally.
+    - [{"mode":"dense", ...}] — the bit-slice kernel comparison
+      ([BENCH_dense.json]), same shape and rules with dense-vs-sparse
+      as the two sides of the ratio ([total] covers the
+      dominance+greedy hot loops).
     - [{"table":<id>, ...}] — a per-instance solver table
       ([BENCH_table1.json], …).  Quality fields ([cost],
       [lower_bound], [proven_optimal]) are deterministic and compared

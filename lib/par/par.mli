@@ -55,3 +55,19 @@ val map : ?pool:Pool.t -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map}; same semantics and ordering guarantee. *)
+
+val default_min_rows : int
+(** Work-size threshold backing [Config.par_min_rows]: tasks on
+    matrices below this many rows are cheaper to run inline than to
+    ship across a domain boundary (256; measured with
+    [bench --table par]). *)
+
+val map_if : ?pool:Pool.t -> big:('a -> bool) -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_if ?pool ~big f arr] — {!map}, except only elements with
+    [big x = true] are dispatched to the pool; the rest run inline on
+    the caller first, in index order.  With no pool, a one-worker pool,
+    or fewer than two big elements, this is exactly [Array.map f arr]
+    (no domain is crossed at all).  Output order and results match
+    [Array.map f arr] in every case.  Exceptions: a small task's raises
+    immediately (big tasks then never start); big tasks follow {!map}'s
+    lowest-index re-raise rule. *)

@@ -190,9 +190,10 @@ let test_cyclic_cost_spread () =
 let test_registry_counts () =
   Alcotest.(check int) "easy 49" 49 (List.length (Benchsuite.Registry.easy ()));
   Alcotest.(check int) "difficult 7" 7 (List.length (Benchsuite.Registry.difficult ()));
+  Alcotest.(check int) "dense 5" 5 (List.length (Benchsuite.Registry.dense ()));
   Alcotest.(check int) "challenging 16" 16
     (List.length (Benchsuite.Registry.challenging ()));
-  Alcotest.(check int) "total 72" 72 (List.length (Benchsuite.Registry.all ()))
+  Alcotest.(check int) "total 77" 77 (List.length (Benchsuite.Registry.all ()))
 
 let test_registry_names_unique () =
   let names = List.map (fun i -> i.Benchsuite.Registry.name) (Benchsuite.Registry.all ()) in
