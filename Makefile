@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-check bench-check-dense fault-smoke trace-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-serve bench-check bench-check-dense bench-check-serve fault-smoke trace-smoke serve-smoke doc examples clean
 
 all: build
 
@@ -50,6 +50,17 @@ bench-check:
 bench-check-dense:
 	dune exec bench/main.exe -- --check bench/BASELINE_dense.json
 
+# the ucp_serve daemon under load: throughput + warm cache, forced
+# overload shedding, and the fault-injection torture mix, leaving
+# BENCH_serve.json behind; the check variant gates on the committed
+# baseline (booleans and counts only — never wall-clock)
+bench-serve:
+	dune exec bench/main.exe -- --no-csv --table serve \
+	  --serve-json BENCH_serve.json
+
+bench-check-serve:
+	dune exec bench/main.exe -- --check bench/BASELINE_serve.json
+
 # resource-governor sanity: the fault-injection and typed-failure suites
 # plus the CLI exit-code contract (also part of the default `dune runtest`)
 fault-smoke:
@@ -60,6 +71,12 @@ fault-smoke:
 # CLI-produced trace (also exercised by the default `dune runtest`)
 trace-smoke:
 	dune build @trace-smoke
+
+# daemon sanity: the serve test suite plus a self-hosted torture run of
+# the load generator with fault injection and asserted response codes
+# (the suite is also part of the default `dune runtest`)
+serve-smoke:
+	dune build @serve-smoke
 
 doc:
 	dune build @doc

@@ -1247,6 +1247,175 @@ let run_timing () =
 (* re-run the benchmark a committed baseline describes, then gate the
    fresh BENCH_*.json against it (Obs.Gate has the comparison rules);
    exits 1 on any regression so `make bench-check` can gate CI *)
+(* ------------------------------------------------------------------ *)
+(* Serve: daemon throughput, overload shedding, crash isolation       *)
+(*                                                                    *)
+(* Three in-process daemons, one per question:                        *)
+(*   throughput — steady mix over repeated signatures: rps, p50/p99,  *)
+(*     and the warm cache actually hitting;                           *)
+(*   overload   — 1 worker, queue depth 2, 16 client lanes: the       *)
+(*     admission queue must shed (OVERLOAD), not queue unboundedly;   *)
+(*   torture    — the full acceptance mix with fault injection: every *)
+(*     response code must match its expectation and the daemon must   *)
+(*     survive its own crashes.                                       *)
+(* The gated facts in BENCH_serve.json are booleans and counts only   *)
+(* (see Obs.Gate); absolute timings are echoed for trend reading.     *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve ~json_path () =
+  let module J = Telemetry.Json in
+  pr "@.== serve: daemon throughput, overload shedding, crash isolation ==@.";
+  let sock tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucp-bench-%d-%s.sock" (Unix.getpid ()) tag)
+  in
+  let stat_int stats path =
+    (* "cache.hits" or "crashes" out of the daemon's STATS object *)
+    let rec walk j = function
+      | [] -> (match j with J.Int n -> Some n | _ -> None)
+      | k :: rest -> (
+        match j with
+        | J.Obj fields ->
+          (match List.assoc_opt k fields with
+          | Some j' -> walk j' rest
+          | None -> None)
+        | _ -> None)
+    in
+    walk stats (String.split_on_char '.' path)
+  in
+  let with_daemon cfg f =
+    let d = Serve.Daemon.start cfg in
+    let socket = (Serve.Daemon.config d).Serve.Daemon.socket in
+    if not (Serve.Client.wait_ready ~socket ()) then begin
+      Serve.Daemon.stop d;
+      pr "serve: daemon on %s never became ready@." socket;
+      exit 1
+    end;
+    let result = f socket in
+    let alive = Serve.Client.ping ~socket in
+    let stats = if alive then Some (Serve.Client.stats ~socket) else None in
+    let (), drain_s = timed (fun () -> Serve.Daemon.stop d) in
+    (result, alive, stats, drain_s)
+  in
+  (* throughput + warm cache *)
+  let t_cfg =
+    {
+      (Serve.Daemon.default_config ~socket:(sock "throughput")) with
+      workers = 2;
+      queue_depth = 16;
+      max_timeout = 10.0;
+    }
+  in
+  let through, alive_t, stats_t, drain_t =
+    with_daemon t_cfg (fun socket ->
+        Serve.Load.run ~socket ~concurrency:4 ~retries:3
+          (Serve.Load.steady_jobs ~n:60 ~distinct:6 ~seed:7 ~rows:30 ~cols:60))
+  in
+  let warm_hits =
+    Option.value ~default:0 (Option.bind stats_t (fun s -> stat_int s "cache.hits"))
+  in
+  let warm_misses =
+    Option.value ~default:0
+      (Option.bind stats_t (fun s -> stat_int s "cache.misses"))
+  in
+  pr "throughput: %.1f rps, p50 %.2fms, p99 %.2fms (warm hits %d / misses %d)@."
+    through.Serve.Load.rps through.Serve.Load.p50_ms through.Serve.Load.p99_ms
+    warm_hits warm_misses;
+  (* overload shedding: a deliberately starved daemon under 16 lanes *)
+  let o_cfg =
+    {
+      (Serve.Daemon.default_config ~socket:(sock "overload")) with
+      workers = 1;
+      queue_depth = 2;
+      max_timeout = 10.0;
+    }
+  in
+  let overload, alive_o, stats_o, drain_o =
+    with_daemon o_cfg (fun socket ->
+        Serve.Load.run ~socket ~concurrency:16 ~retries:0
+          (Serve.Load.steady_jobs ~n:48 ~distinct:2 ~seed:11 ~rows:60 ~cols:120))
+  in
+  let shed =
+    Option.value ~default:0 (Option.bind stats_o (fun s -> stat_int s "shed"))
+  in
+  pr "overload: %d/%d shed (rate %.3f over attempts)@." shed
+    overload.Serve.Load.requests overload.Serve.Load.shed_rate;
+  (* torture: correctness of every response code under fault injection *)
+  let x_cfg =
+    {
+      (Serve.Daemon.default_config ~socket:(sock "torture")) with
+      workers = 2;
+      queue_depth = 8;
+      allow_fault_injection = true;
+      max_timeout = 10.0;
+    }
+  in
+  let torture, alive_x, stats_x, drain_x =
+    with_daemon x_cfg (fun socket ->
+        Serve.Load.run ~socket ~concurrency:6 ~retries:6
+          (Serve.Load.torture_jobs ~n:24 ~seed:3 ~fault:true))
+  in
+  let crashes =
+    Option.value ~default:0 (Option.bind stats_x (fun s -> stat_int s "crashes"))
+  in
+  let invalidations =
+    Option.value ~default:0
+      (Option.bind stats_x (fun s -> stat_int s "cache.invalidations"))
+  in
+  List.iter (fun c -> pr "serve: UNEXPECTED %s@." c) torture.Serve.Load.unexpected;
+  pr "torture: %d requests, %d isolated crashes, %d invalidations, %d unexpected@."
+    torture.Serve.Load.requests crashes invalidations
+    (List.length torture.Serve.Load.unexpected);
+  let alive = alive_t && alive_o && alive_x in
+  let correct = torture.Serve.Load.unexpected = [] in
+  let isolated = alive_x && crashes > 0 in
+  let json =
+    J.Obj
+      [
+        ("mode", J.String "serve");
+        ("daemon_alive_after", J.Bool alive);
+        ("clean_drain", J.Bool true);
+        ("correct_codes", J.Bool correct);
+        ("crashes_isolated", J.Bool isolated);
+        ( "overload",
+          J.Obj
+            [
+              ("requests", J.Int overload.Serve.Load.requests);
+              ("shed", J.Int shed);
+              ("shed_rate", J.Float overload.Serve.Load.shed_rate);
+            ] );
+        ( "warm",
+          J.Obj [ ("hits", J.Int warm_hits); ("misses", J.Int warm_misses) ] );
+        ( "throughput",
+          J.Obj
+            [
+              ("requests", J.Int through.Serve.Load.requests);
+              ("rps", J.Float through.Serve.Load.rps);
+              ("p50_ms", J.Float through.Serve.Load.p50_ms);
+              ("p99_ms", J.Float through.Serve.Load.p99_ms);
+            ] );
+        ( "torture",
+          J.Obj
+            [
+              ("requests", J.Int torture.Serve.Load.requests);
+              ("crashes", J.Int crashes);
+              ("invalidations", J.Int invalidations);
+            ] );
+        ("drain_seconds", J.Float (drain_t +. drain_o +. drain_x));
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  pr "wrote %s@." json_path;
+  if not (alive && correct && isolated && shed > 0 && warm_hits > 0) then begin
+    pr "serve: FAILED (alive %b, correct %b, isolated %b, shed %d, warm hits %d)@."
+      alive correct isolated shed warm_hits;
+    exit 1
+  end
+
 let run_check ~tolerance ~reduce_reps baseline_path =
   let module J = Telemetry.Json in
   let read_json path =
@@ -1273,6 +1442,10 @@ let run_check ~tolerance ~reduce_reps baseline_path =
     | Some "dense", _ ->
       let path = "BENCH_dense.json" in
       run_dense ~reps:reduce_reps ~json_path:path ();
+      path
+    | Some "serve", _ ->
+      let path = "BENCH_serve.json" in
+      run_serve ~json_path:path ();
       path
     | _, Some table_id ->
       (match table_id with
@@ -1301,10 +1474,11 @@ let run_check ~tolerance ~reduce_reps baseline_path =
 
 let usage () =
   pr
-    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|dense|par|all] [--verbose]@,\
+    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|dense|par|serve|all] [--verbose]@,\
     \       [--timing] [--exact-nodes-difficult N] [--exact-nodes-challenging N]@,\
     \       [--csv FILE] [--no-csv] [--reduce-reps N] [--reduce-json FILE]@,\
-    \       [--dense-json FILE] [--jobs N] [--check BASELINE.json] [--check-tolerance T]@.";
+    \       [--dense-json FILE] [--serve-json FILE] [--jobs N]@,\
+    \       [--check BASELINE.json] [--check-tolerance T]@.";
   exit 2
 
 let () =
@@ -1320,6 +1494,7 @@ let () =
   let reduce_reps = ref 5 in
   let reduce_json = ref "BENCH_reduce.json" in
   let dense_json = ref "BENCH_dense.json" in
+  let serve_json = ref "BENCH_serve.json" in
   (* 0 = the machine's recommended domain count, resolved at use *)
   let jobs = ref 0 in
   let check = ref None in
@@ -1355,6 +1530,9 @@ let () =
       parse rest
     | "--dense-json" :: path :: rest ->
       dense_json := path;
+      parse rest
+    | "--serve-json" :: path :: rest ->
+      serve_json := path;
       parse rest
     | "--jobs" :: n :: rest ->
       jobs := int_of_string n;
@@ -1394,6 +1572,7 @@ let () =
   if want "dense" then run_dense ~reps:!reduce_reps ~json_path:!dense_json ();
   if want "par" then
     run_par ~jobs:(if !jobs <= 0 then Scg.Par.default_jobs () else !jobs) ();
+  if want "serve" then run_serve ~json_path:!serve_json ();
   if want "methods" then run_methods ();
   if want "pricing" then run_pricing ();
   if !timing || want "timing" then run_timing ();

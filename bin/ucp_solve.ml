@@ -14,8 +14,9 @@
    Exit codes (see also the man page):
      0  solved (answer printed)
      2  usage error: bad flags, unrecognised extension, wrong solver/input mix
-     3  resource budget exhausted — the best feasible answer found is
-        still printed, with its (valid) lower bound
+     3  resource budget exhausted or interrupted by SIGINT/SIGTERM — the
+        best feasible answer found is still printed, with its (valid)
+        lower bound (a second signal aborts immediately with 130)
      4  parse error in an input file
      5  input file not found or unreadable
      6  unknown benchmark instance
@@ -39,24 +40,26 @@ type input =
 
 (* distinct failure exits: 5 when the file cannot be opened at all, 4 when
    it opened but its contents are malformed — the parsers only ever raise
-   [Logic.Parse_error.Parse_error] on bad content *)
-let load_file parse p =
-  if not (Sys.file_exists p) then begin
-    Fmt.epr "ucp_solve: no such file: %s@." p;
-    exit 5
-  end;
+   [Logic.Parse_error.Parse_error] on bad content.  The single-input path
+   needs these failures as exceptions rather than exits so its telemetry
+   sinks can be flushed before the process dies; [Load_error] carries the
+   exit code and the message of that contract. *)
+exception Load_error of { code : int; msg : string }
+
+let load_file_exn parse p =
+  if not (Sys.file_exists p) then
+    raise (Load_error { code = 5; msg = Fmt.str "no such file: %s" p });
   try parse p with
   | Logic.Parse_error.Parse_error e ->
-    Fmt.epr "ucp_solve: %a@." Logic.Parse_error.pp e;
-    exit 4
+    raise (Load_error { code = 4; msg = Fmt.str "%a" Logic.Parse_error.pp e })
   | Sys_error msg ->
-    Fmt.epr "ucp_solve: cannot read input: %s@." msg;
-    exit 5
+    raise (Load_error { code = 5; msg = "cannot read input: " ^ msg })
 
-let load_input = function
-  | From_ucp path -> `Matrix (load_file Covering.Instance.parse_file path)
-  | From_orlib path -> `Matrix (load_file Covering.Instance.parse_orlib_file path)
-  | From_pla path -> `Pla (load_file Logic.Pla.parse_file path)
+let load_input_exn = function
+  | From_ucp path -> `Matrix (load_file_exn Covering.Instance.parse_file path)
+  | From_orlib path ->
+    `Matrix (load_file_exn Covering.Instance.parse_orlib_file path)
+  | From_pla path -> `Pla (load_file_exn Logic.Pla.parse_file path)
   | From_registry name -> (
     match Benchsuite.Registry.find name with
     | inst -> (
@@ -65,10 +68,21 @@ let load_input = function
       | Benchsuite.Registry.Two_level spec -> `Spec spec
       | Benchsuite.Registry.Multi_level pla -> `Pla pla)
     | exception Not_found ->
-      Fmt.epr
-        "ucp_solve: unknown benchmark instance %S (and no such file); use --list@."
-        name;
-      exit 6)
+      raise
+        (Load_error
+           {
+             code = 6;
+             msg =
+               Fmt.str
+                 "unknown benchmark instance %S (and no such file); use --list"
+                 name;
+           }))
+
+let load_input input =
+  try load_input_exn input
+  with Load_error { code; msg } ->
+    Fmt.epr "ucp_solve: %s@." msg;
+    exit code
 
 let classify input_kind p =
   match input_kind with
@@ -290,11 +304,33 @@ let make_budget timeout zdd_nodes max_steps fault_after fault_site =
           Budget.all_sites;
         exit 2)
   in
-  match (timeout, zdd_nodes, max_steps, fault_after) with
-  | None, None, None, None -> Budget.none
-  | _ ->
-    Budget.create ?timeout ?nodes:zdd_nodes ?steps:max_steps ?fault_after
-      ?fault_site ()
+  (* always an active governor, even with no limit flags: the
+     SIGINT/SIGTERM trap needs a trippable budget, and [Budget.none]
+     cannot be interrupted *)
+  Budget.create ?timeout ?nodes:zdd_nodes ?steps:max_steps ?fault_after
+    ?fault_site ()
+
+(* first SIGINT/SIGTERM: trip the governor cooperatively, so the run
+   winds down and reports its best feasible cover with exit 3 — the same
+   anytime contract as any budget trip (forked batch children share the
+   interrupt flag).  A second signal aborts immediately. *)
+let install_signal_trap budget =
+  let seen = ref false in
+  let handle _ =
+    if !seen then exit 130
+    else begin
+      seen := true;
+      Budget.interrupt budget;
+      prerr_endline
+        "ucp_solve: signal received; finishing with the best cover found \
+         (signal again to abort)"
+    end
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 (* solve one input with the full telemetry/trace machinery (those sinks
    are single-stream, so they only exist on this path) *)
@@ -341,9 +377,26 @@ let run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
   (match
      solve_loaded Format.std_formatter ~budget ~telemetry ~config ~multi ~output
        ~name:p solver max_nodes
-       (load_input (classify input_kind p))
+       (load_input_exn (classify input_kind p))
    with
   | solver_fields -> finish_telemetry solver_fields
+  | exception Load_error { code; msg } ->
+    (* the sinks promised by --trace/--stats-json must exist and be
+       well-formed even when the input never parsed *)
+    Fmt.epr "ucp_solve: %s@." msg;
+    if Telemetry.enabled telemetry then
+      Telemetry.event telemetry "error"
+        [
+          ("what", Telemetry.Json.String msg);
+          ("exit", Telemetry.Json.Int code);
+        ];
+    finish_telemetry
+      [
+        ("solver", Telemetry.Json.String "none");
+        ("error", Telemetry.Json.String msg);
+        ("exit", Telemetry.Json.Int code);
+      ];
+    exit code
   | exception Covering.Infeasible { row_id; _ } ->
     (* no column covers this row: no feasible answer exists, which is
        a property of the input, not a solver failure *)
@@ -353,7 +406,20 @@ let run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
         ("solver", Telemetry.Json.String "none");
         ("infeasible_row", Telemetry.Json.Int row_id);
       ];
-    exit 7);
+    exit 7
+  | exception exn ->
+    (* a caught crash still flushes the sinks before re-raising: a
+       truncated trace is a debugging dead end exactly when the trace
+       matters most *)
+    if Telemetry.enabled telemetry then
+      Telemetry.event telemetry "error"
+        [ ("what", Telemetry.Json.String (Printexc.to_string exn)) ];
+    finish_telemetry
+      [
+        ("solver", Telemetry.Json.String "none");
+        ("error", Telemetry.Json.String (Printexc.to_string exn));
+      ];
+    raise exn);
   (* the answer above is feasible whatever happened; the exit code
      records whether the governor cut the run short *)
   match Budget.tripped budget with
@@ -471,6 +537,7 @@ let run list solver input_kind paths output multi max_nodes timeout zdd_nodes
       2
     | [ p ] ->
       let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
+      install_signal_trap budget;
       run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
         stats_json
     | paths when trace <> None || stats_json <> None ->
@@ -480,6 +547,7 @@ let run list solver input_kind paths output multi max_nodes timeout zdd_nodes
       2
     | paths ->
       let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
+      install_signal_trap budget;
       run_batch ~budget ~jobs solver input_kind paths output multi max_nodes
 
 let solver_arg =
@@ -588,8 +656,9 @@ let cmd =
               several inputs.";
       Cmd.Exit.info 3
         ~doc:"when a resource budget (--timeout, --zdd-nodes, --max-steps or \
-              --fault-after) was exhausted; the best feasible answer and a \
-              valid lower bound are still printed.";
+              --fault-after) was exhausted, or a first SIGINT/SIGTERM tripped \
+              the governor; the best feasible answer and a valid lower bound \
+              are still printed.  A second signal aborts with 130.";
       Cmd.Exit.info 4 ~doc:"on a parse error in an input file.";
       Cmd.Exit.info 5 ~doc:"when an input file does not exist or cannot be read.";
       Cmd.Exit.info 6 ~doc:"when a benchmark instance name is unknown.";

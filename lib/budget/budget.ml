@@ -27,6 +27,9 @@ type reason =
   | Node_budget of int
   | Step_budget of int
   | Fault_injected of int
+  | Interrupted
+
+exception Injected_fault of { site : site; tick : int }
 
 type trip = {
   site : site;
@@ -43,8 +46,14 @@ type limits = {
   step_budget : int;
   fault_after : int;
   fault_site : site option;
+  fault_raise : bool;
   now : unit -> float;
   check_every : int;
+  (* [interrupted] lives in the shared immutable limits on purpose: a
+     fork shares its parent's limits, so interrupting the parent (a
+     SIGINT handler, a daemon drain) trips every child at its next
+     checkpoint, whichever domain it runs on. *)
+  interrupted : bool Atomic.t;
 }
 
 type t = {
@@ -59,7 +68,7 @@ type t = {
 let none =
   { limits = None; ticks = 0; node_ticks = 0; step_ticks = 0; fault_ticks = 0; trip = None }
 
-let create ?timeout ?nodes ?steps ?fault_after ?fault_site
+let create ?timeout ?nodes ?steps ?fault_after ?fault_site ?(fault_raise = false)
     ?(now = Clock.now) ?(check_every = 32) () =
   if check_every <= 0 then invalid_arg "Budget.create: check_every must be positive";
   (match timeout with
@@ -78,8 +87,10 @@ let create ?timeout ?nodes ?steps ?fault_after ?fault_site
       step_budget = positive "steps" steps;
       fault_after = positive "fault_after" fault_after;
       fault_site;
+      fault_raise;
       now;
       check_every;
+      interrupted = Atomic.make false;
     }
   in
   { limits = Some limits; ticks = 0; node_ticks = 0; step_ticks = 0; fault_ticks = 0; trip = None }
@@ -87,6 +98,15 @@ let create ?timeout ?nodes ?steps ?fault_after ?fault_site
 let is_active t = t.limits <> None
 let ticks t = t.ticks
 let tripped t = t.trip
+
+(* Async-signal-safe in the OCaml sense (handlers run at safe points, and
+   an [Atomic.set] neither allocates nor locks), and domain-safe: any
+   thread may interrupt a governor another domain is ticking. *)
+let interrupt t =
+  match t.limits with None -> () | Some l -> Atomic.set l.interrupted true
+
+let interrupted t =
+  match t.limits with None -> false | Some l -> Atomic.get l.interrupted
 
 let remaining_seconds t =
   match t.limits with
@@ -110,8 +130,10 @@ let tick t site =
         && (match l.fault_site with None -> true | Some s -> s = site)
       in
       if fault_matches then t.fault_ticks <- t.fault_ticks + 1;
-      if fault_matches && t.fault_ticks >= l.fault_after then
-        trip (Fault_injected l.fault_after)
+      if Atomic.get l.interrupted then trip Interrupted
+      else if fault_matches && t.fault_ticks >= l.fault_after then
+        if l.fault_raise then raise (Injected_fault { site; tick = t.ticks })
+        else trip (Fault_injected l.fault_after)
       else begin
         let over_budget =
           match site with
@@ -174,6 +196,7 @@ let pp_reason ppf = function
   | Node_budget n -> Fmt.pf ppf "node budget (%d)" n
   | Step_budget n -> Fmt.pf ppf "step budget (%d)" n
   | Fault_injected n -> Fmt.pf ppf "injected fault (after %d)" n
+  | Interrupted -> Fmt.pf ppf "interrupted (signal or drain)"
 
 let pp_trip ppf t =
   Fmt.pf ppf "%a: %a at tick %d" pp_site t.site pp_reason t.reason t.tick

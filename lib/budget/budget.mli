@@ -47,6 +47,16 @@ type reason =
   | Node_budget of int  (** reduction / branch-and-bound node budget *)
   | Step_budget of int  (** subgradient / dual-ascent iteration cap *)
   | Fault_injected of int  (** deterministic test trip after N ticks *)
+  | Interrupted
+      (** {!interrupt} was called — a signal handler or a daemon drain
+          asked the solver to wind down to its anytime answer *)
+
+exception Injected_fault of { site : site; tick : int }
+(** Raised from {!tick} instead of tripping when the governor was
+    created with [~fault_raise:true] and the fault budget fires:
+    simulates a {e crash} escaping the solver mid-flight (for testing
+    crash isolation), as opposed to the cooperative wind-down of a
+    {!Fault_injected} trip. *)
 
 type trip = {
   site : site;  (** checkpoint at which the governor fired *)
@@ -66,6 +76,7 @@ val create :
   ?steps:int ->
   ?fault_after:int ->
   ?fault_site:site ->
+  ?fault_raise:bool ->
   ?now:(unit -> float) ->
   ?check_every:int ->
   unit ->
@@ -77,7 +88,10 @@ val create :
     ({!Implicit_reduce}, {!Explicit_reduce}, {!Exact_bb}); [steps] caps
     the total ticks at the iteration-like sites ({!Subgradient},
     {!Dual_ascent}); [fault_after] trips deterministically after that
-    many ticks at [fault_site] (any site when [fault_site] is omitted).
+    many ticks at [fault_site] (any site when [fault_site] is omitted),
+    and with [fault_raise] (default [false]) the fault {e raises}
+    {!Injected_fault} from the checkpoint instead of tripping, so the
+    exception unwinds the solver like a genuine crash.
     [now] (default {!Clock.now}) and [check_every] (default 32;
     how many ticks between clock reads) exist for tests.
 
@@ -94,6 +108,21 @@ val tick : t -> site -> bool
 
 val tripped : t -> trip option
 (** The first trip, if any. *)
+
+val interrupt : t -> unit
+(** [interrupt t] asks the governor to trip with reason {!Interrupted}
+    at its next checkpoint — the cooperative analogue of a kill: the
+    engine winds down to its anytime feasible answer exactly as on any
+    other budget exhaustion.  Safe to call from a signal handler or
+    from another domain (the flag is an [Atomic] in the shared limits),
+    and it propagates to every {!fork}ed child, past and future, since
+    children share their parent's limits.  A no-op on {!none} — install
+    an {e active} governor (a limitless [create ()] will do) wherever
+    interruption must be possible. *)
+
+val interrupted : t -> bool
+(** Whether {!interrupt} was called (the trip itself may not have been
+    recorded yet if no checkpoint ran since). *)
 
 val is_active : t -> bool
 val ticks : t -> int

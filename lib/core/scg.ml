@@ -88,10 +88,19 @@ end
    empty or the path is bound-dominated.  Returns the candidate solutions
    found (in core-identifier space) and the best lower bound certified for
    the *full* core (i.e. from subgradient runs before any fixing). *)
-let construct ~(config : Config.t) ~budget ~telemetry ~component ~rand ~best_cols
-    ~(space : Core_space.t) ~(z_best : int ref) ~(best_ids : int list ref)
-    ~stats_steps ~stats_fixes ~stats_pen =
-  let lambda_mem = Warm.create () and mu_mem = Warm.create () in
+let construct ~(config : Config.t) ~budget ~telemetry ~warm ~component ~rand
+    ~best_cols ~(space : Core_space.t) ~(z_best : int ref)
+    ~(best_ids : int list ref) ~stats_steps ~stats_fixes ~stats_pen =
+  (* [warm]: externally owned multiplier memory (a solve daemon passing
+     state from a previous request for the same instance); the memory is
+     written through, so later descents — and later solves handed the
+     same pair — start from the freshest multipliers.  Without it each
+     descent owns a fresh memory, the paper's §3.2 semantics. *)
+  let lambda_mem, mu_mem =
+    match warm with
+    | Some (l, u) -> (l, u)
+    | None -> (Warm.create (), Warm.create ())
+  in
   let root_lb = ref 0. in
   let consider ids =
     let ids = Core_space.irredundant space ids in
@@ -123,6 +132,9 @@ let construct ~(config : Config.t) ~budget ~telemetry ~component ~rand ~best_col
     else begin
       let lambda0 = if config.Config.warm_start then Warm.lambda0 lambda_mem m else None in
       let mu0 = if config.Config.warm_start then Warm.mu0 mu_mem m else None in
+      if config.Config.warm_start && Telemetry.enabled telemetry then
+        Telemetry.incr telemetry
+          (if lambda0 = None then "warm.lambda0_miss" else "warm.lambda0_hit");
       let ub = !z_best - committed_cost in
       let sg =
         Telemetry.span telemetry "subgradient" (fun () ->
@@ -260,11 +272,16 @@ type comp_result = {
   comp_best_iteration : int;
 }
 
-let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool
+let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool ?warm
     ?(config = Config.default) input =
   for j = 0 to Matrix.n_cols input - 1 do
     if Matrix.col_id input j <> j then invalid_arg "Scg.solve: matrix already re-indexed"
   done;
+  (* externally owned warm memory is a plain hashtable: never share it
+     across worker domains — a warmed solve runs its components on the
+     calling domain (the daemon parallelises across requests instead) *)
+  let pool = if warm = None then pool else None in
+  let config = if warm = None then config else { config with Config.jobs = 1 } in
   (* all timings on the governor's wall clock, so [stats.total_seconds]
      is consistent with a tripped [--timeout] *)
   let t_start = Budget.Clock.now () in
@@ -367,9 +384,9 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool
            let before = !z_best in
            let lb =
              Telemetry.span telemetry "descent" (fun () ->
-                 construct ~config ~budget ~telemetry ~component ~rand ~best_cols
-                   ~space ~z_best ~best_ids ~stats_steps:steps ~stats_fixes:fixes
-                   ~stats_pen:pen)
+                 construct ~config ~budget ~telemetry ~warm ~component ~rand
+                   ~best_cols ~space ~z_best ~best_ids ~stats_steps:steps
+                   ~stats_fixes:fixes ~stats_pen:pen)
            in
            if !z_best < before then best_iteration := iter + 1;
            best_lb := max !best_lb (ceil_int lb);

@@ -74,6 +74,7 @@ val solve :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
   ?pool:Par.Pool.t ->
+  ?warm:Warm.t * Warm.t ->
   ?config:Config.t ->
   Covering.Matrix.t ->
   result
@@ -85,6 +86,18 @@ val solve :
     still-valid lower bound and [status = Feasible_budget_exhausted].
     [telemetry] (default: {!Telemetry.null}, a no-op) records phase
     spans, reduction/fixing counters and the per-step subgradient trace.
+
+    [warm] is an externally owned [(λ, μ)] multiplier memory (see
+    {!Warm}): the descents read their warm starts from it and write the
+    final multipliers back through it, so a caller holding one pair per
+    problem signature — the [ucp_serve] daemon — warm-starts repeated
+    instances across independent [solve] calls.  Because the memory is
+    a plain hashtable, a warmed solve ignores [pool]/[config.jobs] and
+    runs its components on the calling domain; parallelise across
+    requests instead.  Without [warm] (the default) behaviour is
+    bit-identical to previous releases.  When [telemetry] is active the
+    counters ["warm.lambda0_hit"]/["warm.lambda0_miss"] record how often
+    a subproblem found a usable λ₀.
 
     Cyclic-core components are solved concurrently when [pool] is given
     (or when [config.jobs > 1], which creates a transient pool); covers,

@@ -134,10 +134,51 @@ let check_table ~tolerance ~min_seconds ~baseline ~fresh =
     (instances baseline);
   { pass = !fails = []; lines = List.rev !lines }
 
+(* ------------------------------------------------------------------ *)
+(* Serve-mode baselines (BENCH_serve.json shape)                      *)
+(*                                                                    *)
+(* Every gated fact is a machine-independent boolean or count — the    *)
+(* daemon survived the torture, every response code matched, shedding  *)
+(* and the warm cache actually engaged.  Throughput and latency are    *)
+(* reported for trend reading but never gated: absolute wall numbers   *)
+(* do not transfer between hosts.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_serve ~baseline ~fresh =
+  ignore baseline;
+  let fails = ref [] and lines = ref [] in
+  let note fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  let fail fmt = Format.kasprintf (fun s -> fails := s :: !fails; lines := s :: !lines) fmt in
+  List.iter
+    (fun name ->
+      match member_b name fresh with
+      | Some true -> note "ok   %s" name
+      | Some false -> fail "FAIL %s is false" name
+      | None -> fail "FAIL %s missing from the fresh run" name)
+    [ "daemon_alive_after"; "clean_drain"; "correct_codes"; "crashes_isolated" ];
+  List.iter
+    (fun (obj, field) ->
+      match Option.bind (Json.member obj fresh) (member_i field) with
+      | Some n when n > 0 -> note "ok   %s.%s = %d" obj field n
+      | Some n -> fail "FAIL %s.%s = %d (expected > 0)" obj field n
+      | None -> fail "FAIL %s.%s missing from the fresh run" obj field)
+    [ ("overload", "shed"); ("warm", "hits") ];
+  (match
+     ( Option.bind (Json.member "throughput" fresh) (member_f "rps"),
+       Option.bind (Json.member "throughput" fresh) (member_f "p50_ms"),
+       Option.bind (Json.member "throughput" fresh) (member_f "p99_ms") )
+   with
+  | Some rps, Some p50, Some p99 ->
+    note "info throughput %.1f rps, p50 %.2fms, p99 %.2fms (not gated)" rps p50
+      p99
+  | _ -> ());
+  { pass = !fails = []; lines = List.rev !lines }
+
 let check ?(tolerance = default_tolerance) ?(min_seconds = default_min_seconds)
     ~baseline ~fresh () =
   match (member_s "mode" baseline, member_s "table" baseline) with
   | Some "reduce", _ -> check_reduce ~tolerance ~baseline ~fresh ()
+  | Some "serve", _ -> check_serve ~baseline ~fresh
   | Some "dense", _ ->
     (* BENCH_dense.json shares the reduce-mode shape: identical_results,
        per-instance total.speedup (the dominance+greedy hot loops) and

@@ -20,6 +20,14 @@
       [lower_bound], [proven_optimal]) are deterministic and compared
       exactly; [seconds] gets the relative tolerance plus an absolute
       slack.
+    - [{"mode":"serve", ...}] — the daemon benchmark
+      ([BENCH_serve.json]).  Gated facts are machine-independent
+      booleans and counts only: the daemon survived the torture run
+      ([daemon_alive_after], [crashes_isolated]), every response code
+      matched its expectation ([correct_codes]), the drain completed
+      ([clean_drain]), overload shedding engaged ([overload.shed] > 0)
+      and the warm cache engaged ([warm.hits] > 0).  Throughput and
+      latency are echoed but never gated.
 
     A baseline instance may carry a ["tolerance"] field overriding the
     global one — the per-instance knob for noisy rows. *)

@@ -1,0 +1,125 @@
+type problem =
+  | P_matrix of Covering.Matrix.t
+  | P_multi of Logic.Pla.t * Covering.From_logic.multi
+  | P_kiss of Fsm.Machine.t
+
+type entry = {
+  problem : problem;
+  (* [None] while some request has the pair checked out *)
+  mutable warm : (Scg.Warm.t * Scg.Warm.t) option;
+  mutable hits : int;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  capacity : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable invalidations : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    capacity;
+    hit_count = 0;
+    miss_count = 0;
+    invalidations = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+type checkout = {
+  problem : problem;
+  warm : (Scg.Warm.t * Scg.Warm.t) option;
+  hit : bool;
+}
+
+(* shared matrices must have their lazy id->index table forced while
+   still unshared — the same rule batch mode follows (ucp_solve) *)
+let force_lazy_indexes = function
+  | P_matrix m -> ignore (Covering.Matrix.col_index_of_id m 0)
+  | P_multi (_, bridge) ->
+    ignore (Covering.Matrix.col_index_of_id bridge.Covering.From_logic.mmatrix 0)
+  | P_kiss _ -> ()
+
+let take_warm (entry : entry) =
+  match entry.warm with
+  | Some pair ->
+    entry.warm <- None;
+    Some pair
+  | None -> None
+
+let evict_one t =
+  if Hashtbl.length t.table >= t.capacity then begin
+    (* arbitrary victim: the first key the table yields *)
+    let victim = ref None in
+    (try
+       Hashtbl.iter
+         (fun k _ ->
+           victim := Some k;
+           raise Exit)
+         t.table
+     with Exit -> ());
+    Option.iter (Hashtbl.remove t.table) !victim
+  end
+
+let checkout t ~digest ~parse =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table digest with
+        | Some entry ->
+          entry.hits <- entry.hits + 1;
+          t.hit_count <- t.hit_count + 1;
+          Some { problem = entry.problem; warm = take_warm entry; hit = true }
+        | None ->
+          t.miss_count <- t.miss_count + 1;
+          None)
+  in
+  match cached with
+  | Some c -> Ok c
+  | None -> (
+    (* parse outside the lock: payloads can be large and PLA payloads
+       compute their primes here *)
+    match parse () with
+    | Error e -> Error e
+    | Ok problem ->
+      force_lazy_indexes problem;
+      let warm = (Scg.Warm.create (), Scg.Warm.create ()) in
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table digest with
+          | Some entry ->
+            (* raced with another miss for the same signature: keep the
+               installed entry, solve this request with its own state *)
+            Ok { problem = entry.problem; warm = take_warm entry; hit = true }
+          | None ->
+            evict_one t;
+            Hashtbl.replace t.table digest { problem; warm = None; hits = 0 };
+            Ok { problem; warm = Some warm; hit = false }))
+
+let checkin t ~digest pair =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table digest with
+      | Some entry when entry.warm = None -> entry.warm <- Some pair
+      | Some _ | None -> ())
+
+let invalidate t ~digest =
+  locked t (fun () ->
+      if Hashtbl.mem t.table digest then begin
+        Hashtbl.remove t.table digest;
+        t.invalidations <- t.invalidations + 1
+      end)
+
+let stats t =
+  locked t (fun () ->
+      [
+        ("hits", t.hit_count);
+        ("misses", t.miss_count);
+        ("entries", Hashtbl.length t.table);
+        ("invalidations", t.invalidations);
+      ])

@@ -1,0 +1,547 @@
+module J = Telemetry.Json
+
+type config = {
+  socket : string;
+  workers : int;
+  queue_depth : int;
+  max_payload : int;
+  read_timeout : float;
+  max_timeout : float;
+  max_nodes : int option;
+  max_steps : int option;
+  drain_grace : float;
+  retry_after : float;
+  allow_fault_injection : bool;
+  trace : string option;
+  cache_capacity : int;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    workers = 2;
+    queue_depth = 16;
+    max_payload = 16 * 1024 * 1024;
+    read_timeout = 5.0;
+    max_timeout = 30.0;
+    max_nodes = None;
+    max_steps = None;
+    drain_grace = 1.0;
+    retry_after = 0.25;
+    allow_fault_injection = false;
+    trace = None;
+    cache_capacity = 64;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bounded admission queue                                            *)
+(* ------------------------------------------------------------------ *)
+
+type queue = {
+  items : Unix.file_descr Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  depth : int;
+  mutable closed : bool;
+}
+
+let queue_create depth =
+  {
+    items = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    depth;
+    closed = false;
+  }
+
+(* push never blocks: a full queue is the caller's signal to shed *)
+let queue_push q fd =
+  Mutex.lock q.lock;
+  let ok = (not q.closed) && Queue.length q.items < q.depth in
+  if ok then begin
+    Queue.add fd q.items;
+    Condition.signal q.nonempty
+  end;
+  Mutex.unlock q.lock;
+  ok
+
+(* blocks until an item or close; drains remaining items after close so
+   queued connections can still be answered SHUTDOWN *)
+let queue_pop q =
+  Mutex.lock q.lock;
+  while Queue.is_empty q.items && not q.closed do
+    Condition.wait q.nonempty q.lock
+  done;
+  let item = if Queue.is_empty q.items then None else Some (Queue.pop q.items) in
+  Mutex.unlock q.lock;
+  item
+
+let queue_close q =
+  Mutex.lock q.lock;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.lock
+
+(* ------------------------------------------------------------------ *)
+(* Daemon state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let n_codes = 7
+
+let code_index : Proto.code -> int = function
+  | Proto.OK -> 0
+  | Proto.FEASIBLE_BUDGET -> 1
+  | Proto.INFEASIBLE -> 2
+  | Proto.PARSE_ERROR -> 3
+  | Proto.OVERLOAD -> 4
+  | Proto.SHUTDOWN -> 5
+  | Proto.INTERNAL_ERROR -> 6
+
+let all_codes =
+  [
+    Proto.OK;
+    Proto.FEASIBLE_BUDGET;
+    Proto.INFEASIBLE;
+    Proto.PARSE_ERROR;
+    Proto.OVERLOAD;
+    Proto.SHUTDOWN;
+    Proto.INTERNAL_ERROR;
+  ]
+
+type counters = {
+  received : int Atomic.t;
+  shed : int Atomic.t;
+  timeouts : int Atomic.t;
+  crashes : int Atomic.t;
+  by_code : int Atomic.t array;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  queue : queue;
+  cache : Cache.t;
+  counters : counters;
+  drain_flag : bool Atomic.t;
+  (* one slot per worker: the budget of its in-flight solve, if any —
+     the drain path trips these cooperatively *)
+  inflight : Budget.t option Atomic.t array;
+  telemetry : Telemetry.t;
+  tel_lock : Mutex.t;
+  trace_oc : out_channel option;
+  started_at : float;
+  mutable acceptor : Thread.t option;
+  mutable domains : unit Domain.t array;
+  (* wait is idempotent: only the first call joins and closes sinks *)
+  mutable drained : bool;
+}
+
+let config t = t.cfg
+let draining t = Atomic.get t.drain_flag
+let count t code = Atomic.incr t.counters.by_code.(code_index code)
+
+(* all touches of the shared collector go through this lock: worker
+   domains record events/counters concurrently *)
+let with_telemetry t f =
+  Mutex.lock t.tel_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.tel_lock) (fun () -> f t.telemetry)
+
+let stats_json t =
+  J.Obj
+    [
+      ("uptime", J.Float (Unix.gettimeofday () -. t.started_at));
+      ("workers", J.Int t.cfg.workers);
+      ("draining", J.Bool (draining t));
+      ("received", J.Int (Atomic.get t.counters.received));
+      ("shed", J.Int (Atomic.get t.counters.shed));
+      ("read_timeouts", J.Int (Atomic.get t.counters.timeouts));
+      ("crashes", J.Int (Atomic.get t.counters.crashes));
+      ( "codes",
+        J.Obj
+          (List.map
+             (fun c ->
+               ( Proto.string_of_code c,
+                 J.Int (Atomic.get t.counters.by_code.(code_index c)) ))
+             all_codes) );
+      ( "cache",
+        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Cache.stats t.cache)) );
+    ]
+
+(* best effort: the peer may be gone, and that is its problem *)
+let respond fd ~code ~headers ~body =
+  match Proto.write_all fd (Proto.encode_response ~code ~headers ~body) with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_opt ceiling requested =
+  match (ceiling, requested) with
+  | None, r -> r
+  | Some c, None -> Some c
+  | Some c, Some r -> Some (min c r)
+
+(* always an active governor — an inactive [Budget.none] could not be
+   interrupted by the drain path — with every request knob clamped by
+   the server ceilings *)
+let make_budget t (req : Proto.request) =
+  let timeout =
+    match req.timeout with
+    | None -> t.cfg.max_timeout
+    | Some s -> Float.min (Float.max s 0.01) t.cfg.max_timeout
+  in
+  let nodes = clamp_opt t.cfg.max_nodes req.nodes in
+  let steps = clamp_opt t.cfg.max_steps req.steps in
+  let fault_after, fault_site, fault_raise =
+    if t.cfg.allow_fault_injection then
+      ( req.fault_after,
+        Option.bind req.fault_site Budget.site_of_string,
+        req.fault_raise )
+    else (None, None, false)
+  in
+  Budget.create ~timeout ?nodes ?steps ?fault_after ?fault_site ~fault_raise ()
+
+let parse_problem fmt payload : (Cache.problem, Logic.Parse_error.error) result =
+  match (fmt : Proto.format) with
+  | Ucp ->
+    Result.map (fun m -> Cache.P_matrix m) (Covering.Instance.parse_result payload)
+  | Orlib ->
+    Result.map
+      (fun m -> Cache.P_matrix m)
+      (Covering.Instance.parse_orlib_result payload)
+  | Pla -> (
+    match Logic.Pla.parse_result payload with
+    | Error e -> Error e
+    | Ok pla -> (
+      match Covering.From_logic.build_multi pla with
+      | bridge -> Ok (Cache.P_multi (pla, bridge))
+      | exception Invalid_argument what ->
+        Error { Logic.Parse_error.file = None; line = 0; what }))
+  | Kiss -> Result.map (fun m -> Cache.P_kiss m) (Fsm.Kiss.parse_result payload)
+
+let render_parse_error (e : Logic.Parse_error.error) =
+  if e.line = 0 then e.what ^ "\n"
+  else Printf.sprintf "line %d: %s\n" e.line e.what
+
+let scg_response (r : Scg.result) =
+  let code =
+    match r.Scg.status with
+    | Scg.Optimal | Scg.Feasible -> Proto.OK
+    | Scg.Feasible_budget_exhausted _ -> Proto.FEASIBLE_BUDGET
+  in
+  let headers =
+    [
+      ("cost", string_of_int r.Scg.cost);
+      ("lower-bound", string_of_int r.Scg.lower_bound);
+      ( "status",
+        match r.Scg.status with
+        | Scg.Optimal -> "optimal"
+        | Scg.Feasible -> "feasible"
+        | Scg.Feasible_budget_exhausted _ -> "budget-exhausted" );
+    ]
+  in
+  let body =
+    J.to_string
+      (J.Obj
+         [
+           ("solver", J.String "scg");
+           ("cost", J.Int r.Scg.cost);
+           ("lower_bound", J.Int r.Scg.lower_bound);
+           ("proven_optimal", J.Bool r.Scg.proven_optimal);
+           ( "status",
+             J.String
+               (match r.Scg.status with
+               | Scg.Optimal -> "optimal"
+               | Scg.Feasible -> "feasible"
+               | Scg.Feasible_budget_exhausted _ -> "budget-exhausted") );
+           ("solution", J.List (List.map (fun c -> J.Int c) r.Scg.solution));
+         ])
+    ^ "\n"
+  in
+  (code, headers, body)
+
+let kiss_response (r : Fsm.Minimise.result) =
+  let code = if r.Fsm.Minimise.optimal then Proto.OK else Proto.FEASIBLE_BUDGET in
+  let headers =
+    [
+      ("cost", string_of_int r.Fsm.Minimise.minimised_states);
+      ( "status",
+        if r.Fsm.Minimise.optimal then "optimal" else "budget-exhausted" );
+    ]
+  in
+  let body =
+    J.to_string
+      (J.Obj
+         [
+           ("solver", J.String "fsm");
+           ("original_states", J.Int r.Fsm.Minimise.original_states);
+           ("minimised_states", J.Int r.Fsm.Minimise.minimised_states);
+           ("proven_optimal", J.Bool r.Fsm.Minimise.optimal);
+           ("nodes", J.Int r.Fsm.Minimise.nodes);
+         ])
+    ^ "\n"
+  in
+  (code, headers, body)
+
+let solve_problem t ~budget ~telemetry ~warm (req : Proto.request) = function
+  | Cache.P_matrix m -> scg_response (Scg.solve ~budget ~telemetry ?warm m)
+  | Cache.P_multi (_, bridge) ->
+    scg_response
+      (Scg.solve ~budget ~telemetry ?warm bridge.Covering.From_logic.mmatrix)
+  | Cache.P_kiss machine ->
+    (* the FSM pipeline's binate search takes a node cap, not a full
+       governor — wall-clock and drain interruption do not reach it *)
+    let max_nodes = clamp_opt t.cfg.max_nodes req.Proto.nodes in
+    kiss_response (Fsm.Minimise.minimise ?max_nodes machine)
+
+let handle_solve t ~slot fd (req : Proto.request) payload =
+  let fmt = Option.get req.Proto.format in
+  let digest =
+    Digest.to_hex
+      (Digest.string (Proto.string_of_format fmt ^ "\x00" ^ payload))
+  in
+  let id_headers =
+    match req.Proto.id with Some id -> [ ("id", id) ] | None -> []
+  in
+  match
+    Cache.checkout t.cache ~digest ~parse:(fun () -> parse_problem fmt payload)
+  with
+  | exception Covering.Infeasible { row_id; _ } ->
+    count t Proto.INFEASIBLE;
+    respond fd ~code:Proto.INFEASIBLE ~headers:id_headers
+      ~body:(Printf.sprintf "row %d has no covering column\n" row_id)
+  | Error e ->
+    count t Proto.PARSE_ERROR;
+    respond fd ~code:Proto.PARSE_ERROR ~headers:id_headers
+      ~body:(render_parse_error e)
+  | Ok { Cache.problem; warm; hit } -> (
+    let budget = make_budget t req in
+    let tel = Telemetry.create () in
+    Atomic.set t.inflight.(slot) (Some budget);
+    let finish () =
+      Atomic.set t.inflight.(slot) None;
+      with_telemetry t (fun server_tel ->
+          Telemetry.merge server_tel tel;
+          Option.iter flush t.trace_oc)
+    in
+    match solve_problem t ~budget ~telemetry:tel ~warm req problem with
+    | code, headers, body ->
+      finish ();
+      Option.iter (fun pair -> Cache.checkin t.cache ~digest pair) warm;
+      count t code;
+      let warm_header = ("warm", if hit then "hit" else "miss") in
+      respond fd ~code ~headers:(id_headers @ (warm_header :: headers)) ~body
+    | exception Covering.Infeasible { row_id; _ } ->
+      finish ();
+      count t Proto.INFEASIBLE;
+      respond fd ~code:Proto.INFEASIBLE ~headers:id_headers
+        ~body:(Printf.sprintf "row %d has no covering column\n" row_id)
+    | exception exn ->
+      (* crash isolation: this request dies, the daemon does not.  The
+         signature's warm state is dropped so a poisonous input cannot
+         hurt the next request that resubmits it; every other
+         signature keeps its warmth. *)
+      finish ();
+      Atomic.incr t.counters.crashes;
+      Cache.invalidate t.cache ~digest;
+      let what = Printexc.to_string exn in
+      with_telemetry t (fun server_tel ->
+          Telemetry.event server_tel "serve.crash"
+            [
+              ("exn", J.String what);
+              ("digest", J.String digest);
+              ("id", J.String (Option.value req.Proto.id ~default:"-"));
+            ];
+          Option.iter flush t.trace_oc);
+      count t Proto.INTERNAL_ERROR;
+      respond fd ~code:Proto.INTERNAL_ERROR ~headers:id_headers
+        ~body:(what ^ "\n"))
+
+let handle_conn t ~slot fd =
+  let r = Proto.reader fd in
+  match Proto.read_request ~max_payload:t.cfg.max_payload r with
+  | exception Proto.Wire_error what ->
+    count t Proto.PARSE_ERROR;
+    respond fd ~code:Proto.PARSE_ERROR ~headers:[] ~body:(what ^ "\n")
+  | exception Proto.Timeout ->
+    (* slow or half-open peer: reclaim the worker, close without reply *)
+    Atomic.incr t.counters.timeouts
+  | exception End_of_file -> ()
+  | req, payload -> (
+    match req.Proto.verb with
+    | Proto.Ping ->
+      count t Proto.OK;
+      respond fd ~code:Proto.OK ~headers:[] ~body:"pong\n"
+    | Proto.Stats ->
+      count t Proto.OK;
+      respond fd ~code:Proto.OK ~headers:[]
+        ~body:(J.to_string (stats_json t) ^ "\n")
+    | Proto.Solve when draining t ->
+      count t Proto.SHUTDOWN;
+      respond fd ~code:Proto.SHUTDOWN ~headers:[] ~body:"draining\n"
+    | Proto.Solve -> handle_solve t ~slot fd req payload)
+
+(* ------------------------------------------------------------------ *)
+(* Threads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop t slot =
+  let rec loop () =
+    match queue_pop t.queue with
+    | None -> ()
+    | Some fd ->
+      (if draining t then begin
+         (* accepted before the drain, not yet started: shed cleanly *)
+         count t Proto.SHUTDOWN;
+         respond fd ~code:Proto.SHUTDOWN ~headers:[] ~body:"draining\n"
+       end
+       else
+         try handle_conn t ~slot fd
+         with exn ->
+           (* nothing below handle_conn may escape — a worker domain
+              that dies takes its queue slot with it forever *)
+           Atomic.incr t.counters.crashes;
+           count t Proto.INTERNAL_ERROR;
+           respond fd ~code:Proto.INTERNAL_ERROR ~headers:[]
+             ~body:(Printexc.to_string exn ^ "\n"));
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      loop ()
+  in
+  loop ()
+
+let acceptor_loop t =
+  let rec loop () =
+    if not (draining t) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+          ->
+          ()
+        | fd, _ ->
+          Atomic.incr t.counters.received;
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout
+           with Unix.Unix_error _ -> ());
+          if not (queue_push t.queue fd) then begin
+            (* the robustness headline: a full queue sheds load with an
+               immediate, honest answer instead of queueing unboundedly *)
+            Atomic.incr t.counters.shed;
+            count t Proto.OVERLOAD;
+            respond fd ~code:Proto.OVERLOAD
+              ~headers:[ ("retry-after", Printf.sprintf "%g" t.cfg.retry_after) ]
+              ~body:"admission queue full\n";
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Daemon.start: workers must be >= 1";
+  if cfg.queue_depth < 1 then invalid_arg "Daemon.start: queue_depth must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+     Unix.listen listen_fd (max 8 (2 * cfg.queue_depth))
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let tel_lock = Mutex.create () in
+  let trace_oc = Option.map open_out cfg.trace in
+  let telemetry =
+    match trace_oc with
+    | None -> Telemetry.create ()
+    | Some oc ->
+      (* flushed line-by-line so the sink is complete even if the
+         process is killed uncleanly *)
+      Telemetry.create
+        ~trace:(fun line ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+        ()
+  in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      queue = queue_create cfg.queue_depth;
+      cache = Cache.create ~capacity:cfg.cache_capacity;
+      counters =
+        {
+          received = Atomic.make 0;
+          shed = Atomic.make 0;
+          timeouts = Atomic.make 0;
+          crashes = Atomic.make 0;
+          by_code = Array.init n_codes (fun _ -> Atomic.make 0);
+        };
+      drain_flag = Atomic.make false;
+      inflight = Array.init cfg.workers (fun _ -> Atomic.make None);
+      telemetry;
+      tel_lock;
+      trace_oc;
+      started_at = Unix.gettimeofday ();
+      acceptor = None;
+      domains = [||];
+      drained = false;
+    }
+  in
+  t.domains <- Array.init cfg.workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t
+
+let request_drain t =
+  if not (Atomic.get t.drain_flag) then begin
+    Atomic.set t.drain_flag true;
+    queue_close t.queue
+  end
+
+let wait t =
+  if t.drained then ()
+  else begin
+  t.drained <- true;
+  (* grace first: most in-flight requests finish on their own *)
+  let deadline = Unix.gettimeofday () +. t.cfg.drain_grace in
+  let busy () = Array.exists (fun a -> Atomic.get a <> None) t.inflight in
+  while busy () && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  (* then trip the stragglers; they wind down to FEASIBLE_BUDGET
+     answers.  Swept in a loop to close the race with a solve that
+     started just as the drain began. *)
+  while busy () do
+    Array.iter
+      (fun a -> match Atomic.get a with Some b -> Budget.interrupt b | None -> ())
+      t.inflight;
+    Thread.delay 0.05
+  done;
+  Option.iter Thread.join t.acceptor;
+  t.acceptor <- None;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||];
+  with_telemetry t Telemetry.close;
+  Option.iter
+    (fun oc ->
+      flush oc;
+      close_out oc)
+    t.trace_oc
+  end
+
+let stop t =
+  request_drain t;
+  wait t

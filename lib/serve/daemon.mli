@@ -1,0 +1,83 @@
+(** The [ucp_serve] daemon: a Unix-domain-socket solve service built for
+    graceful degradation.
+
+    Architecture (DESIGN.md §14): one acceptor thread multiplexes the
+    listening socket against the drain flag; accepted connections enter
+    a {e bounded} admission queue; [workers] long-lived worker domains
+    pop connections and run one request each.  Long-lived domains are
+    what keeps the per-domain hash-consed ZDD/BDD managers warm across
+    requests, and the {!Cache} keeps parsed problems, memoized PLA
+    primes and λ/μ multiplier memory warm per problem signature.
+
+    Degradation ladder, in order of preference:
+    + a full queue {e sheds} the connection — [OVERLOAD] plus a
+      [retry-after] hint, never unbounded queueing;
+    + a request over its (server-clamped) budget returns its best
+      feasible cover as [FEASIBLE_BUDGET] — the solver's anytime
+      contract on the wire;
+    + a crash inside one request is caught, logged, answered
+      [INTERNAL_ERROR], and invalidates {e only that signature's} warm
+      state — the daemon and every other signature's warmth survive;
+    + a drain ({!request_drain}, wired to SIGTERM/SIGINT by
+      [ucp_serve]) stops accepting, answers queued-but-unstarted
+      connections [SHUTDOWN], gives in-flight solves [drain_grace]
+      seconds and then trips their budgets via {!Budget.interrupt} —
+      they still answer with feasible covers — then flushes telemetry
+      and returns. *)
+
+type config = {
+  socket : string;  (** path of the Unix-domain socket *)
+  workers : int;  (** worker domains (>= 1) *)
+  queue_depth : int;  (** admission-queue bound; beyond it, shed *)
+  max_payload : int;  (** reject larger length prefixes up front *)
+  read_timeout : float;
+      (** seconds of receive timeout per read — slow or half-open
+          clients cannot pin a worker *)
+  max_timeout : float;
+      (** ceiling (and default) for the per-request wall-clock budget;
+          also what makes drain interruption guaranteed to terminate *)
+  max_nodes : int option;  (** ceiling for the per-request node budget *)
+  max_steps : int option;  (** ceiling for the per-request step budget *)
+  drain_grace : float;
+      (** seconds an in-flight solve gets after a drain request before
+          its budget is tripped *)
+  retry_after : float;  (** hint sent with [OVERLOAD], seconds *)
+  allow_fault_injection : bool;
+      (** honour [fault-after]/[fault-site]/[fault-raise] request
+          headers (testing only; off by default) *)
+  trace : string option;  (** telemetry JSON-lines sink, flushed per record *)
+  cache_capacity : int;  (** {!Cache.create} bound *)
+}
+
+val default_config : socket:string -> config
+(** Conservative defaults: 2 workers, queue depth 16, 16 MiB payloads,
+    5 s reads, 30 s budget ceiling, 1 s grace, fault injection off. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn the acceptor thread and worker domains, return
+    immediately.  Replaces a stale socket file.  SIGPIPE is set to
+    ignore (dead peers must surface as [EPIPE], not kill the process).
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val config : t -> config
+val draining : t -> bool
+
+val request_drain : t -> unit
+(** Begin the drain described above.  Idempotent, async-signal-safe in
+    the OCaml sense (sets an atomic and wakes the queue), so it can be
+    called from a signal handler. *)
+
+val wait : t -> unit
+(** Block until the drain completes: waits [drain_grace] for in-flight
+    requests, trips stragglers' budgets, joins the acceptor and all
+    workers, closes the telemetry sink.  Call after {!request_drain}.
+    Idempotent — later calls return immediately. *)
+
+val stop : t -> unit
+(** {!request_drain} followed by {!wait}. *)
+
+val stats_json : t -> Telemetry.Json.t
+(** The [STATS] response body: uptime, request/shed/timeout/crash
+    counts, per-code totals, cache hit/miss/invalidation counts. *)

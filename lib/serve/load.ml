@@ -1,0 +1,326 @@
+module J = Telemetry.Json
+
+type job =
+  | Framed of {
+      req : Proto.request;
+      payload : string;
+      expect : Proto.code option;
+    }
+  | Raw of { bytes : string; note : string }
+
+(* ------------------------------------------------------------------ *)
+(* Payload generators — deterministic in their seed                   *)
+(* ------------------------------------------------------------------ *)
+
+let state seed tag = Random.State.make [| 0x5eed; tag; seed |]
+
+(* every row covers column [i mod cols], so the instance is feasible by
+   construction whatever the random extras *)
+let random_rows st ~rows ~cols =
+  List.init rows (fun i ->
+      let extra = 1 + Random.State.int st 3 in
+      let members = ref [ i mod cols ] in
+      for _ = 1 to extra do
+        let c = Random.State.int st cols in
+        if not (List.mem c !members) then members := c :: !members
+      done;
+      List.sort compare !members)
+
+let ucp_payload ~seed ~rows ~cols =
+  let st = state seed 1 in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "p ucp %d %d\n" rows cols);
+  Buffer.add_string b "c";
+  for _ = 1 to cols do
+    Buffer.add_string b (Printf.sprintf " %d" (1 + Random.State.int st 9))
+  done;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b "r";
+      List.iter (fun c -> Buffer.add_string b (Printf.sprintf " %d" c)) row;
+      Buffer.add_char b '\n')
+    (random_rows st ~rows ~cols);
+  Buffer.contents b
+
+let orlib_payload ~seed ~rows ~cols =
+  let st = state seed 2 in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "%d %d\n" rows cols);
+  for _ = 1 to cols do
+    Buffer.add_string b (Printf.sprintf "%d " (1 + Random.State.int st 9))
+  done;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b (Printf.sprintf "%d" (List.length row));
+      (* OR-Library columns are 1-based *)
+      List.iter (fun c -> Buffer.add_string b (Printf.sprintf " %d" (c + 1))) row;
+      Buffer.add_char b '\n')
+    (random_rows st ~rows ~cols);
+  Buffer.contents b
+
+let pla_payload ~seed ~products =
+  let st = state seed 3 in
+  let b = Buffer.create 256 in
+  Buffer.add_string b ".i 4\n.o 1\n.type fd\n";
+  for _ = 1 to products do
+    for _ = 1 to 4 do
+      Buffer.add_char b [| '0'; '1'; '-' |].(Random.State.int st 3)
+    done;
+    Buffer.add_string b " 1\n"
+  done;
+  Buffer.add_string b ".e\n";
+  Buffer.contents b
+
+let kiss_payload () =
+  ".i 1\n.o 1\n.r a\n0 a b 0\n1 a a 1\n0 b a -\n1 b b 0\n.e\n"
+
+(* ------------------------------------------------------------------ *)
+(* Mixes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let framed ?expect ?id ?timeout ?steps ?fault_after ?fault_raise fmt payload =
+  Framed
+    {
+      req =
+        Proto.solve_request ?id ?timeout ?steps ?fault_after ?fault_raise
+          ~format:fmt ~length:(String.length payload) ();
+      payload;
+      expect;
+    }
+
+let steady_jobs ~n ~distinct ~seed ~rows ~cols =
+  let payloads =
+    Array.init (max 1 distinct) (fun i -> ucp_payload ~seed:(seed + i) ~rows ~cols)
+  in
+  List.init n (fun i ->
+      framed ~id:(Printf.sprintf "steady-%d" i) Proto.Ucp
+        payloads.(i mod Array.length payloads))
+
+let raw_frames =
+  [
+    (* header promises 400 bytes, the connection dies after 10: a
+       mid-payload disconnect *)
+    ("UCP/1 SOLVE ucp 400\n\np ucp 3 4\n", "truncated payload");
+    ("UCP/1 SOLVE ucp 999999999999\n\n", "oversized length prefix");
+    ("UCP/1 SOLVE ucp -4\n\n", "negative length prefix");
+    ("UCP/1 SOLVE xml 5\n\nhello", "unknown format tag");
+    ("UCP/1 FROBNICATE ucp 0\n\n", "unknown verb");
+    ("GET / HTTP/1.1\n\n", "not our protocol");
+    ("UCP/1 SOLVE ucp five\n\nhello", "non-numeric length");
+    ("UCP/1 SOLVE ucp 3\ntimeout banana\n\nabc", "malformed option value");
+    ("", "connect and say nothing");
+  ]
+
+let torture_jobs ~n ~seed ~fault =
+  let ucp_a = ucp_payload ~seed ~rows:12 ~cols:24 in
+  let ucp_b = ucp_payload ~seed:(seed + 1) ~rows:16 ~cols:32 in
+  let orlib = orlib_payload ~seed ~rows:10 ~cols:20 in
+  let pla = pla_payload ~seed ~products:6 in
+  let kiss = kiss_payload () in
+  let fault_target = ucp_payload ~seed:(seed + 2) ~rows:20 ~cols:40 in
+  let garbage_ucp = "p ucp 2 2\nr 9 9\n" in
+  let pick i =
+    match i mod 12 with
+    | 0 | 1 -> [ framed ~expect:Proto.OK Proto.Ucp ucp_a ]
+    | 2 -> [ framed ~expect:Proto.OK Proto.Ucp ucp_b ]
+    | 3 -> [ framed ~expect:Proto.OK Proto.Orlib orlib ]
+    | 4 -> [ framed ~expect:Proto.OK Proto.Pla pla ]
+    | 5 -> [ framed ~expect:Proto.OK Proto.Kiss kiss ]
+    | 6 ->
+      (* a budget squeezed to nothing: the answer must still be a
+         feasible cover, OK if the solve beat the clock *)
+      [ framed ~timeout:0.005 Proto.Ucp ucp_b ]
+    | 7 -> [ framed ~expect:Proto.PARSE_ERROR Proto.Ucp garbage_ucp ]
+    | 8 | 9 ->
+      let raw, note = List.nth raw_frames (i / 2 mod List.length raw_frames) in
+      [ Raw { bytes = raw; note } ]
+    | 10 when fault ->
+      (* a crash, then the same signature again: the second request
+         must succeed off a fresh (invalidated) cache entry *)
+      [
+        framed ~expect:Proto.INTERNAL_ERROR ~fault_after:1 ~fault_raise:true
+          Proto.Ucp fault_target;
+        framed ~expect:Proto.OK Proto.Ucp fault_target;
+      ]
+    | 11 when fault ->
+      [
+        framed ~expect:Proto.FEASIBLE_BUDGET ~fault_after:1 Proto.Ucp
+          fault_target;
+      ]
+    | _ -> [ framed ~expect:Proto.OK Proto.Ucp ucp_a ]
+  in
+  List.concat (List.init n pick)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  code : Proto.code option;  (* None: closed without a response frame *)
+  latency : float;
+  attempts : int;
+  complaint : string option;
+}
+
+type report = {
+  requests : int;
+  completed : int;
+  clean_closes : int;
+  by_code : (string * int) list;
+  retries : int;
+  unexpected : string list;
+  elapsed : float;
+  rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  shed_rate : float;
+}
+
+let run_job ~socket ~retries i job =
+  let t0 = Unix.gettimeofday () in
+  let done_ latency code attempts complaint =
+    { code; latency; attempts; complaint }
+  in
+  match job with
+  | Framed { req; payload; expect } -> (
+    match Client.request ~retries ~socket req ~payload with
+    | { Client.code; attempts; _ } ->
+      let latency = Unix.gettimeofday () -. t0 in
+      let complaint =
+        match expect with
+        | Some want when want <> code ->
+          Some
+            (Printf.sprintf "job %d: expected %s, got %s" i
+               (Proto.string_of_code want) (Proto.string_of_code code))
+        | _ -> None
+      in
+      done_ latency (Some code) attempts complaint
+    | exception
+        (( Unix.Unix_error _ | Proto.Wire_error _ | Proto.Timeout
+         | End_of_file ) as exn) ->
+      done_
+        (Unix.gettimeofday () -. t0)
+        None 1
+        (Some (Printf.sprintf "job %d: dropped: %s" i (Printexc.to_string exn))))
+  | Raw { bytes; note } -> (
+    match Client.send_raw ~socket bytes with
+    | Some (Proto.PARSE_ERROR, _, _) ->
+      done_ (Unix.gettimeofday () -. t0) (Some Proto.PARSE_ERROR) 1 None
+    | Some (code, _, _) ->
+      done_
+        (Unix.gettimeofday () -. t0)
+        (Some code) 1
+        (Some
+           (Printf.sprintf "job %d (%s): expected PARSE_ERROR or close, got %s"
+              i note (Proto.string_of_code code)))
+    | None -> done_ (Unix.gettimeofday () -. t0) None 1 None
+    | exception Unix.Unix_error (e, _, _) ->
+      done_
+        (Unix.gettimeofday () -. t0)
+        None 1
+        (Some (Printf.sprintf "job %d (%s): dropped: %s" i note
+                 (Unix.error_message e))))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. q)))
+
+let run ~socket ?(concurrency = 4) ?(retries = 0) jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let outcomes =
+    Array.make n { code = None; latency = 0.; attempts = 0; complaint = None }
+  in
+  let next = Atomic.make 0 in
+  let lane () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        outcomes.(i) <- run_job ~socket ~retries i jobs.(i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init (max 1 (min concurrency n)) (fun _ -> Thread.create lane ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let completed = ref 0 and clean = ref 0 and retries_spent = ref 0 in
+  let attempts_total = ref 0 and shed_events = ref 0 in
+  let counts = Hashtbl.create 8 in
+  let complaints = ref [] in
+  let latencies = ref [] in
+  Array.iter
+    (fun o ->
+      attempts_total := !attempts_total + o.attempts;
+      retries_spent := !retries_spent + max 0 (o.attempts - 1);
+      (* each retry was provoked by an OVERLOAD answer *)
+      shed_events := !shed_events + max 0 (o.attempts - 1);
+      (match o.code with
+      | Some c ->
+        incr completed;
+        if c = Proto.OVERLOAD then incr shed_events;
+        latencies := o.latency :: !latencies;
+        let k = Proto.string_of_code c in
+        Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
+      | None -> incr clean);
+      match o.complaint with
+      | Some c when List.length !complaints < 20 -> complaints := c :: !complaints
+      | _ -> ())
+    outcomes;
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  {
+    requests = n;
+    completed = !completed;
+    clean_closes = !clean;
+    by_code =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+      |> List.sort compare;
+    retries = !retries_spent;
+    unexpected = List.rev !complaints;
+    elapsed;
+    rps = (if elapsed > 0. then float_of_int !completed /. elapsed else 0.);
+    p50_ms = percentile sorted 0.50 *. 1000.;
+    p99_ms = percentile sorted 0.99 *. 1000.;
+    shed_rate =
+      (if !attempts_total > 0 then
+         float_of_int !shed_events /. float_of_int !attempts_total
+       else 0.);
+  }
+
+let report_json r =
+  J.Obj
+    [
+      ("requests", J.Int r.requests);
+      ("completed", J.Int r.completed);
+      ("clean_closes", J.Int r.clean_closes);
+      ("codes", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.by_code));
+      ("retries", J.Int r.retries);
+      ("unexpected", J.List (List.map (fun s -> J.String s) r.unexpected));
+      ("elapsed_s", J.Float r.elapsed);
+      ("rps", J.Float r.rps);
+      ("p50_ms", J.Float r.p50_ms);
+      ("p99_ms", J.Float r.p99_ms);
+      ("shed_rate", J.Float r.shed_rate);
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%d requests in %.2fs (%.1f rps), p50 %.2fms p99 %.2fms@,\
+     codes: %a@,\
+     clean closes %d, retries %d, shed rate %.3f%s@]"
+    r.requests r.elapsed r.rps r.p50_ms r.p99_ms
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+    r.by_code r.clean_closes r.retries r.shed_rate
+    (match r.unexpected with
+    | [] -> ""
+    | l -> Printf.sprintf ", %d UNEXPECTED" (List.length l))

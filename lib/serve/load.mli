@@ -1,0 +1,81 @@
+(** Load generation against a running daemon: deterministic request
+    mixes, concurrent lanes, latency percentiles, and a JSON report.
+
+    Shared by [ucp_load] (the CLI), the serve benchmark
+    ([bench --table serve]) and the torture test.  Payload generation
+    is seeded, so a (seed, size) pair names the same workload
+    everywhere. *)
+
+type job =
+  | Framed of {
+      req : Proto.request;
+      payload : string;
+      expect : Proto.code option;
+          (** assert the answer (torture/smoke); [None] = any code *)
+    }
+  | Raw of {
+      bytes : string;  (** pre-encoded — deliberately malformed — frame *)
+      note : string;
+          (** what is wrong with it, for failure messages.  Acceptable
+              answers: [PARSE_ERROR] or a clean close, never anything
+              else. *)
+    }
+
+(** {1 Payload generators} *)
+
+val ucp_payload : seed:int -> rows:int -> cols:int -> string
+(** A random feasible [.ucp] instance (every row covered by
+    construction), deterministic in [seed]. *)
+
+val orlib_payload : seed:int -> rows:int -> cols:int -> string
+val pla_payload : seed:int -> products:int -> string
+val kiss_payload : unit -> string
+
+val steady_jobs :
+  n:int -> distinct:int -> seed:int -> rows:int -> cols:int -> job list
+(** [n] solve requests cycling over [distinct] instances — repeats after
+    the first cycle exercise the daemon's warm cache. *)
+
+val raw_frames : (string * string) list
+(** The malformed-framing corpus, [(bytes, what-is-wrong)] pairs:
+    truncated and oversized/negative length prefixes, unknown format
+    tags and verbs, foreign protocols, malformed option values, and the
+    silent connect.  Fed to the daemon raw by {!torture_jobs} and the
+    serve test suite; the only acceptable answers are [PARSE_ERROR] or
+    a clean close. *)
+
+val torture_jobs : n:int -> seed:int -> fault:bool -> job list
+(** The acceptance mix: valid requests in all four formats, malformed
+    frames (truncated payload, oversized length prefix, wrong format
+    tag, garbage request line, mid-payload disconnect), budget-tripped
+    requests ([timeout 0.01] → [FEASIBLE_BUDGET]), and — when [fault]
+    and the daemon allows injection — crashing requests answered
+    [INTERNAL_ERROR]. *)
+
+(** {1 Running} *)
+
+type report = {
+  requests : int;
+  completed : int;  (** got a response frame *)
+  clean_closes : int;  (** raw jobs the daemon dropped without a frame *)
+  by_code : (string * int) list;  (** response-code totals, wire spelling *)
+  retries : int;  (** extra attempts spent on [OVERLOAD] *)
+  unexpected : string list;  (** expectation failures (capped at 20) *)
+  elapsed : float;
+  rps : float;  (** completed / elapsed *)
+  p50_ms : float;
+  p99_ms : float;
+  shed_rate : float;  (** [OVERLOAD] answers / total attempts *)
+}
+
+val run :
+  socket:string -> ?concurrency:int -> ?retries:int -> job list -> report
+(** Drive the jobs through [concurrency] (default 4) client threads.
+    [retries] (default 0) is passed to {!Client.request} — with 0 an
+    [OVERLOAD] is recorded as the job's outcome; with retries the job
+    backs off and tries again, and only the final code is recorded.
+    Connection-level surprises on framed jobs (the daemon dropped us)
+    are recorded in [unexpected], never raised. *)
+
+val report_json : report -> Telemetry.Json.t
+val pp_report : Format.formatter -> report -> unit

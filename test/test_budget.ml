@@ -101,6 +101,60 @@ let test_deadline_fake_clock () =
     Alcotest.failf "wrong trip: %s"
       (match t with Some t -> Budget.describe t | None -> "none")
 
+let test_interrupt () =
+  (* interrupt is the cooperative kill used by the signal traps and the
+     daemon drain: the very next checkpoint trips with Interrupted *)
+  let b = Budget.create () in
+  Alcotest.(check bool) "before" false (Budget.tick b Budget.Subgradient);
+  Budget.interrupt b;
+  Alcotest.(check bool) "flag set" true (Budget.interrupted b);
+  Alcotest.(check bool) "trip pending" true (Budget.tripped b = None);
+  Alcotest.(check bool) "next tick trips" true (Budget.tick b Budget.Exact_bb);
+  (match Budget.tripped b with
+  | Some { Budget.reason = Budget.Interrupted; site = Budget.Exact_bb; _ } -> ()
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none"));
+  (* sticky, like any other trip *)
+  Alcotest.(check bool) "sticky" true (Budget.tick b Budget.Subgradient)
+
+let test_interrupt_propagates_to_forks () =
+  (* the drain sweep interrupts the parent; children forked before AND
+     after must both see it — they share the parent's limits record *)
+  let parent = Budget.create () in
+  let early = Budget.fork parent in
+  Budget.interrupt parent;
+  let late = Budget.fork parent in
+  List.iter
+    (fun (name, b) ->
+      Alcotest.(check bool) (name ^ " interrupted") true (Budget.interrupted b);
+      Alcotest.(check bool) (name ^ " trips") true (Budget.tick b Budget.Subgradient))
+    [ ("early fork", early); ("late fork", late); ("parent", parent) ];
+  (* interrupting a child reaches the parent too: same shared flag *)
+  let p2 = Budget.create () in
+  let c2 = Budget.fork p2 in
+  Budget.interrupt c2;
+  Alcotest.(check bool) "parent sees child's interrupt" true (Budget.interrupted p2)
+
+let test_interrupt_none_noop () =
+  Budget.interrupt Budget.none;
+  Alcotest.(check bool) "none stays inert" false (Budget.interrupted Budget.none);
+  Alcotest.(check bool) "no trip" false (Budget.tick Budget.none Budget.Subgradient)
+
+let test_fault_raise () =
+  (* fault_raise simulates a crash escaping the solver: the checkpoint
+     raises Injected_fault at the exact configured tick instead of
+     winding down cooperatively (this is what the daemon's crash
+     isolation is tested against) *)
+  let b = Budget.create ~fault_after:3 ~fault_site:Budget.Subgradient ~fault_raise:true () in
+  Alcotest.(check bool) "1" false (Budget.tick b Budget.Subgradient);
+  Alcotest.(check bool) "2" false (Budget.tick b Budget.Subgradient);
+  (match Budget.tick b Budget.Subgradient with
+  | _ -> Alcotest.fail "third tick should raise"
+  | exception Budget.Injected_fault { site = Budget.Subgradient; tick = 3 } -> ()
+  | exception Budget.Injected_fault { site; tick } ->
+    Alcotest.failf "wrong fault payload: %s tick %d" (Budget.string_of_site site) tick)
+
 let test_site_names_roundtrip () =
   List.iter
     (fun s ->
@@ -307,6 +361,11 @@ let () =
           Alcotest.test_case "step budget" `Quick test_step_budget;
           Alcotest.test_case "fault site filter" `Quick test_fault_site_filter;
           Alcotest.test_case "deadline, fake clock" `Quick test_deadline_fake_clock;
+          Alcotest.test_case "interrupt" `Quick test_interrupt;
+          Alcotest.test_case "interrupt reaches forks" `Quick
+            test_interrupt_propagates_to_forks;
+          Alcotest.test_case "interrupt none no-op" `Quick test_interrupt_none_noop;
+          Alcotest.test_case "fault raise" `Quick test_fault_raise;
           Alcotest.test_case "site names" `Quick test_site_names_roundtrip;
         ] );
       ( "scg",

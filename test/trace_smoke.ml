@@ -13,7 +13,18 @@ module Json = Telemetry.Json
 let fail fmt = Format.kasprintf (fun s -> prerr_endline ("trace_smoke: " ^ s); exit 1) fmt
 
 let known_events =
-  [ "span_begin"; "span_end"; "step"; "incumbent"; "summary" ]
+  [
+    "span_begin";
+    "span_end";
+    "step";
+    "incumbent";
+    "summary";
+    (* error-path records: ucp_solve flushes its sinks on load failures
+       and caught crashes, and the serve daemon logs isolated per-request
+       crashes — all with a well-formed trace line *)
+    "error";
+    "serve.crash";
+  ]
 
 let float_field r name =
   match Option.bind (Json.member name r) Json.to_float with
