@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-serve bench-check bench-check-dense bench-check-serve fault-smoke trace-smoke serve-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-serve bench-zdd bench-check bench-check-dense bench-check-serve bench-check-zdd bench-check-par fault-smoke trace-smoke serve-smoke doc examples clean
 
 all: build
 
@@ -41,6 +41,13 @@ bench-dense:
 	dune exec bench/main.exe -- --no-csv --table dense --reduce-reps 5 \
 	  --dense-json BENCH_dense.json
 
+# ZDD manager lifecycle: the generational collector and chain fast
+# paths on the full implicit fixpoint (registry suites plus seeded
+# large instances), leaving BENCH_zdd.json behind; every gated fact is
+# machine-independent (fingerprints, peak ratios, the node-ceiling demo)
+bench-zdd:
+	dune exec bench/main.exe -- --no-csv --table zdd --zdd-json BENCH_zdd.json
+
 # regression gate: re-run the benchmark the committed baseline describes
 # and compare (speedup ratios for the reduce/dense baselines, so the gate
 # is machine-independent); nonzero exit on regression
@@ -60,6 +67,14 @@ bench-serve:
 
 bench-check-serve:
 	dune exec bench/main.exe -- --check bench/BASELINE_serve.json
+
+bench-check-zdd:
+	dune exec bench/main.exe -- --check bench/BASELINE_zdd.json
+
+# parallel determinism + speedup floors (>= 1.0x on multicore hosts,
+# 0.95x single-core noise allowance; see bench/BASELINE_par.json)
+bench-check-par:
+	dune exec bench/main.exe -- --check bench/BASELINE_par.json
 
 # resource-governor sanity: the fault-injection and typed-failure suites
 # plus the CLI exit-code contract (also part of the default `dune runtest`)

@@ -1178,6 +1178,206 @@ let run_dense ~reps ~json_path () =
   if not !identical_all then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* ZDD manager lifecycle (BENCH_zdd.json)                             *)
+(*                                                                    *)
+(* The generational collector on the implicit-reduction workload.     *)
+(* Per instance, the full implicit fixpoint (max_rows = max_cols = 0, *)
+(* no explicit fallback) runs three ways, each in a fresh domain so   *)
+(* the unique table starts empty and the schedule is deterministic:   *)
+(*   gc-off    — collection disabled, the always-grow peak;           *)
+(*   gc-on     — a small threshold, peak occupancy after collection;  *)
+(*   chain-off — the chain fast paths disabled.                       *)
+(* Gated facts are machine-independent: fingerprints of the reduced   *)
+(* family must match across all three runs, the gc-on/gc-off peak     *)
+(* ratio, and the node-ceiling demonstration — instances whose        *)
+(* always-grow peak exceeds a fixed ceiling (the regime that forces   *)
+(* the MaxR/MaxC explicit fallback) but whose collected peak fits.    *)
+(* ------------------------------------------------------------------ *)
+
+let zdd_gc_threshold = 16_384
+let zdd_node_ceiling = 150_000
+
+type zdd_run = {
+  z_fp : int; (* fingerprint of reduced family + fixed columns *)
+  z_rows : float;
+  z_peak : int;
+  z_final : int;
+  z_collections : int;
+  z_reclaimed : int;
+  z_chain_hits : int;
+  z_seconds : float;
+}
+
+(* the registry's cyclic suites plus seeded synthetic instances big
+   enough to stress the collector: the registry tops out around 8k
+   implicit nodes, while the paper's regime of interest is the one
+   where the always-grow table outruns the node ceiling *)
+let zdd_cases () =
+  List.map
+    (fun (i : Registry.instance) ->
+      (i.Registry.name, fun () -> Registry.matrix i))
+    (Registry.difficult () @ Registry.dense ())
+  @ [
+      ( "cyc-3000x500",
+        fun () ->
+          Benchsuite.Randucp.cyclic ~name:"cyc-3000x500" ~n_rows:3000
+            ~n_cols:500 ~k:12 () );
+      ( "dense-700x280",
+        fun () ->
+          Benchsuite.Randucp.dense_cyclic ~name:"dense-700x280" ~n_rows:700
+            ~n_cols:280 ~density:0.30 () );
+      ( "beasley-400x4000",
+        fun () ->
+          Benchsuite.Randucp.beasley ~name:"beasley-400x4000" ~n_rows:400
+            ~n_cols:4000 ~rows_per_col:8 () );
+    ]
+
+(* one measurement = one fresh domain: a pristine manager, so peaks and
+   collection schedules depend only on the instance and the knobs *)
+let zdd_measure ~gc_threshold ~chain mk =
+  Domain.join
+    (Domain.spawn (fun () ->
+         Zdd.configure ~gc_threshold ~chain_reduction:chain ();
+         let m = mk () in
+         let p0 = Covering.Implicit.of_matrix m in
+         let p, secs =
+           timed (fun () ->
+               Covering.Implicit.reduce ~max_rows:0 ~max_cols:0 p0)
+         in
+         let st = Zdd.Gc.stats () in
+         {
+           z_fp =
+             Hashtbl.hash
+               ( Zdd.to_sets p.Covering.Implicit.rows,
+                 p.Covering.Implicit.essential );
+           z_rows = Covering.Implicit.row_count p;
+           z_peak = Zdd.peak_node_count ();
+           z_final = Zdd.node_count ();
+           z_collections = st.Zdd.Gc.collections;
+           z_reclaimed = st.Zdd.Gc.reclaimed_total;
+           z_chain_hits = Zdd.chain_hit_count ();
+           z_seconds = secs;
+         }))
+
+let run_zdd ~json_path () =
+  let module J = Telemetry.Json in
+  pr "@.== ZDD lifecycle — generational GC on the implicit fixpoint ==@.";
+  pr "full implicit reduction (no explicit fallback), fresh domain per run;@.";
+  pr "gc-on threshold %d allocations, node ceiling %d@." zdd_gc_threshold
+    zdd_node_ceiling;
+  hline 100;
+  pr "%-10s | %9s %9s %6s | %6s %9s | %7s %8s | %5s %5s@." "name" "peak-off"
+    "peak-on" "ratio" "colls" "reclaim" "chain" "T(s)" "<=off" "<=on";
+  hline 100;
+  let rows = ref [] in
+  let identical_all = ref true in
+  let newly_implicit = ref 0 in
+  let chain_total = ref 0 in
+  List.iter
+    (fun (name, mk) ->
+      let m = mk () in
+      let off = zdd_measure ~gc_threshold:0 ~chain:true mk in
+      let on_ = zdd_measure ~gc_threshold:zdd_gc_threshold ~chain:true mk in
+      let nochain = zdd_measure ~gc_threshold:0 ~chain:false mk in
+      let identical = off.z_fp = on_.z_fp && off.z_fp = nochain.z_fp in
+      if not identical then identical_all := false;
+      let ratio = float_of_int on_.z_peak /. float_of_int (max off.z_peak 1) in
+      let under_off = off.z_peak <= zdd_node_ceiling in
+      let under_on = on_.z_peak <= zdd_node_ceiling in
+      if (not under_off) && under_on then incr newly_implicit;
+      chain_total := !chain_total + off.z_chain_hits;
+      pr "%-10s | %9d %9d %5.2f | %6d %9d | %7d %8.2f | %5s %5s%s@."
+        name off.z_peak on_.z_peak ratio on_.z_collections
+        on_.z_reclaimed off.z_chain_hits
+        (off.z_seconds +. on_.z_seconds +. nochain.z_seconds)
+        (if under_off then "yes" else "NO")
+        (if under_on then "yes" else "NO")
+        (if identical then "" else "  MISMATCH");
+      csv_emit
+        [
+          "zdd"; name; "implicit"; ""; string_of_bool identical;
+          ""; Printf.sprintf "%.4f" on_.z_seconds;
+          Printf.sprintf "peak_off=%d peak_on=%d ratio=%.3f" off.z_peak
+            on_.z_peak ratio;
+        ];
+      rows :=
+        J.Obj
+          [
+            ("name", J.String name);
+            ("rows", J.Int (Matrix.n_rows m));
+            ("cols", J.Int (Matrix.n_cols m));
+            ("rows_left", J.Float off.z_rows);
+            ("identical", J.Bool identical);
+            ("peak_ratio", J.Float ratio);
+            ("under_ceiling_gc_off", J.Bool under_off);
+            ("under_ceiling_gc_on", J.Bool under_on);
+            ( "gc_off",
+              J.Obj
+                [
+                  ("peak_nodes", J.Int off.z_peak);
+                  ("final_nodes", J.Int off.z_final);
+                  ("chain_hits", J.Int off.z_chain_hits);
+                  ("seconds", J.Float off.z_seconds);
+                ] );
+            ( "gc_on",
+              J.Obj
+                [
+                  ("peak_nodes", J.Int on_.z_peak);
+                  ("final_nodes", J.Int on_.z_final);
+                  ("collections", J.Int on_.z_collections);
+                  ("reclaimed", J.Int on_.z_reclaimed);
+                  ("seconds", J.Float on_.z_seconds);
+                ] );
+            ( "chain_off",
+              J.Obj
+                [
+                  ("peak_nodes", J.Int nochain.z_peak);
+                  ("seconds", J.Float nochain.z_seconds);
+                ] );
+          ]
+        :: !rows)
+    (zdd_cases ());
+  (* the bench's own configure calls ran in child domains, but restore
+     the shared knobs anyway: later tables must see the defaults *)
+  Zdd.configure ~initial_size:Zdd.default_initial_size
+    ~gc_threshold:Zdd.default_gc_threshold ~chain_reduction:true ();
+  hline 100;
+  let rows = List.rev !rows in
+  let ratios =
+    List.filter_map
+      (fun r -> Option.bind (J.member "peak_ratio" r) J.to_float)
+      rows
+  in
+  let max_ratio = List.fold_left max 0. ratios in
+  pr
+    "max gc-on/gc-off peak ratio %.2f; %d instance(s) over the %d-node \
+     ceiling complete implicitly only with gc; %d chain hits@."
+    max_ratio !newly_implicit zdd_node_ceiling !chain_total;
+  pr "results %s@."
+    (if !identical_all then "identical across gc and chain variants"
+     else "MISMATCHED");
+  let json =
+    J.Obj
+      [
+        ("mode", J.String "zdd");
+        ("suite", J.String "difficult+dense");
+        ("gc_threshold", J.Int zdd_gc_threshold);
+        ("node_ceiling", J.Int zdd_node_ceiling);
+        ("identical_results", J.Bool !identical_all);
+        ("max_peak_ratio", J.Float max_ratio);
+        ("newly_implicit", J.Int !newly_implicit);
+        ("chain_hits", J.Int !chain_total);
+        ("instances", J.List rows);
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  pr "wrote %s@." json_path;
+  if not !identical_all then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1447,6 +1647,13 @@ let run_check ~tolerance ~reduce_reps baseline_path =
       let path = "BENCH_serve.json" in
       run_serve ~json_path:path ();
       path
+    | Some "zdd", _ ->
+      let path = "BENCH_zdd.json" in
+      run_zdd ~json_path:path ();
+      path
+    | _, Some "par" ->
+      run_par ~jobs:(Scg.Par.default_jobs ()) ();
+      "BENCH_par.json"
     | _, Some table_id ->
       (match table_id with
       | "table1" -> run_table1 ()
@@ -1474,10 +1681,10 @@ let run_check ~tolerance ~reduce_reps baseline_path =
 
 let usage () =
   pr
-    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|dense|par|serve|all] [--verbose]@,\
+    "usage: main.exe [--table fig1|easy|1|2|3|4|ablation|reduce|dense|par|serve|zdd|all] [--verbose]@,\
     \       [--timing] [--exact-nodes-difficult N] [--exact-nodes-challenging N]@,\
     \       [--csv FILE] [--no-csv] [--reduce-reps N] [--reduce-json FILE]@,\
-    \       [--dense-json FILE] [--serve-json FILE] [--jobs N]@,\
+    \       [--dense-json FILE] [--serve-json FILE] [--zdd-json FILE] [--jobs N]@,\
     \       [--check BASELINE.json] [--check-tolerance T]@.";
   exit 2
 
@@ -1495,6 +1702,7 @@ let () =
   let reduce_json = ref "BENCH_reduce.json" in
   let dense_json = ref "BENCH_dense.json" in
   let serve_json = ref "BENCH_serve.json" in
+  let zdd_json = ref "BENCH_zdd.json" in
   (* 0 = the machine's recommended domain count, resolved at use *)
   let jobs = ref 0 in
   let check = ref None in
@@ -1533,6 +1741,9 @@ let () =
       parse rest
     | "--serve-json" :: path :: rest ->
       serve_json := path;
+      parse rest
+    | "--zdd-json" :: path :: rest ->
+      zdd_json := path;
       parse rest
     | "--jobs" :: n :: rest ->
       jobs := int_of_string n;
@@ -1573,6 +1784,7 @@ let () =
   if want "par" then
     run_par ~jobs:(if !jobs <= 0 then Scg.Par.default_jobs () else !jobs) ();
   if want "serve" then run_serve ~json_path:!serve_json ();
+  if want "zdd" then run_zdd ~json_path:!zdd_json ();
   if want "methods" then run_methods ();
   if want "pricing" then run_pricing ();
   if !timing || want "timing" then run_timing ();

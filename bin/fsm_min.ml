@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let run path max_nodes stats_only synth =
+let run path max_nodes timeout stats_only synth =
   match path with
   | None ->
     Fmt.epr "usage: fsm_min FILE.kiss@.";
@@ -19,10 +19,27 @@ let run path max_nodes stats_only synth =
         Fmt.epr "%a@." Logic.Parse_error.pp e;
         exit (if Sys.file_exists path then 4 else 5)
     in
-    let r = Fsm.Minimise.minimise ~max_nodes m in
+    let budget =
+      match timeout with
+      | Some s ->
+        (* check the clock at every search node: a B&B node does full
+           unit propagation, so the read is noise, and --timeout 0 then
+           deterministically exits 3 even on instances that solve in a
+           handful of nodes *)
+        Scg.Budget.create ~timeout:s ~check_every:1 ()
+      | None -> Scg.Budget.none
+    in
+    let r =
+      try Fsm.Minimise.minimise ~budget ~max_nodes m
+      with Invalid_argument what when Scg.Budget.tripped budget <> None ->
+        (* the deadline fired before any closed cover existed: there is
+           no upper bound to report, but the cause is the budget *)
+        Fmt.epr "budget exhausted: %s@." what;
+        exit 3
+    in
     Fmt.epr "states: %d -> %d%s (%d branch-and-bound nodes)@."
       r.Fsm.Minimise.original_states r.Fsm.Minimise.minimised_states
-      (if r.Fsm.Minimise.optimal then "" else " (node budget hit; upper bound)")
+      (if r.Fsm.Minimise.optimal then "" else " (budget hit; upper bound)")
       r.Fsm.Minimise.nodes;
     if synth then begin
       let pla, logic_r = Fsm.Synth.implement r.Fsm.Minimise.machine in
@@ -31,12 +48,24 @@ let run path max_nodes stats_only synth =
       if not stats_only then print_string (Logic.Pla.to_string pla)
     end
     else if not stats_only then print_string (Fsm.Kiss.to_string r.Fsm.Minimise.machine);
-    0
+    (* mirror ucp_solve's exit-code contract: 3 = budget exhausted,
+       result is a still-valid upper bound *)
+    if Scg.Budget.tripped budget <> None then 3 else 0
 
 let path_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.kiss")
 
 let max_nodes_arg =
   Arg.(value & opt int 200_000 & info [ "max-nodes" ] ~doc:"Binate search budget.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ]
+        ~doc:
+          "Wall-clock limit in seconds for the binate search; on expiry \
+           the best reduction found so far is emitted and the exit code \
+           is 3.")
 
 let stats_arg =
   Arg.(value & flag & info [ "stats-only" ] ~doc:"Only report the state counts.")
@@ -47,6 +76,6 @@ let synth_arg =
 let cmd =
   let doc = "minimise the states of an incompletely specified FSM (KISS2)" in
   Cmd.v (Cmd.info "fsm_min" ~doc)
-    Term.(const run $ path_arg $ max_nodes_arg $ stats_arg $ synth_arg)
+    Term.(const run $ path_arg $ max_nodes_arg $ timeout_arg $ stats_arg $ synth_arg)
 
 let () = exit (Cmd.eval' cmd)

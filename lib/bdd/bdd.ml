@@ -44,6 +44,13 @@ end
 module Cache2 = Hashtbl.Make (Pair)
 module Cache1 = Hashtbl.Make (Int)
 
+(* Engine-wide tunable shared with worker domains spawned later, kept in
+   lockstep with the ZDD manager's knob (see Zdd.configure). *)
+let cfg_initial_size = Atomic.make 65_536
+
+let configure ?initial_size () =
+  Option.iter (fun n -> Atomic.set cfg_initial_size (max 16 n)) initial_size
+
 (* One manager per domain (see the ZDD engine and DESIGN.md §10): the
    unique table, tag allocator and operation caches live in domain-local
    storage, so parallel workers never share mutable tables.  BDD values
@@ -52,23 +59,29 @@ module Cache1 = Hashtbl.Make (Int)
 type state = {
   unique : t Unique.t;
   mutable next_tag : int;
+  mutable peak : int;
   and_cache : t Cache2.t;
   or_cache : t Cache2.t;
   xor_cache : t Cache2.t;
   not_cache : t Cache1.t;
   size_seen : unit Cache1.t;
+  mutable collections : int;
+  mutable reclaimed_total : int;
 }
 
 let state_key : state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       {
-        unique = Unique.create 65_536;
+        unique = Unique.create (Atomic.get cfg_initial_size);
         next_tag = 2;
+        peak = 0;
         and_cache = Cache2.create 65_536;
         or_cache = Cache2.create 65_536;
         xor_cache = Cache2.create 65_536;
         not_cache = Cache1.create 65_536;
         size_seen = Cache1.create 1_024;
+        collections = 0;
+        reclaimed_total = 0;
       })
 
 let state () = Domain.DLS.get state_key
@@ -83,9 +96,15 @@ let mk st var hi lo =
       let n = { tag = st.next_tag; node = Node { var; hi; lo } } in
       st.next_tag <- st.next_tag + 1;
       Unique.add st.unique key n;
+      let occ = Unique.length st.unique in
+      if occ > st.peak then st.peak <- occ;
       n
 
 let node_count () = Unique.length (state ()).unique
+
+let peak_node_count () =
+  let st = state () in
+  max st.peak (Unique.length st.unique)
 
 let var i =
   if i < 0 then invalid_arg "Bdd.var: negative index";
@@ -115,6 +134,49 @@ let clear_caches () =
   Cache2.reset st.or_cache;
   Cache2.reset st.xor_cache;
   Cache1.reset st.not_cache
+
+(* Mark-and-sweep of dead nodes, mirroring the ZDD manager's lifecycle
+   in its simplest form: the BDD engine's consumers (FSM closure
+   clauses, espresso cubes) hold their live functions explicitly, so a
+   full sweep with caller-supplied roots is enough — no generational
+   nursery or registered-root bookkeeping.  Caches are reset for the
+   same canonicity reason: a stale hit must not resurrect a swept
+   node. *)
+module Gc = struct
+  type stats = { collections : int; reclaimed_total : int }
+
+  let stats () =
+    let st = state () in
+    { collections = st.collections; reclaimed_total = st.reclaimed_total }
+
+  let collect ?(roots = []) () =
+    let st = state () in
+    let marked : unit Cache1.t = Cache1.create 4_096 in
+    let rec mark f =
+      match f.node with
+      | Zero | One -> ()
+      | Node { hi; lo; _ } ->
+        if not (Cache1.mem marked f.tag) then begin
+          Cache1.add marked f.tag ();
+          mark hi;
+          mark lo
+        end
+    in
+    List.iter mark roots;
+    let dead = ref [] in
+    Unique.iter
+      (fun key n -> if not (Cache1.mem marked n.tag) then dead := key :: !dead)
+      st.unique;
+    List.iter (Unique.remove st.unique) !dead;
+    let reclaimed = List.length !dead in
+    st.collections <- st.collections + 1;
+    st.reclaimed_total <- st.reclaimed_total + reclaimed;
+    Cache2.reset st.and_cache;
+    Cache2.reset st.or_cache;
+    Cache2.reset st.xor_cache;
+    Cache1.reset st.not_cache;
+    reclaimed
+end
 
 (* Expand [f] with respect to variable [v], assuming [v <= top_var f]. *)
 let cof f v =

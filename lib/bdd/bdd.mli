@@ -116,12 +116,36 @@ val disj : t list -> t
 
 (** {1 Engine management} *)
 
+val configure : ?initial_size:int -> unit -> unit
+(** [initial_size] seeds the unique table of managers created after the
+    call (per-domain; default 65_536, clamped to ≥ 16).  Kept as a
+    shared atomic so worker domains inherit it, mirroring
+    [Zdd.configure]. *)
+
 val clear_caches : unit -> unit
 (** Drop all operation caches (the unique table is retained, so canonicity
     is preserved).  Useful between large independent computations. *)
 
 val node_count : unit -> int
-(** Number of live nodes in the unique table (engine-wide statistic). *)
+(** Number of live nodes in this domain's unique table. *)
+
+val peak_node_count : unit -> int
+(** High-water mark of {!node_count} over the manager's lifetime,
+    including across {!Gc} collections. *)
+
+(** Mark-and-sweep reclamation of dead nodes, mirroring [Zdd.Gc] in its
+    simplest form: callers supply every function they still need as
+    [roots]; everything unreachable is removed from the unique table and
+    the operation caches are invalidated (a stale cache hit must not
+    resurrect a swept node). *)
+module Gc : sig
+  type stats = { collections : int; reclaimed_total : int }
+
+  val collect : ?roots:t list -> unit -> int
+  (** Full sweep; returns the number of nodes reclaimed. *)
+
+  val stats : unit -> stats
+end
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer showing the DAG as nested if-then-else. *)

@@ -160,13 +160,17 @@ let lower_bound t values committed =
     committed + (Covering.Mis_bound.compute m).Covering.Mis_bound.bound
   end
 
-let solve ?(max_nodes = 200_000) t =
+let solve ?(budget = Budget.none) ?(max_nodes = 200_000) t =
   let incumbent_cost = ref max_int in
   let incumbent = ref None in
   let nodes = ref 0 in
   let rec search values =
     incr nodes;
     if !nodes > max_nodes then raise Out_of_nodes;
+    (* every B&B node is a governor checkpoint: wall-clock deadlines,
+       step caps and Budget.interrupt (daemon drain, SIGTERM) all wind
+       the search down to the incumbent found so far *)
+    if Budget.tick budget Budget.Exact_bb then raise Out_of_nodes;
     match propagate t values with
     | exception Conflict -> ()
     | () ->

@@ -46,9 +46,14 @@ type result = {
   nodes : int;
 }
 
-val solve : ?max_nodes:int -> t -> result
+val solve : ?budget:Budget.t -> ?max_nodes:int -> t -> result
 (** Branch-and-bound with unit propagation, clause subsumption and a
-    unate-subproblem lower bound.  Default budget 200_000 nodes. *)
+    unate-subproblem lower bound.  Default budget 200_000 nodes.
+    [budget] (default the inactive {!Budget.none}) is ticked at every
+    search node (site {!Budget.Exact_bb}): a wall-clock deadline, step
+    cap or {!Budget.interrupt} winds the search down exactly like the
+    node cap — the best incumbent found so far is returned with
+    [optimal = false]. *)
 
 val brute_force : t -> bool array option
 (** Exhaustive optimum over 2ⁿ assignments (≤ 20 columns); test oracle. *)

@@ -16,6 +16,9 @@ type t = {
   jobs : int;
   par_min_rows : int;
   dense_threshold : int;
+  zdd_initial_size : int;
+  zdd_gc_threshold : int;
+  zdd_chain_reduction : bool;
   subgradient : Lagrangian.Subgradient.config;
 }
 
@@ -38,13 +41,18 @@ let default =
     jobs = 1;
     par_min_rows = Par.default_min_rows;
     dense_threshold = Covering.Dense.default_threshold;
+    zdd_initial_size = Zdd.default_initial_size;
+    zdd_gc_threshold = Zdd.default_gc_threshold;
+    zdd_chain_reduction = true;
     subgradient = Lagrangian.Subgradient.default_config;
   }
 
 let pp ppf c =
   Fmt.pf ppf
     "@[<v>MaxR=%d NumIter=%d BestCol=%d+%d DualPen=%d alpha=%g c_hat=%g mu_hat=%g \
-     gimpel=%b incremental=%b seed=%d jobs=%d par_min_rows=%d dense=%d@]"
+     gimpel=%b incremental=%b seed=%d jobs=%d par_min_rows=%d dense=%d \
+     zdd_table=%d zdd_gc=%d chain=%b@]"
     c.max_rows_implicit c.num_iter c.best_col_start c.best_col_growth
     c.dual_pen_max_cols c.alpha c.c_hat c.mu_hat c.use_gimpel c.incremental_reduce
-    c.seed c.jobs c.par_min_rows c.dense_threshold
+    c.seed c.jobs c.par_min_rows c.dense_threshold c.zdd_initial_size
+    c.zdd_gc_threshold c.zdd_chain_reduction

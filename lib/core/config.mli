@@ -62,6 +62,22 @@ type t = {
           forces the pure sparse path everywhere).  Results are
           bit-identical for every value — the knob trades memory for
           speed only. *)
+  zdd_initial_size : int;
+      (** initial unique-table size for per-domain ZDD/BDD managers
+          (default {!Zdd.default_initial_size} = 65_536).  Applied via
+          [Zdd.configure]/[Bdd.configure] at the top of every solve, so
+          worker domains spawned for parallel components inherit it. *)
+  zdd_gc_threshold : int;
+      (** allocation budget between automatic ZDD garbage collections
+          during implicit reduction (default
+          {!Zdd.default_gc_threshold} = 262_144; [0] disables automatic
+          collection).  The collector adapts around this base — see
+          [Zdd.Gc].  Results are bit-identical for every value; the
+          knob trades collection time for peak memory only. *)
+  zdd_chain_reduction : bool;
+      (** chain-aware fast paths in the ZDD product/no_sub_set/no_sup_set
+          recursions (default true).  Results are bit-identical either
+          way; ablation and benchmarking knob. *)
   subgradient : Lagrangian.Subgradient.config;
 }
 

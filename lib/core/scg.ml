@@ -21,6 +21,14 @@ let () =
       float_of_int (Zdd.node_count ()));
   Telemetry.register_probe "zdd.peak_nodes" (fun () ->
       float_of_int (Zdd.peak_node_count ()));
+  Telemetry.register_probe "zdd.gc.collections" (fun () ->
+      float_of_int (Zdd.Gc.stats ()).Zdd.Gc.collections);
+  Telemetry.register_probe "zdd.gc.reclaimed" (fun () ->
+      float_of_int (Zdd.Gc.stats ()).Zdd.Gc.reclaimed_total);
+  Telemetry.register_probe "zdd.gc.live" (fun () ->
+      float_of_int (Zdd.Gc.stats ()).Zdd.Gc.live_after_last);
+  Telemetry.register_probe "zdd.chain_hits" (fun () ->
+      float_of_int (Zdd.chain_hit_count ()));
   Telemetry.register_probe "dense.components" (fun () ->
       float_of_int (Atomic.get Covering.Dense.built_total));
   Telemetry.register_probe "dense.words" (fun () ->
@@ -273,10 +281,17 @@ type comp_result = {
 }
 
 let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool ?warm
-    ?(config = Config.default) input =
+    ?zdd_universe ?(config = Config.default) input =
   for j = 0 to Matrix.n_cols input - 1 do
     if Matrix.col_id input j <> j then invalid_arg "Scg.solve: matrix already re-indexed"
   done;
+  (* engine-wide manager tunables: shared atomics, so worker domains
+     spawned below inherit them and a running manager re-reads the GC
+     threshold at its next safe point *)
+  Zdd.configure ~initial_size:config.zdd_initial_size
+    ~gc_threshold:config.zdd_gc_threshold
+    ~chain_reduction:config.zdd_chain_reduction ();
+  Bdd.configure ~initial_size:config.zdd_initial_size ();
   (* externally owned warm memory is a plain hashtable: never share it
      across worker domains — a warmed solve runs its components on the
      calling domain (the daemon parallelises across requests instead) *)
@@ -289,7 +304,8 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool ?warm
   let imp =
     Telemetry.span telemetry "implicit-reduce" (fun () ->
         Implicit.reduce ~budget ~telemetry ~max_rows:config.max_rows_implicit
-          ~max_cols:config.max_cols_implicit (Implicit.of_matrix input))
+          ~max_cols:config.max_cols_implicit
+          (Implicit.of_matrix ?rows:zdd_universe input))
   in
   let decoded, essential0 = Implicit.decode imp in
   let essential0_cost =

@@ -75,6 +75,7 @@ val solve :
   ?telemetry:Telemetry.t ->
   ?pool:Par.Pool.t ->
   ?warm:Warm.t * Warm.t ->
+  ?zdd_universe:Zdd.t ->
   ?config:Config.t ->
   Covering.Matrix.t ->
   result
@@ -98,6 +99,14 @@ val solve :
     bit-identical to previous releases.  When [telemetry] is active the
     counters ["warm.lambda0_hit"]/["warm.lambda0_miss"] record how often
     a subproblem found a usable λ₀.
+
+    [zdd_universe], when given, must be this very matrix's rows-family
+    (e.g. a warm universe checked out of the serve cache by request
+    digest, built on the calling domain): the implicit phase starts from
+    it instead of re-encoding the matrix with [Matrix.to_zdd].  The
+    solve also applies [config]'s ZDD manager tunables
+    ([zdd_initial_size] / [zdd_gc_threshold] / [zdd_chain_reduction])
+    via [Zdd.configure] before the implicit phase.
 
     Cyclic-core components are solved concurrently when [pool] is given
     (or when [config.jobs > 1], which creates a transient pool); covers,

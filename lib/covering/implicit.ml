@@ -5,15 +5,33 @@ type t = {
   essential : int list;
 }
 
-let of_matrix m =
+let of_matrix ?rows m =
   (* the implicit phase runs before any reduction, so identifiers must
      still equal indices: otherwise decoded solutions would be ambiguous *)
   for j = 0 to Matrix.n_cols m - 1 do
     if Matrix.col_id m j <> j then
       invalid_arg "Implicit.of_matrix: matrix already re-indexed"
   done;
+  (* [rows], when given, is a pre-built universe for this same matrix (the
+     serve cache checks one out by request digest) — skip the rebuild.
+     Otherwise build it row by row with a GC safe point between unions:
+     the build is where most of the implicit phase's garbage is allocated
+     (every intermediate accumulator dies on the next union), and between
+     unions the only family that must survive is the accumulator itself
+     (registered roots are pinned by the manager). *)
+  let rows =
+    match rows with
+    | Some z -> z
+    | None ->
+      let acc = ref Zdd.empty in
+      for i = 0 to Matrix.n_rows m - 1 do
+        acc := Zdd.union !acc (Zdd.of_set (Array.to_list (Matrix.row m i)));
+        ignore (Zdd.Gc.maybe_collect ~roots:[ !acc ] ())
+      done;
+      !acc
+  in
   {
-    rows = Matrix.to_zdd m;
+    rows;
     n_cols = Matrix.n_cols m;
     cost = Array.init (Matrix.n_cols m) (Matrix.cost m);
     essential = [];
@@ -72,8 +90,12 @@ let reduce ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(max_rows = 50
   in
   (* each recursion step is one checkpoint: on a budget trip the current,
      partially reduced family is returned — still the same covering
-     problem, just less reduced, so decoding stays sound *)
+     problem, just less reduced, so decoding stays sound.  It is also a
+     GC safe point: no ZDD operation is in flight between steps, so the
+     only family that must survive a collection is [t.rows] (registered
+     roots, e.g. a cached universe, are pinned by the manager itself). *)
   let rec go t =
+    ignore (Zdd.Gc.maybe_collect ~roots:[ t.rows ] ());
     if is_solved t || small t then t
     else if Budget.tick budget Budget.Implicit_reduce then t
     else
@@ -87,6 +109,7 @@ let reduce ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?(max_rows = 50
   (* always run at least one full fixpoint even when already small: cheap,
      and it guarantees decoded cores saw essentiality at least once *)
   let rec fixpoint t =
+    ignore (Zdd.Gc.maybe_collect ~roots:[ t.rows ] ());
     if Budget.tick budget Budget.Implicit_reduce then t
     else
       match essential_step t with

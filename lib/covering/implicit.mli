@@ -22,10 +22,12 @@ type t = {
   essential : int list;  (** column indices fixed so far, oldest first *)
 }
 
-val of_matrix : Matrix.t -> t
+val of_matrix : ?rows:Zdd.t -> Matrix.t -> t
 (** Encode an explicit matrix.  The matrix must carry fresh identifiers
     (identifiers = indices), which holds for matrices straight out of
-    {!Matrix.create}. *)
+    {!Matrix.create}.  [rows], when given, must be the universe family
+    of this very matrix (e.g. checked out of the serve cache by request
+    digest) and skips the {!Matrix.to_zdd} rebuild. *)
 
 val of_rows : n_cols:int -> ?cost:int array -> Zdd.t -> t
 (** Wrap a rows-family directly (cost defaults to uniform 1). *)
@@ -50,7 +52,10 @@ val reduce :
     reduced problem is returned — equivalent to the input, merely less
     reduced.  [telemetry] counts [implicit.essential_steps],
     [implicit.dominance_steps] and [implicit.zdd_nodes_allocated] (the
-    unique-table growth across this reduction). *)
+    unique-table growth across this reduction).  Each step boundary is
+    also a GC safe point: {!Zdd.Gc.maybe_collect} runs with the current
+    family as root, so dead intermediate nodes are reclaimed once the
+    allocation threshold is crossed (see {!Zdd.configure}). *)
 
 val decode : t -> Matrix.t * int list
 (** Explicit matrix (columns re-indexed to drop unused ones is {e not}

@@ -63,7 +63,7 @@ let rebuild (m : Machine.t) chosen =
   let reset = Option.map state_of m.Machine.reset in
   Machine.create ~ni:m.Machine.ni ~no:m.Machine.no ~states:names ?reset !transitions
 
-let minimise ?(max_nodes = 200_000) ?limit (m : Machine.t) =
+let minimise ?budget ?(max_nodes = 200_000) ?limit (m : Machine.t) =
   let n = Machine.n_states m in
   if n = 0 then invalid_arg "Minimise.minimise: no states";
   let t = Compat.analyse m in
@@ -90,7 +90,7 @@ let minimise ?(max_nodes = 200_000) ?limit (m : Machine.t) =
              (Compat.implied_classes t arr.(j))))
   in
   let instance = Binate.create ~n_cols:k (cover_clauses @ closure_clauses) in
-  let r = Binate.solve ~max_nodes instance in
+  let r = Binate.solve ?budget ~max_nodes instance in
   match r.Binate.assignment with
   | None ->
     (* a closed cover always exists (all singletons of a completely

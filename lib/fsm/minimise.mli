@@ -20,10 +20,18 @@ type result = {
   nodes : int;  (** branch-and-bound nodes of the binate solve *)
 }
 
-val minimise : ?max_nodes:int -> ?limit:int -> Machine.t -> result
+val minimise :
+  ?budget:Scg.Budget.t -> ?max_nodes:int -> ?limit:int -> Machine.t -> result
 (** [limit] caps the compatible enumeration (see
     {!Compat.all_compatibles}); [max_nodes] the binate search.
-    @raise Invalid_argument when the machine has no states. *)
+    [budget] is threaded into the binate branch-and-bound (ticked at
+    site [Exact_bb] on every search node), so wall-clock deadlines and
+    [Budget.interrupt] — the daemon's drain signal — stop an in-flight
+    minimisation: the search winds down to its best incumbent and the
+    result carries [optimal = false].  If the budget trips before any
+    closed cover is found, the [Invalid_argument] below is raised.
+    @raise Invalid_argument when the machine has no states, or when no
+    closed cover was found within the node/budget limits. *)
 
 val simulate_agrees : ?sequences:int -> ?length:int -> Machine.t -> Machine.t -> bool
 (** Randomised behavioural containment check: drive both machines from

@@ -174,6 +174,135 @@ let check_serve ~baseline ~fresh =
   | _ -> ());
   { pass = !fails = []; lines = List.rev !lines }
 
+(* ------------------------------------------------------------------ *)
+(* ZDD-mode baselines (BENCH_zdd.json shape)                          *)
+(*                                                                    *)
+(* Everything gated is machine-independent: fingerprint identity       *)
+(* across the gc/chain variants, the gc-on/gc-off peak-occupancy       *)
+(* ratio per instance (both sides of the ratio come from the same      *)
+(* deterministic allocation schedule), the node-ceiling demonstration  *)
+(* (instances whose always-grow peak outruns the ceiling must still    *)
+(* complete under it with collection on), and the chain fast paths     *)
+(* actually firing.  Wall seconds are echoed in the JSON but never     *)
+(* gated.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_zdd ~tolerance ~baseline ~fresh =
+  let fails = ref [] and lines = ref [] in
+  let note fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  let fail fmt = Format.kasprintf (fun s -> fails := s :: !fails; lines := s :: !lines) fmt in
+  (if member_b "identical_results" fresh <> Some true then
+     fail "FAIL identical_results: gc/chain variants disagree");
+  (match member_i "chain_hits" fresh with
+  | Some n when n > 0 -> note "ok   chain_hits = %d" n
+  | Some n -> fail "FAIL chain_hits = %d (expected > 0)" n
+  | None -> fail "FAIL chain_hits missing from the fresh run");
+  (match (member_i "newly_implicit" baseline, member_i "newly_implicit" fresh) with
+  | Some b, Some f ->
+    if f < b then
+      fail "FAIL newly_implicit: %d instance(s) fit under the ceiling only \
+            with gc (baseline %d)" f b
+    else note "ok   newly_implicit = %d (baseline %d)" f b
+  | _ -> fail "FAIL newly_implicit missing on one side");
+  List.iter
+    (fun base_inst ->
+      match member_s "name" base_inst with
+      | None -> fail "FAIL baseline instance without a name"
+      | Some name -> (
+        match find_instance name fresh with
+        | None -> fail "FAIL %s: missing from the fresh run" name
+        | Some fresh_inst ->
+          (if member_b "identical" fresh_inst = Some false then
+             fail "FAIL %s: gc/chain variants disagree on this instance" name);
+          (if
+             member_b "under_ceiling_gc_on" base_inst = Some true
+             && member_b "under_ceiling_gc_on" fresh_inst <> Some true
+           then
+             fail "FAIL %s: no longer fits under the node ceiling with gc on"
+               name);
+          let tol =
+            Option.value ~default:tolerance (member_f "tolerance" base_inst)
+          in
+          (match
+             (member_f "peak_ratio" base_inst, member_f "peak_ratio" fresh_inst)
+           with
+          | Some base_r, Some fresh_r ->
+            let ceiling = base_r *. (1. +. tol) in
+            if fresh_r > ceiling then
+              fail "FAIL %s: peak ratio %.2f above %.2f (baseline %.2f + %.0f%%)"
+                name fresh_r ceiling base_r (100. *. tol)
+            else
+              note "ok   %s: peak ratio %.2f (baseline %.2f, ceiling %.2f)" name
+                fresh_r base_r ceiling
+          | None, _ -> fail "FAIL %s: baseline lacks peak_ratio" name
+          | _, None -> fail "FAIL %s: fresh run lacks peak_ratio" name)))
+    (instances baseline);
+  { pass = !fails = []; lines = List.rev !lines }
+
+(* ------------------------------------------------------------------ *)
+(* Par baselines (BENCH_par.json shape)                               *)
+(*                                                                    *)
+(* Determinism is the hard gate: sequential and parallel runs must     *)
+(* produce identical covers, costs and bounds.  Speedups are gated     *)
+(* against a floor resolved per row: a row-level "floor" in the        *)
+(* baseline wins, otherwise floor_single / floor_multicore by the      *)
+(* fresh run's visible core count — parallelism must never cost more   *)
+(* than the scheduling noise the floors allow.                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_par ~baseline ~fresh =
+  let fails = ref [] and lines = ref [] in
+  let note fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  let fail fmt = Format.kasprintf (fun s -> fails := s :: !fails; lines := s :: !lines) fmt in
+  (if member_b "identical_results" fresh <> Some true then
+     fail "FAIL identical_results: sequential and parallel runs disagree");
+  let cores = Option.value ~default:1 (member_i "cores" fresh) in
+  let default_floor =
+    if cores <= 1 then Option.value ~default:0.95 (member_f "floor_single" baseline)
+    else Option.value ~default:1.0 (member_f "floor_multicore" baseline)
+  in
+  let fresh_components =
+    match Json.member "component" fresh with Some (Json.List l) -> l | _ -> []
+  in
+  let base_components =
+    match Json.member "component" baseline with Some (Json.List l) -> l | _ -> []
+  in
+  List.iter
+    (fun base_row ->
+      match member_s "name" base_row with
+      | None -> fail "FAIL baseline component row without a name"
+      | Some name -> (
+        let floor = Option.value ~default:default_floor (member_f "floor" base_row) in
+        match
+          List.find_opt (fun r -> member_s "name" r = Some name) fresh_components
+        with
+        | None -> fail "FAIL %s: missing from the fresh run" name
+        | Some row -> (
+          (if member_b "identical" row = Some false then
+             fail "FAIL %s: parallel result differs from sequential" name);
+          match member_f "speedup" row with
+          | Some s when s < floor ->
+            fail "FAIL %s: speedup %.2fx below floor %.2fx (%d core%s)" name s
+              floor cores (if cores = 1 then "" else "s")
+          | Some s -> note "ok   %s: speedup %.2fx (floor %.2fx)" name s floor
+          | None -> fail "FAIL %s: fresh run lacks speedup" name)))
+    base_components;
+  (match Json.member "batch" fresh with
+  | Some batch -> (
+    (if member_b "identical" batch = Some false then
+       fail "FAIL batch: parallel results differ from sequential");
+    let floor =
+      Option.value ~default:default_floor
+        (Option.bind (Json.member "batch" baseline) (member_f "floor"))
+    in
+    match member_f "speedup" batch with
+    | Some s when s < floor ->
+      fail "FAIL batch: speedup %.2fx below floor %.2fx" s floor
+    | Some s -> note "ok   batch: speedup %.2fx (floor %.2fx)" s floor
+    | None -> fail "FAIL batch: fresh run lacks speedup")
+  | None -> fail "FAIL batch missing from the fresh run");
+  { pass = !fails = []; lines = List.rev !lines }
+
 let check ?(tolerance = default_tolerance) ?(min_seconds = default_min_seconds)
     ~baseline ~fresh () =
   match (member_s "mode" baseline, member_s "table" baseline) with
@@ -184,6 +313,8 @@ let check ?(tolerance = default_tolerance) ?(min_seconds = default_min_seconds)
        per-instance total.speedup (the dominance+greedy hot loops) and
        the aggregate ratio — only the two sides of the ratio differ *)
     check_reduce ~sides:"dense and sparse paths" ~tolerance ~baseline ~fresh ()
+  | Some "zdd", _ -> check_zdd ~tolerance ~baseline ~fresh
+  | _, Some "par" -> check_par ~baseline ~fresh
   | _, Some _ -> check_table ~tolerance ~min_seconds ~baseline ~fresh
   | _ ->
     {

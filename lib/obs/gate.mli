@@ -20,6 +20,22 @@
       [lower_bound], [proven_optimal]) are deterministic and compared
       exactly; [seconds] gets the relative tolerance plus an absolute
       slack.
+    - [{"mode":"zdd", ...}] — the ZDD manager-lifecycle benchmark
+      ([BENCH_zdd.json]).  Gated facts are machine-independent:
+      fingerprint identity across the gc/chain variants
+      ([identical_results], per-instance [identical]), the
+      gc-on/gc-off peak-occupancy ratio per instance against the
+      baseline's ratio (+ tolerance), the node-ceiling demonstration
+      ([newly_implicit] must not shrink, [under_ceiling_gc_on] must
+      stay true where the baseline says so) and the chain fast paths
+      firing ([chain_hits] > 0).  Wall seconds are echoed but never
+      gated.
+    - [{"table":"par", ...}] — the parallel-solve comparison
+      ([BENCH_par.json]).  Sequential/parallel result identity is a
+      hard gate; each component row and the batch speedup must clear a
+      floor: a row-level ["floor"] in the baseline wins, otherwise
+      ["floor_single"] (default 0.95) or ["floor_multicore"] (default
+      1.0) selected by the fresh run's visible core count.
     - [{"mode":"serve", ...}] — the daemon benchmark
       ([BENCH_serve.json]).  Gated facts are machine-independent
       booleans and counts only: the daemon survived the torture run

@@ -8,15 +8,22 @@ type entry = {
   (* [None] while some request has the pair checked out *)
   mutable warm : (Scg.Warm.t * Scg.Warm.t) option;
   mutable hits : int;
+  mutable last_used : int;
+  (* warm ZDD universe for this signature, pinned in its owning worker
+     domain's manager via the root handle; released on eviction or
+     invalidation so the worker's next collection reclaims the nodes *)
+  mutable universe : Zdd.Root.handle option;
 }
 
 type t = {
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   capacity : int;
+  mutable clock : int;
   mutable hit_count : int;
   mutable miss_count : int;
   mutable invalidations : int;
+  mutable evictions : int;
 }
 
 let create ~capacity =
@@ -25,9 +32,11 @@ let create ~capacity =
     table = Hashtbl.create 64;
     lock = Mutex.create ();
     capacity;
+    clock = 0;
     hit_count = 0;
     miss_count = 0;
     invalidations = 0;
+    evictions = 0;
   }
 
 let locked t f =
@@ -55,18 +64,38 @@ let take_warm (entry : entry) =
     Some pair
   | None -> None
 
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.last_used <- t.clock
+
+let release_universe (entry : entry) =
+  Option.iter Zdd.Root.release entry.universe;
+  entry.universe <- None
+
+(* LRU among the entries whose warm pair is checked in.  [warm = None]
+   means some request holds the pair right now (including a freshly
+   installed entry before its first check-in): evicting it would strand
+   the check-in and un-pin state a solve is using, so pinned entries are
+   never victims.  When everything is pinned we run over capacity
+   temporarily — capacity is bounded by the worker count in that case. *)
 let evict_one t =
   if Hashtbl.length t.table >= t.capacity then begin
-    (* arbitrary victim: the first key the table yields *)
     let victim = ref None in
-    (try
-       Hashtbl.iter
-         (fun k _ ->
-           victim := Some k;
-           raise Exit)
-         t.table
-     with Exit -> ());
-    Option.iter (Hashtbl.remove t.table) !victim
+    Hashtbl.iter
+      (fun k (e : entry) ->
+        if e.warm <> None then
+          match !victim with
+          | Some (_, best) when best <= e.last_used -> ()
+          | Some _ | None -> victim := Some (k, e.last_used))
+      t.table;
+    match !victim with
+    | None -> ()
+    | Some (k, _) ->
+      (match Hashtbl.find_opt t.table k with
+      | Some e -> release_universe e
+      | None -> ());
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
   end
 
 let checkout t ~digest ~parse =
@@ -75,6 +104,7 @@ let checkout t ~digest ~parse =
         match Hashtbl.find_opt t.table digest with
         | Some entry ->
           entry.hits <- entry.hits + 1;
+          touch t entry;
           t.hit_count <- t.hit_count + 1;
           Some { problem = entry.problem; warm = take_warm entry; hit = true }
         | None ->
@@ -96,10 +126,15 @@ let checkout t ~digest ~parse =
           | Some entry ->
             (* raced with another miss for the same signature: keep the
                installed entry, solve this request with its own state *)
+            touch t entry;
             Ok { problem = entry.problem; warm = take_warm entry; hit = true }
           | None ->
             evict_one t;
-            Hashtbl.replace t.table digest { problem; warm = None; hits = 0 };
+            let entry =
+              { problem; warm = None; hits = 0; last_used = 0; universe = None }
+            in
+            touch t entry;
+            Hashtbl.replace t.table digest entry;
             Ok { problem; warm = Some warm; hit = false }))
 
 let checkin t ~digest pair =
@@ -108,12 +143,34 @@ let checkin t ~digest pair =
       | Some entry when entry.warm = None -> entry.warm <- Some pair
       | Some _ | None -> ())
 
+let store_universe t ~digest handle =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table digest with
+      | Some entry ->
+        release_universe entry;
+        entry.universe <- Some handle
+      | None ->
+        (* entry evicted/invalidated while the solve ran: nothing can
+           hold the pin any more, release it so the nodes die *)
+        Zdd.Root.release handle)
+
+let checkout_universe t ~digest =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table digest with
+      | Some { universe = Some handle; _ } ->
+        (* Root.get refuses cross-domain and released handles, so a
+           worker other than the builder simply rebuilds *)
+        Zdd.Root.get handle
+      | Some _ | None -> None)
+
 let invalidate t ~digest =
   locked t (fun () ->
-      if Hashtbl.mem t.table digest then begin
+      match Hashtbl.find_opt t.table digest with
+      | Some entry ->
+        release_universe entry;
         Hashtbl.remove t.table digest;
         t.invalidations <- t.invalidations + 1
-      end)
+      | None -> ())
 
 let stats t =
   locked t (fun () ->
@@ -122,4 +179,5 @@ let stats t =
         ("misses", t.miss_count);
         ("entries", Hashtbl.length t.table);
         ("invalidations", t.invalidations);
+        ("evictions", t.evictions);
       ])

@@ -285,16 +285,32 @@ let kiss_response (r : Fsm.Minimise.result) =
   in
   (code, headers, body)
 
-let solve_problem t ~budget ~telemetry ~warm (req : Proto.request) = function
-  | Cache.P_matrix m -> scg_response (Scg.solve ~budget ~telemetry ?warm m)
+(* Solve a matrix problem with the signature's warm ZDD universe when
+   this worker built it on a previous request; otherwise build the
+   universe here, register it as a GC root and store the pinned handle
+   for the next request with the same digest. *)
+let solve_matrix t ~budget ~telemetry ~warm ~digest m =
+  let universe =
+    match Cache.checkout_universe t.cache ~digest with
+    | Some _ as u -> u
+    | None ->
+      let rows = Covering.Matrix.to_zdd m in
+      Cache.store_universe t.cache ~digest (Zdd.Root.create rows);
+      Some rows
+  in
+  Scg.solve ~budget ~telemetry ?warm ?zdd_universe:universe m
+
+let solve_problem t ~budget ~telemetry ~warm ~digest (req : Proto.request) =
+  function
+  | Cache.P_matrix m ->
+    scg_response (solve_matrix t ~budget ~telemetry ~warm ~digest m)
   | Cache.P_multi (_, bridge) ->
     scg_response
-      (Scg.solve ~budget ~telemetry ?warm bridge.Covering.From_logic.mmatrix)
+      (solve_matrix t ~budget ~telemetry ~warm ~digest
+         bridge.Covering.From_logic.mmatrix)
   | Cache.P_kiss machine ->
-    (* the FSM pipeline's binate search takes a node cap, not a full
-       governor — wall-clock and drain interruption do not reach it *)
     let max_nodes = clamp_opt t.cfg.max_nodes req.Proto.nodes in
-    kiss_response (Fsm.Minimise.minimise ?max_nodes machine)
+    kiss_response (Fsm.Minimise.minimise ~budget ?max_nodes machine)
 
 let handle_solve t ~slot fd (req : Proto.request) payload =
   let fmt = Option.get req.Proto.format in
@@ -326,7 +342,7 @@ let handle_solve t ~slot fd (req : Proto.request) payload =
           Telemetry.merge server_tel tel;
           Option.iter flush t.trace_oc)
     in
-    match solve_problem t ~budget ~telemetry:tel ~warm req problem with
+    match solve_problem t ~budget ~telemetry:tel ~warm ~digest req problem with
     | code, headers, body ->
       finish ();
       Option.iter (fun pair -> Cache.checkin t.cache ~digest pair) warm;

@@ -52,10 +52,34 @@ end
 module Cache2 = Hashtbl.Make (Pair)
 module Cache1 = Hashtbl.Make (Int)
 
-(* One manager per domain: unique table, tag allocator, peak meter and
-   the operation caches.  Tags are domain-private (they only key this
-   domain's tables), so independent domains reusing the same tag values
-   is harmless. *)
+(* Engine-wide tunables, shared by every domain's manager.  They are
+   plain atomics so a solver can set them once (Scg.solve does, from
+   Config) and worker domains spawned afterwards initialise from the
+   same values; per-domain managers re-read the GC threshold at every
+   safe point, so a running domain picks up changes too. *)
+let default_initial_size = 65_536
+let default_gc_threshold = 262_144
+let cfg_initial_size = Atomic.make default_initial_size
+let cfg_gc_threshold = Atomic.make default_gc_threshold
+let cfg_chain = Atomic.make true
+
+let configure ?initial_size ?gc_threshold ?chain_reduction () =
+  Option.iter (fun n -> Atomic.set cfg_initial_size (max 16 n)) initial_size;
+  Option.iter (fun n -> Atomic.set cfg_gc_threshold (max 0 n)) gc_threshold;
+  Option.iter (fun b -> Atomic.set cfg_chain b) chain_reduction
+
+(* A registered root: pins [value] (and everything below it) across
+   collections on the domain that created it.  [released] is the only
+   field another domain may touch — releasing is a single atomic store,
+   and the owning domain drops the handle at its next collection, so
+   cross-domain invalidation (the serve cache) never mutates a foreign
+   manager. *)
+type root = { owner : int; value : t; released : bool Atomic.t }
+
+(* One manager per domain: unique table, tag allocator, peak meter, the
+   operation caches and the collector's books.  Tags are domain-private
+   (they only key this domain's tables), so independent domains reusing
+   the same tag values is harmless. *)
 type state = {
   unique : t Unique.t;
   mutable next_tag : int;
@@ -69,12 +93,30 @@ type state = {
   minimal_cache : t Cache1.t;
   maximal_cache : t Cache1.t;
   count_cache : float Cache1.t;
+  (* lifecycle *)
+  mutable roots : root list;
+  mutable young : (int * int * int) list;
+      (* unique-table keys inserted since the last collection: the
+         nursery a minor sweep scans.  Children are always built before
+         parents, so an old node can never point at a young one and
+         sweeping only the nursery is sound. *)
+  mutable allocs_since_gc : int;
+  mutable gc_threshold : int;
+  mutable threshold_seen : int;
+      (* the base value [gc_threshold] was derived from; re-synced when
+         [configure] changes the atomic after this manager was built *)
+  mutable collections : int;
+  mutable major_collections : int;
+  mutable reclaimed_total : int;
+  mutable live_after_last : int;
+  mutable chain_hits : int;
 }
 
 let state_key : state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
+      let base = Atomic.get cfg_gc_threshold in
       {
-        unique = Unique.create 65_536;
+        unique = Unique.create (Atomic.get cfg_initial_size);
         next_tag = 2;
         peak = 0;
         union_cache = Cache2.create 65_536;
@@ -86,6 +128,16 @@ let state_key : state Domain.DLS.key =
         minimal_cache = Cache1.create 4_096;
         maximal_cache = Cache1.create 4_096;
         count_cache = Cache1.create 4_096;
+        roots = [];
+        young = [];
+        allocs_since_gc = 0;
+        gc_threshold = base;
+        threshold_seen = base;
+        collections = 0;
+        major_collections = 0;
+        reclaimed_total = 0;
+        live_after_last = 0;
+        chain_hits = 0;
       })
 
 let state () = Domain.DLS.get state_key
@@ -100,6 +152,8 @@ let mk st var hi lo =
       let n = { tag = st.next_tag; node = Node { var; hi; lo } } in
       st.next_tag <- st.next_tag + 1;
       Unique.add st.unique key n;
+      st.young <- key :: st.young;
+      st.allocs_since_gc <- st.allocs_since_gc + 1;
       let occ = Unique.length st.unique in
       if occ > st.peak then st.peak <- occ;
       n
@@ -109,6 +163,8 @@ let node_count () = Unique.length (state ()).unique
 let peak_node_count () =
   let st = state () in
   max st.peak (Unique.length st.unique)
+
+let chain_hit_count () = (state ()).chain_hits
 
 let top_var f =
   match f.node with
@@ -125,8 +181,7 @@ let of_set elems =
   let st = state () in
   List.fold_left (fun acc v -> mk st v acc empty) base (List.rev sorted)
 
-let clear_caches () =
-  let st = state () in
+let clear_caches_st st =
   Cache2.reset st.union_cache;
   Cache2.reset st.inter_cache;
   Cache2.reset st.diff_cache;
@@ -136,6 +191,161 @@ let clear_caches () =
   Cache1.reset st.minimal_cache;
   Cache1.reset st.maximal_cache;
   Cache1.reset st.count_cache
+
+let clear_caches () = clear_caches_st (state ())
+
+(* ------------------------------------------------------------------ *)
+(* Unique-table lifecycle: roots and mark-and-sweep collection          *)
+(* ------------------------------------------------------------------ *)
+
+module Root = struct
+  type handle = root
+
+  let create value =
+    let st = state () in
+    let r =
+      { owner = (Domain.self () :> int); value; released = Atomic.make false }
+    in
+    st.roots <- r :: st.roots;
+    r
+
+  let get r =
+    if Atomic.get r.released then None
+    else if (Domain.self () :> int) <> r.owner then None
+    else Some r.value
+
+  let release r = Atomic.set r.released true
+  let is_released r = Atomic.get r.released
+end
+
+(* Mark everything reachable from the extra roots plus the registered
+   (un-released) root handles; released handles are dropped here, which
+   is the owning domain's side of cross-domain release. *)
+let mark_live st extra_roots =
+  st.roots <- List.filter (fun r -> not (Atomic.get r.released)) st.roots;
+  let marked : unit Cache1.t = Cache1.create 4_096 in
+  let rec mark f =
+    match f.node with
+    | Empty | Base -> ()
+    | Node { hi; lo; _ } ->
+      if not (Cache1.mem marked f.tag) then begin
+        Cache1.add marked f.tag ();
+        mark hi;
+        mark lo
+      end
+  in
+  List.iter mark extra_roots;
+  List.iter (fun r -> mark r.value) st.roots;
+  marked
+
+(* Sweep after a full mark.  A minor sweep scans only the nursery
+   (sound because parents are always younger than their children, so a
+   surviving old node can never point at a swept young one); survivors
+   are promoted by clearing [young].  Every operation cache is reset:
+   a stale cache hit could hand out a node that was just removed from
+   the unique table, and a later [mk] of the same triple would then
+   build a physically distinct duplicate, breaking canonicity.
+   Returns [(scope, reclaimed)] where [scope] is how many table entries
+   the sweep examined. *)
+let sweep_st st ~extra_roots ~major =
+  let marked = mark_live st extra_roots in
+  let scope, reclaimed =
+    if major then begin
+      let before = Unique.length st.unique in
+      let dead = ref [] in
+      Unique.iter
+        (fun key n -> if not (Cache1.mem marked n.tag) then dead := key :: !dead)
+        st.unique;
+      List.iter (Unique.remove st.unique) !dead;
+      (before, List.length !dead)
+    end
+    else begin
+      let scope = ref 0 and dead = ref 0 in
+      List.iter
+        (fun key ->
+          incr scope;
+          match Unique.find_opt st.unique key with
+          | None -> ()
+          | Some n ->
+            if not (Cache1.mem marked n.tag) then begin
+              Unique.remove st.unique key;
+              incr dead
+            end)
+        st.young;
+      (!scope, !dead)
+    end
+  in
+  st.young <- [];
+  st.allocs_since_gc <- 0;
+  st.collections <- st.collections + 1;
+  if major then st.major_collections <- st.major_collections + 1;
+  st.reclaimed_total <- st.reclaimed_total + reclaimed;
+  st.live_after_last <- Unique.length st.unique;
+  clear_caches_st st;
+  (scope, reclaimed)
+
+module Gc = struct
+  type stats = {
+    collections : int;
+    major_collections : int;
+    reclaimed_total : int;
+    live_after_last : int;
+    threshold : int;
+  }
+
+  let stats () =
+    let st = state () in
+    {
+      collections = st.collections;
+      major_collections = st.major_collections;
+      reclaimed_total = st.reclaimed_total;
+      live_after_last = st.live_after_last;
+      threshold = st.gc_threshold;
+    }
+
+  let collect ?(roots = []) () =
+    let st = state () in
+    let _, reclaimed = sweep_st st ~extra_roots:roots ~major:true in
+    reclaimed
+
+  let sync_threshold st =
+    let base = Atomic.get cfg_gc_threshold in
+    if base <> st.threshold_seen then begin
+      st.threshold_seen <- base;
+      st.gc_threshold <- base
+    end
+
+  (* Adaptive pacing: a low-yield collection means the working set is
+     genuinely live, so back off (up to 32x base) rather than re-walk
+     the same live graph; a high-yield one pulls the threshold back
+     toward base so garbage-heavy phases collect eagerly. *)
+  let adapt st ~scope ~reclaimed =
+    let base = st.threshold_seen in
+    if base > 0 then
+      if reclaimed * 4 < scope then
+        st.gc_threshold <- min (st.gc_threshold * 2) (base * 32)
+      else if reclaimed * 2 > scope then
+        st.gc_threshold <- max base (st.gc_threshold / 2)
+
+  let maybe_collect ?(roots = []) () =
+    let st = state () in
+    sync_threshold st;
+    if st.gc_threshold <= 0 || st.allocs_since_gc < st.gc_threshold then false
+    else begin
+      let scope, reclaimed = sweep_st st ~extra_roots:roots ~major:false in
+      let scope, reclaimed =
+        if reclaimed * 4 < scope then begin
+          (* the nursery was mostly live: promote it and do a full sweep
+             so garbage promoted by earlier minors still gets found *)
+          let s2, r2 = sweep_st st ~extra_roots:roots ~major:true in
+          (scope + s2, reclaimed + r2)
+        end
+        else (scope, reclaimed)
+      in
+      adapt st ~scope ~reclaimed;
+      true
+    end
+end
 
 (* Cofactors of [f] with respect to [v], assuming [v <= top_var f]:
    [hi] = sets containing v (with v removed), [lo] = sets without v. *)
@@ -264,6 +474,78 @@ let project_out f v = union (subset0 f v) (subset1 f v)
 let restrict_without = subset0
 
 (* ------------------------------------------------------------------ *)
+(* Chain fast paths                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The implicit-UCP encodings are dominated by "chain" operands — a
+   family holding exactly one set, stored as a hi-spine with every lo
+   pointing at empty (Bryant's chain-reduction paper motivates exactly
+   this shape).  The generic recursions handle them correctly but churn
+   the caches and build throwaway unions; when one operand is a chain we
+   instead descend it as a sorted element list, allocating only the
+   result spine.  Detection walks the spine once and fails fast on the
+   first branching node. *)
+
+let single_set f =
+  let rec go acc f =
+    match f.node with
+    | Base -> Some (List.rev acc)
+    | Empty -> None
+    | Node { var; hi; lo } -> if is_empty lo then go (var :: acc) hi else None
+  in
+  go [] f
+
+(* [remove_sup_chain st a t] = no_sup_set a {t}: drop from [a] every set
+   that contains all of [t] (sorted ascending). *)
+let rec remove_sup_chain st a t =
+  match t with
+  | [] -> empty (* ∅ ⊆ every set *)
+  | v :: rest -> (
+    match a.node with
+    | Empty | Base -> a
+    | Node { var; hi; lo } ->
+      if var > v then a (* no set in a contains v *)
+      else if var = v then mk st var (remove_sup_chain st hi rest) lo
+      else mk st var (remove_sup_chain st hi t) (remove_sup_chain st lo t))
+
+(* [not_subsets_chain st a t] = no_sub_set a {t}: drop from [a] every
+   set contained in [t]. *)
+let rec not_subsets_chain st a t =
+  match a.node with
+  | Empty -> empty
+  | Base -> empty (* ∅ ⊆ t always *)
+  | Node { var; hi; lo } -> (
+    match t with
+    | [] ->
+      (* only ∅ ⊆ ∅; every hi set is non-empty *)
+      mk st var hi (not_subsets_chain st lo [])
+    | v :: rest ->
+      if var < v then
+        (* var ∉ t, so no hi set can be ⊆ t: the branch survives whole *)
+        mk st var hi (not_subsets_chain st lo t)
+      else if var = v then
+        mk st var (not_subsets_chain st hi rest) (not_subsets_chain st lo rest)
+      else not_subsets_chain st a rest)
+
+let build_chain st t =
+  List.fold_left (fun acc v -> mk st v acc empty) base (List.rev t)
+
+(* [insert_chain st g t] = product g {t} = { s ∪ t : s ∈ g }. *)
+let rec insert_chain st g t =
+  match t with
+  | [] -> g
+  | v :: rest -> (
+    match g.node with
+    | Empty -> empty
+    | Base -> build_chain st t
+    | Node { var; hi; lo } ->
+      if var < v then mk st var (insert_chain st hi t) (insert_chain st lo t)
+      else if var = v then
+        (* both branches gain v, so they merge under it *)
+        mk st v (insert_chain st (union_st st hi lo) rest) empty
+      else mk st v (insert_chain st g rest) empty)
+
+(* ------------------------------------------------------------------ *)
 (* Unate cube-set algebra                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -276,13 +558,30 @@ let rec product_st st f g =
     match Cache2.find_opt st.product_cache key with
     | Some r -> r
     | None ->
-      let v = top2 f g in
-      let f1, f0 = cof f v and g1, g0 = cof g v in
-      let hi =
-        union_st st (product_st st f1 g1)
-          (union_st st (product_st st f1 g0) (product_st st f0 g1))
+      let chain =
+        if not (Atomic.get cfg_chain) then None
+        else
+          match single_set f with
+          | Some t -> Some (insert_chain st g t)
+          | None -> (
+            match single_set g with
+            | Some t -> Some (insert_chain st f t)
+            | None -> None)
       in
-      let r = mk st v hi (product_st st f0 g0) in
+      let r =
+        match chain with
+        | Some r ->
+          st.chain_hits <- st.chain_hits + 1;
+          r
+        | None ->
+          let v = top2 f g in
+          let f1, f0 = cof f v and g1, g0 = cof g v in
+          let hi =
+            union_st st (product_st st f1 g1)
+              (union_st st (product_st st f1 g0) (product_st st f0 g1))
+          in
+          mk st v hi (product_st st f0 g0)
+      in
       Cache2.add st.product_cache key r;
       r
   end
@@ -300,8 +599,16 @@ let rec no_sup_set_st st a b =
     match Cache2.find_opt st.nosup_cache key with
     | Some r -> r
     | None ->
+      let chain =
+        if Atomic.get cfg_chain then single_set b else None
+      in
       let r =
-        match (a.node, b.node) with
+        match chain with
+        | Some t ->
+          st.chain_hits <- st.chain_hits + 1;
+          remove_sup_chain st a t
+        | None -> (
+          match (a.node, b.node) with
         | Node { var = va; hi = ha; lo = la }, Node { var = vb; hi = _; lo = lb }
           when va = vb ->
           let hb = (match b.node with Node { hi; _ } -> hi | _ -> assert false) in
@@ -313,8 +620,8 @@ let rec no_sup_set_st st a b =
         | Node _, Node { lo = lb; _ } ->
           (* vb < va: members of b containing vb subsume nothing in a *)
           no_sup_set_st st a lb
-        | (Empty | Base | Node _), (Empty | Base) -> assert false
-        | (Empty | Base), Node _ -> assert false
+          | (Empty | Base | Node _), (Empty | Base) -> assert false
+          | (Empty | Base), Node _ -> assert false)
       in
       Cache2.add st.nosup_cache key r;
       r
@@ -332,8 +639,16 @@ let rec no_sub_set_st st a b =
     match Cache2.find_opt st.nosub_cache key with
     | Some r -> r
     | None ->
+      let chain =
+        if Atomic.get cfg_chain then single_set b else None
+      in
       let r =
-        match (a.node, b.node) with
+        match chain with
+        | Some t ->
+          st.chain_hits <- st.chain_hits + 1;
+          not_subsets_chain st a t
+        | None -> (
+          match (a.node, b.node) with
         | Node { var = va; hi = ha; lo = la }, Node { var = vb; hi = hb; lo = lb }
           when va = vb ->
           mk st va (no_sub_set_st st ha hb) (no_sub_set_st st la (union_st st lb hb))
@@ -347,8 +662,8 @@ let rec no_sub_set_st st a b =
         | Node _, Base ->
           (* only ∅ is a subset of ∅: drop it from a if present *)
           diff_st st a b
-        | (Empty | Base | Node _), Empty | (Empty | Base), (Base | Node _) ->
-          assert false
+          | (Empty | Base | Node _), Empty | (Empty | Base), (Base | Node _) ->
+            assert false)
       in
       Cache2.add st.nosub_cache key r;
       r

@@ -138,18 +138,98 @@ val to_sets : t -> elt list list
 (** All member sets, lexicographically by the enumeration order of
     {!iter_sets}. *)
 
-(** {1 Engine management} *)
+(** {1 Engine management}
+
+    Each OCaml 5 domain owns a private manager (unique table, tag
+    allocator, operation caches, collector).  The managers have a real
+    lifecycle: live families are pinned via {!Root} handles, and dead
+    nodes are reclaimed by generational mark-and-sweep ({!Gc}), with
+    every operation cache invalidated on collection so stale hits can
+    never resurrect a swept node. *)
+
+val default_initial_size : int
+(** 65_536 — the out-of-the-box unique-table size. *)
+
+val default_gc_threshold : int
+(** 262_144 — the out-of-the-box allocation budget between automatic
+    collections. *)
+
+val configure :
+  ?initial_size:int -> ?gc_threshold:int -> ?chain_reduction:bool -> unit -> unit
+(** Engine-wide tunables (shared atomics; worker domains spawned later
+    inherit them, and running managers re-read [gc_threshold] at each
+    safe point).  [initial_size] seeds new domains' unique tables
+    (default 65_536, clamped to ≥ 16).  [gc_threshold] is the number of
+    fresh allocations between automatic {!Gc.maybe_collect} collections
+    (default 262_144); [0] disables automatic collection entirely.
+    [chain_reduction] toggles the chain-aware fast paths in {!product},
+    {!no_sup_set} and {!no_sub_set} (default [true]). *)
 
 val clear_caches : unit -> unit
 
 val node_count : unit -> int
-(** Current unique-table occupancy (internal nodes ever hash-consed;
-    the table is never pruned, so this is monotone today). *)
+(** Current unique-table occupancy on this domain.  Grows with
+    hash-consing and shrinks when {!Gc} reclaims dead nodes. *)
 
 val peak_node_count : unit -> int
-(** High-water mark of {!node_count} over the engine's lifetime; always
-    [>= node_count ()], and stays correct if table pruning is ever
-    added. *)
+(** High-water mark of {!node_count} over the manager's lifetime;
+    always [>= node_count ()], including across collections. *)
+
+val chain_hit_count : unit -> int
+(** How many operations resolved through a chain fast path on this
+    domain (see {!configure}). *)
+
+(** Root handles pin families across garbage collections.  A handle is
+    created on — and owned by — the domain whose manager holds the
+    nodes; {!Root.release} may be called from any domain (it is a
+    single atomic store), and the owner drops the pin at its next
+    collection.  This is how [Serve.Cache] keeps a warm ZDD universe
+    alive from the server thread while worker domains collect. *)
+module Root : sig
+  type handle
+
+  val create : t -> handle
+  (** Register the family as a GC root on the calling domain. *)
+
+  val get : handle -> t option
+  (** The pinned family, or [None] if the handle was released or the
+      caller is not the owning domain (foreign nodes must never leak
+      into another manager's operations). *)
+
+  val release : handle -> unit
+  (** Unpin.  Safe from any domain; idempotent. *)
+
+  val is_released : handle -> bool
+end
+
+(** Generational mark-and-sweep over this domain's unique table.
+    Collections are only triggered between operations (never inside a
+    recursion), so callers decide the safe points: pass the families
+    they still need as [roots] (in addition to registered {!Root}
+    handles).  Minor collections sweep only the nursery — nodes
+    allocated since the last collection; sound because children are
+    always older than their parents — and escalate to a full sweep when
+    the nursery is mostly live. *)
+module Gc : sig
+  type stats = {
+    collections : int;  (** total collections (minor + major) *)
+    major_collections : int;
+    reclaimed_total : int;  (** nodes reclaimed over the lifetime *)
+    live_after_last : int;  (** table occupancy after the last sweep *)
+    threshold : int;  (** current adaptive allocation threshold *)
+  }
+
+  val collect : ?roots:t list -> unit -> int
+  (** Force a full (major) collection; returns nodes reclaimed. *)
+
+  val maybe_collect : ?roots:t list -> unit -> bool
+  (** Collect iff allocations since the last collection exceed the
+      adaptive threshold (seeded from {!configure}'s [gc_threshold];
+      low-yield collections back it off up to 32×, high-yield ones pull
+      it back).  Returns whether a collection ran. *)
+
+  val stats : unit -> stats
+end
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer: the family as a list of sets (truncated when large). *)

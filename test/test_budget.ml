@@ -350,6 +350,80 @@ let test_differential () =
         governed.Scg.stats.Scg.Stats.penalty_fixes)
     (Lazy.force difficult_matrices)
 
+(* ------------------------------------------------------------------ *)
+(* fsm: the governor reaches the binate branch-and-bound               *)
+(* ------------------------------------------------------------------ *)
+
+let fsm_tr input source next output =
+  { Fsm.Machine.input = Logic.Cube.of_string input; source; next; output }
+
+(* s1 and s2 are equivalent, so a closed cover exists and the binate
+   search does real branching (same machine as test_fsm's mergeable) *)
+let fsm_machine () =
+  Fsm.Machine.create ~ni:1 ~no:1 ~states:[| "s0"; "s1"; "s2" |] ~reset:0
+    [
+      fsm_tr "0" 0 (Some 1) "0";
+      fsm_tr "1" 0 (Some 2) "1";
+      fsm_tr "0" 1 (Some 0) "1";
+      fsm_tr "1" 1 (Some 1) "0";
+      fsm_tr "0" 2 (Some 0) "1";
+      fsm_tr "1" 2 (Some 2) "0";
+    ]
+
+(* A trip must stop an in-flight minimisation at the branch-and-bound
+   checkpoint: either the search winds down to an incumbent
+   ([optimal = false]) or — when the trip fires before any closed cover
+   was seen — minimise raises its typed Invalid_argument.  Both are
+   acceptable ends; what the test pins is that the governor tripped at
+   [Exact_bb] at all (before this fix only the node cap reached the
+   binate search, so deadlines, drain and fault injection sailed by). *)
+let check_fsm_stopped b =
+  (match Fsm.Minimise.minimise ~budget:b (fsm_machine ()) with
+  | r -> Alcotest.(check bool) "wound down" false r.Fsm.Minimise.optimal
+  | exception Invalid_argument _ -> ());
+  Budget.tripped b
+
+let test_fsm_trip_site () =
+  let b = Budget.create ~fault_after:1 ~fault_site:Budget.Exact_bb () in
+  match check_fsm_stopped b with
+  | Some { Budget.site = Budget.Exact_bb; reason = Budget.Fault_injected 1; _ } ->
+    ()
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none")
+
+let test_fsm_interrupt () =
+  (* the daemon's drain path: Budget.interrupt from outside the solve *)
+  let b = Budget.create () in
+  Budget.interrupt b;
+  match check_fsm_stopped b with
+  | Some { Budget.site = Budget.Exact_bb; reason = Budget.Interrupted; _ } -> ()
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none")
+
+let test_fsm_deadline () =
+  (* an already-expired deadline trips on the very first search node
+     (check_every 1: the tiny search must not finish between clock reads) *)
+  let b = Budget.create ~timeout:0. ~check_every:1 () in
+  match check_fsm_stopped b with
+  | Some { Budget.site = Budget.Exact_bb; reason = Budget.Deadline _; _ } -> ()
+  | t ->
+    Alcotest.failf "wrong trip: %s"
+      (match t with Some t -> Budget.describe t | None -> "none")
+
+let test_fsm_differential () =
+  (* an active but unlimited governor changes nothing *)
+  let plain = Fsm.Minimise.minimise (fsm_machine ()) in
+  let governed = Fsm.Minimise.minimise ~budget:(Budget.create ()) (fsm_machine ()) in
+  Alcotest.(check int) "states" plain.Fsm.Minimise.minimised_states
+    governed.Fsm.Minimise.minimised_states;
+  Alcotest.(check bool) "optimal" plain.Fsm.Minimise.optimal
+    governed.Fsm.Minimise.optimal;
+  Alcotest.(check int) "nodes" plain.Fsm.Minimise.nodes governed.Fsm.Minimise.nodes;
+  Alcotest.(check bool) "chosen" true
+    (plain.Fsm.Minimise.chosen = governed.Fsm.Minimise.chosen)
+
 let () =
   Alcotest.run "budget"
     [
@@ -380,5 +454,12 @@ let () =
           Alcotest.test_case "exact" `Quick test_exact_budget;
           Alcotest.test_case "dual ascent" `Quick test_dual_ascent_budget;
           Alcotest.test_case "espresso" `Quick test_espresso_budget;
+        ] );
+      ( "fsm",
+        [
+          Alcotest.test_case "trip site" `Quick test_fsm_trip_site;
+          Alcotest.test_case "interrupt" `Quick test_fsm_interrupt;
+          Alcotest.test_case "deadline" `Quick test_fsm_deadline;
+          Alcotest.test_case "differential" `Quick test_fsm_differential;
         ] );
     ]

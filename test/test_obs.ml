@@ -341,7 +341,25 @@ let test_gauge_monotonicity () =
    with
   | Some (_, nodes, _), Some (_, peak, _) ->
     checkb "zdd.nodes <= zdd.peak_nodes" true (nodes <= peak)
-  | _ -> Alcotest.fail "zdd gauges missing from the summary")
+  | _ -> Alcotest.fail "zdd gauges missing from the summary");
+  (* the manager-lifecycle probes ride along; collections, reclaimed
+     and chain hits are monotone meters, so their final value is their
+     peak (zdd.gc.live is a true gauge and only bounded by its peak) *)
+  List.iter
+    (fun (gauge, meter) ->
+      match
+        List.find_opt (fun (n, _, _) -> n = gauge) (Obs.Trace.summary_gauges tr)
+      with
+      | Some (_, v, peak) ->
+        checkb (gauge ^ " non-negative") true (v >= 0.);
+        if meter then checkb (gauge ^ " meter peaks at final") true (v = peak)
+      | None -> Alcotest.failf "%s missing from the summary" gauge)
+    [
+      ("zdd.gc.collections", true);
+      ("zdd.gc.reclaimed", true);
+      ("zdd.gc.live", false);
+      ("zdd.chain_hits", true);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Gate                                                               *)

@@ -1,0 +1,258 @@
+(* The ZDD manager lifecycle: root pinning, generational mark-and-sweep,
+   cache invalidation on collection, and the chain fast paths.
+
+   The load-bearing properties: (1) collection never changes any solver
+   answer — differential runs with GC forced at a tiny threshold, GC
+   off, and chain reduction toggled must be bit-identical; (2) rooted
+   families survive collection with canonicity intact (rebuilding an
+   identical family yields the physically equal node); (3) released
+   roots — including releases from another domain, the serve-cache
+   invalidation path — actually die.
+
+   Solver-level differentials run in fresh spawned domains: a child
+   domain gets a pristine manager, so node counts and collection
+   schedules are deterministic regardless of what earlier tests did to
+   this domain's table. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let restore_defaults () =
+  Zdd.configure ~initial_size:Zdd.default_initial_size
+    ~gc_threshold:Zdd.default_gc_threshold ~chain_reduction:true ()
+
+let with_config ?initial_size ?gc_threshold ?chain_reduction f =
+  Zdd.configure ?initial_size ?gc_threshold ?chain_reduction ();
+  Fun.protect ~finally:restore_defaults f
+
+(* a family with internal sharing, plus garbage from intermediate ops *)
+let build_family seed =
+  let sets =
+    List.init 24 (fun i ->
+        List.init (3 + ((seed + i) mod 4)) (fun j -> (seed + (i * j)) mod 17))
+  in
+  Zdd.of_sets sets
+
+(* ------------------------------------------------------------------ *)
+(* collection basics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_collect_reclaims_garbage () =
+  let live = build_family 1 in
+  (* garbage: families used once and dropped *)
+  for i = 2 to 10 do
+    ignore (Zdd.union live (build_family i))
+  done;
+  let before = Zdd.node_count () in
+  let reclaimed = Zdd.Gc.collect ~roots:[ live ] () in
+  checkb "reclaimed something" true (reclaimed > 0);
+  checki "occupancy dropped by reclaimed" (before - reclaimed) (Zdd.node_count ());
+  checkb "live family intact" true (Zdd.count live > 0.)
+
+let test_canonicity_after_collect () =
+  let f = build_family 3 in
+  let sets = Zdd.to_sets f in
+  ignore (Zdd.Gc.collect ~roots:[ f ] ());
+  (* rebuilding the same family must produce the physically equal root:
+     the survivors stayed in the unique table and the caches were
+     invalidated, so no duplicate of a live node can ever be built *)
+  let g = Zdd.of_sets sets in
+  checkb "canonical after sweep" true (Zdd.equal f g);
+  (* operations on survivors still agree with the model *)
+  checkb "union idempotent" true (Zdd.equal f (Zdd.union f g));
+  checkb "minimal stable" true
+    (Zdd.equal (Zdd.minimal f) (Zdd.minimal (Zdd.of_sets sets)))
+
+let test_peak_monotone () =
+  let f = build_family 5 in
+  let peak_before = Zdd.peak_node_count () in
+  ignore (Zdd.Gc.collect ~roots:[ f ] ());
+  checkb "nodes <= peak" true (Zdd.node_count () <= Zdd.peak_node_count ());
+  checkb "peak survives collection" true (Zdd.peak_node_count () >= peak_before)
+
+(* ------------------------------------------------------------------ *)
+(* roots                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_root_survival () =
+  let f = build_family 7 in
+  let sets = Zdd.to_sets f in
+  let handle = Zdd.Root.create f in
+  (* no extra roots: the registered handle alone must pin the family *)
+  ignore (Zdd.Gc.collect ());
+  checkb "still registered" true (Zdd.Root.get handle <> None);
+  checkb "family intact" true (Zdd.to_sets f = sets);
+  checkb "still canonical" true (Zdd.equal f (Zdd.of_sets sets));
+  (* release: the next collection reclaims the family's nodes *)
+  let occupied = Zdd.node_count () in
+  Zdd.Root.release handle;
+  checkb "marked released" true (Zdd.Root.is_released handle);
+  checkb "get after release" true (Zdd.Root.get handle = None);
+  let reclaimed = Zdd.Gc.collect () in
+  checkb "released nodes died" true (reclaimed > 0);
+  checki "table shrank" (occupied - reclaimed) (Zdd.node_count ())
+
+let test_cross_domain_release () =
+  let f = build_family 9 in
+  let handle = Zdd.Root.create f in
+  (* another domain may not read the pinned value (foreign nodes must
+     not leak into its own manager) but may release it *)
+  let got_cross, released_cross =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let got = Zdd.Root.get handle in
+           Zdd.Root.release handle;
+           (got, Zdd.Root.is_released handle)))
+  in
+  checkb "cross-domain get refused" true (got_cross = None);
+  checkb "cross-domain release lands" true released_cross;
+  let reclaimed = Zdd.Gc.collect () in
+  checkb "owner sweep frees it" true (reclaimed > 0);
+  checkb "get sees the release" true (Zdd.Root.get handle = None)
+
+(* ------------------------------------------------------------------ *)
+(* automatic collection                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_maybe_collect_threshold () =
+  with_config ~gc_threshold:256 (fun () ->
+      let live = build_family 11 in
+      let stats0 = Zdd.Gc.stats () in
+      (* below threshold right after a collect: no-op *)
+      ignore (Zdd.Gc.collect ~roots:[ live ] ());
+      checkb "fresh counter" false (Zdd.Gc.maybe_collect ~roots:[ live ] ());
+      (* allocate garbage well past the threshold *)
+      for i = 20 to 40 do
+        ignore (Zdd.union live (build_family i))
+      done;
+      checkb "past threshold" true (Zdd.Gc.maybe_collect ~roots:[ live ] ());
+      checkb "collections counted" true
+        ((Zdd.Gc.stats ()).Zdd.Gc.collections > stats0.Zdd.Gc.collections);
+      (* the counter reset: an immediate retry is below threshold again *)
+      checkb "counter reset" false (Zdd.Gc.maybe_collect ~roots:[ live ] ()))
+
+let test_gc_disabled () =
+  with_config ~gc_threshold:0 (fun () ->
+      let live = build_family 13 in
+      for i = 50 to 70 do
+        ignore (Zdd.union live (build_family i))
+      done;
+      checkb "threshold 0 never collects" false
+        (Zdd.Gc.maybe_collect ~roots:[ live ] ()))
+
+(* ------------------------------------------------------------------ *)
+(* solver differentials (fresh domain per run)                         *)
+(* ------------------------------------------------------------------ *)
+
+type run = {
+  solution : int list;
+  cost : int;
+  lower_bound : int;
+  proven_optimal : bool;
+  collections : int;
+  reclaimed : int;
+  peak : int;
+  chain_hits : int;
+}
+
+(* solve a registry instance in a pristine domain with the given manager
+   tunables; Scg.solve itself applies them via Zdd.configure *)
+let solve_fresh ~gc_threshold ~chain name =
+  let r =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let m = Benchsuite.Registry.matrix (Benchsuite.Registry.find name) in
+           let config =
+             {
+               Scg.Config.default with
+               Scg.Config.zdd_gc_threshold = gc_threshold;
+               zdd_chain_reduction = chain;
+             }
+           in
+           let r = Scg.solve ~config m in
+           let st = Zdd.Gc.stats () in
+           {
+             solution = r.Scg.solution;
+             cost = r.Scg.cost;
+             lower_bound = r.Scg.lower_bound;
+             proven_optimal = r.Scg.proven_optimal;
+             collections = st.Zdd.Gc.collections;
+             reclaimed = st.Zdd.Gc.reclaimed_total;
+             peak = Zdd.peak_node_count ();
+             chain_hits = Zdd.chain_hit_count ();
+           }))
+  in
+  (* the child's Scg.solve wrote the shared tunables; put them back *)
+  restore_defaults ();
+  r
+
+let same_answer ctx a b =
+  Alcotest.(check (list int)) (ctx ^ ": solution") a.solution b.solution;
+  checki (ctx ^ ": cost") a.cost b.cost;
+  checki (ctx ^ ": lower bound") a.lower_bound b.lower_bound;
+  checkb (ctx ^ ": optimal") a.proven_optimal b.proven_optimal
+
+let differential_names = [ "bench1"; "t1"; "test4" ]
+
+let test_differential_gc () =
+  (* small instances may not allocate enough between safe points to
+     trip even a tiny threshold, so "collection actually happened" is
+     asserted across the set; identical answers are asserted per run *)
+  let collections, reclaimed =
+    List.fold_left
+      (fun (c, r) name ->
+        let off = solve_fresh ~gc_threshold:0 ~chain:true name in
+        let on_ = solve_fresh ~gc_threshold:128 ~chain:true name in
+        same_answer name off on_;
+        checki (name ^ ": gc-off never collects") 0 off.collections;
+        checkb (name ^ ": gc bounds the peak") true (on_.peak <= off.peak);
+        (c + on_.collections, r + on_.reclaimed))
+      (0, 0) differential_names
+  in
+  checkb "forced gc collected" true (collections > 0);
+  checkb "forced gc reclaimed" true (reclaimed > 0)
+
+let test_differential_chain () =
+  List.iter
+    (fun name ->
+      let with_chain = solve_fresh ~gc_threshold:0 ~chain:true name in
+      let without = solve_fresh ~gc_threshold:0 ~chain:false name in
+      same_answer name with_chain without;
+      checki (name ^ ": chain off takes no fast path") 0 without.chain_hits)
+    differential_names;
+  (* the implicit encodings are chain-heavy: at least one instance must
+     actually exercise the fast paths *)
+  let hits =
+    List.fold_left
+      (fun acc name -> acc + (solve_fresh ~gc_threshold:0 ~chain:true name).chain_hits)
+      0 differential_names
+  in
+  checkb "chain paths exercised" true (hits > 0)
+
+let () =
+  Alcotest.run "zdd_gc"
+    [
+      ( "collect",
+        [
+          Alcotest.test_case "reclaims garbage" `Quick test_collect_reclaims_garbage;
+          Alcotest.test_case "canonicity preserved" `Quick
+            test_canonicity_after_collect;
+          Alcotest.test_case "peak monotone" `Quick test_peak_monotone;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "root survival" `Quick test_root_survival;
+          Alcotest.test_case "cross-domain release" `Quick
+            test_cross_domain_release;
+        ] );
+      ( "auto",
+        [
+          Alcotest.test_case "threshold" `Quick test_maybe_collect_threshold;
+          Alcotest.test_case "disabled" `Quick test_gc_disabled;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "gc on/off" `Quick test_differential_gc;
+          Alcotest.test_case "chain on/off" `Quick test_differential_chain;
+        ] );
+    ]
