@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-serve bench-zdd bench-check bench-check-dense bench-check-serve bench-check-zdd bench-check-par fault-smoke trace-smoke serve-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-serve bench-zdd bench-check bench-check-dense bench-check-serve bench-check-zdd bench-check-par fault-smoke trace-smoke serve-smoke metrics-smoke doc examples clean
 
 all: build
 
@@ -92,6 +92,14 @@ trace-smoke:
 # (the suite is also part of the default `dune runtest`)
 serve-smoke:
 	dune build @serve-smoke
+
+# observability sanity: the metrics registry unit suite, then a real
+# ucp_serve booted with an access log and driven by ucp_load — the
+# load generator's --check-invariants makes the daemon's final STATS
+# balance its own books, ucp_top renders against the live socket, and
+# the access log is schema-validated line by line
+metrics-smoke:
+	dune build @metrics-smoke
 
 doc:
 	dune build @doc

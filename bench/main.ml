@@ -1492,11 +1492,19 @@ let run_serve ~json_path () =
       pr "serve: daemon on %s never became ready@." socket;
       exit 1
     end;
+    let before = try Some (Serve.Client.stats ~socket) with _ -> None in
     let result = f socket in
     let alive = Serve.Client.ping ~socket in
     let stats = if alive then Some (Serve.Client.stats ~socket) else None in
+    (* the server's own registry windowed onto this run: latency
+       quantiles and cache behaviour as the daemon saw them *)
+    let view =
+      match (before, stats) with
+      | Some b, Some a -> Some (Serve.Load.server_view ~before:b ~after:a)
+      | _ -> None
+    in
     let (), drain_s = timed (fun () -> Serve.Daemon.stop d) in
-    (result, alive, stats, drain_s)
+    (result, alive, stats, view, drain_s)
   in
   (* throughput + warm cache *)
   let t_cfg =
@@ -1507,7 +1515,7 @@ let run_serve ~json_path () =
       max_timeout = 10.0;
     }
   in
-  let through, alive_t, stats_t, drain_t =
+  let through, alive_t, stats_t, view_t, drain_t =
     with_daemon t_cfg (fun socket ->
         Serve.Load.run ~socket ~concurrency:4 ~retries:3
           (Serve.Load.steady_jobs ~n:60 ~distinct:6 ~seed:7 ~rows:30 ~cols:60))
@@ -1531,7 +1539,7 @@ let run_serve ~json_path () =
       max_timeout = 10.0;
     }
   in
-  let overload, alive_o, stats_o, drain_o =
+  let overload, alive_o, stats_o, _view_o, drain_o =
     with_daemon o_cfg (fun socket ->
         Serve.Load.run ~socket ~concurrency:16 ~retries:0
           (Serve.Load.steady_jobs ~n:48 ~distinct:2 ~seed:11 ~rows:60 ~cols:120))
@@ -1551,7 +1559,7 @@ let run_serve ~json_path () =
       max_timeout = 10.0;
     }
   in
-  let torture, alive_x, stats_x, drain_x =
+  let torture, alive_x, stats_x, _view_x, drain_x =
     with_daemon x_cfg (fun socket ->
         Serve.Load.run ~socket ~concurrency:6 ~retries:6
           (Serve.Load.torture_jobs ~n:24 ~seed:3 ~fault:true))
@@ -1572,7 +1580,7 @@ let run_serve ~json_path () =
   let isolated = alive_x && crashes > 0 in
   let json =
     J.Obj
-      [
+      ([
         ("mode", J.String "serve");
         ("daemon_alive_after", J.Bool alive);
         ("clean_drain", J.Bool true);
@@ -1586,14 +1594,28 @@ let run_serve ~json_path () =
               ("shed_rate", J.Float overload.Serve.Load.shed_rate);
             ] );
         ( "warm",
-          J.Obj [ ("hits", J.Int warm_hits); ("misses", J.Int warm_misses) ] );
+          J.Obj
+            [
+              ("hits", J.Int warm_hits);
+              ("misses", J.Int warm_misses);
+              ( "hit_ratio",
+                J.Float
+                  (if warm_hits + warm_misses > 0 then
+                     float_of_int warm_hits
+                     /. float_of_int (warm_hits + warm_misses)
+                   else 0.) );
+            ] );
+        (* informational only — latency quantiles and ratios are
+           machine-dependent, so Obs.Gate never gates on them *)
         ( "throughput",
           J.Obj
             [
               ("requests", J.Int through.Serve.Load.requests);
               ("rps", J.Float through.Serve.Load.rps);
               ("p50_ms", J.Float through.Serve.Load.p50_ms);
+              ("p90_ms", J.Float through.Serve.Load.p90_ms);
               ("p99_ms", J.Float through.Serve.Load.p99_ms);
+              ("p999_ms", J.Float through.Serve.Load.p999_ms);
             ] );
         ( "torture",
           J.Obj
@@ -1604,6 +1626,10 @@ let run_serve ~json_path () =
             ] );
         ("drain_seconds", J.Float (drain_t +. drain_o +. drain_x));
       ]
+      @
+      match view_t with
+      | Some v -> [ ("server", Serve.Load.server_view_json v) ]
+      | None -> [])
   in
   let oc = open_out json_path in
   output_string oc (J.to_string json);

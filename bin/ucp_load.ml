@@ -44,7 +44,7 @@ let int_of_stats stats key =
   | _ -> None
 
 let run socket self_daemon mix n concurrency retries seed distinct rows cols
-    fault json_path verbose =
+    fault json_path check_invariants verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning);
@@ -77,6 +77,9 @@ let run socket self_daemon mix n concurrency retries seed distinct rows cols
     finish 1
   end
   else begin
+    (* STATS before and after window the server's cumulative registry
+       into exactly this run *)
+    let before_stats = try Some (Serve.Client.stats ~socket) with _ -> None in
     let jobs = jobs_of_mix mix ~n ~seed ~distinct ~rows ~cols ~fault in
     let report = Serve.Load.run ~socket ~concurrency ~retries jobs in
     Fmt.pr "%a@." Serve.Load.pp_report report;
@@ -93,21 +96,42 @@ let run socket self_daemon mix n concurrency retries seed distinct rows cols
         (Option.value (int_of_stats s "misses") ~default:0)
         (Option.value (int_of_stats s "invalidations") ~default:0)
     | None -> ());
+    let view =
+      match (before_stats, stats) with
+      | Some before, Some after -> Some (Serve.Load.server_view ~before ~after)
+      | _ -> None
+    in
+    Option.iter (fun v -> Fmt.pr "%a@." Serve.Load.pp_server_view v) view;
+    let inv_errors =
+      if not check_invariants then []
+      else
+        match stats with
+        | None -> [ "no final STATS to audit" ]
+        | Some s -> Serve.Load.conservation_errors s
+    in
+    List.iter
+      (fun e -> Fmt.epr "ucp_load: conservation violated: %s@." e)
+      inv_errors;
     Option.iter
       (fun path ->
+        let extra =
+          (match stats with Some s -> [ ("daemon", s) ] | None -> [])
+          @
+          match view with
+          | Some v -> [ ("server", Serve.Load.server_view_json v) ]
+          | None -> []
+        in
         let json =
-          match stats with
-          | Some s ->
-            (match Serve.Load.report_json report with
-            | Telemetry.Json.Obj fields ->
-              Telemetry.Json.Obj (fields @ [ ("daemon", s) ])
-            | j -> j)
-          | None -> Serve.Load.report_json report
+          match Serve.Load.report_json report with
+          | Telemetry.Json.Obj fields -> Telemetry.Json.Obj (fields @ extra)
+          | j -> j
         in
         write_json path json)
       json_path;
     List.iter (fun c -> Fmt.epr "ucp_load: %s@." c) report.Serve.Load.unexpected;
-    let failed = report.Serve.Load.unexpected <> [] || not alive in
+    let failed =
+      report.Serve.Load.unexpected <> [] || (not alive) || inv_errors <> []
+    in
     finish (if failed then 1 else 0)
   end
 
@@ -181,7 +205,20 @@ let json_arg =
     value
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE"
-        ~doc:"Write the report (plus daemon stats) as one JSON object.")
+        ~doc:
+          "Write the report (plus daemon stats and the windowed server-side \
+           view) as one JSON object.")
+
+let check_invariants_arg =
+  Arg.(
+    value & flag
+    & info [ "check-invariants" ]
+        ~doc:
+          "Audit the final STATS snapshot for metric conservation (every \
+           accepted request accounted for exactly once: accepted = responses \
+           + timeouts + eofs, shed = OVERLOAD answers, queue-wait samples = \
+           worker pops).  Any violation fails the run.  Only meaningful when \
+           this process is the daemon's sole client.")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
@@ -202,6 +239,6 @@ let cmd =
     Term.(
       const run $ socket_arg $ self_daemon_arg $ mix_arg $ n_arg
       $ concurrency_arg $ retries_arg $ seed_arg $ distinct_arg $ rows_arg
-      $ cols_arg $ fault_arg $ json_arg $ verbose_arg)
+      $ cols_arg $ fault_arg $ json_arg $ check_invariants_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -20,7 +20,7 @@ open Cmdliner
 let drain_requested = Atomic.make false
 
 let run socket workers queue_depth max_payload_mb read_timeout max_timeout
-    max_nodes max_steps drain_grace retry_after allow_faults trace
+    max_nodes max_steps drain_grace retry_after allow_faults trace access_log
     cache_capacity verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
@@ -48,6 +48,7 @@ let run socket workers queue_depth max_payload_mb read_timeout max_timeout
         retry_after;
         allow_fault_injection = allow_faults;
         trace;
+        access_log;
         cache_capacity;
       }
     in
@@ -175,6 +176,16 @@ let trace_arg =
           "Write a JSON-lines telemetry trace (per-request records, crash \
            events); flushed record-by-record so it survives unclean death.")
 
+let access_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Write one JSON line per finished request: trace id, payload \
+           digest, outcome code, queue wait, solve time, cache disposition.  \
+           Flushed line-by-line.")
+
 let cache_capacity_arg =
   Arg.(
     value & opt int 64
@@ -199,6 +210,6 @@ let cmd =
       const run $ socket_arg $ workers_arg $ queue_depth_arg $ max_payload_arg
       $ read_timeout_arg $ max_timeout_arg $ max_nodes_arg $ max_steps_arg
       $ drain_grace_arg $ retry_after_arg $ allow_faults_arg $ trace_arg
-      $ cache_capacity_arg $ verbose_arg)
+      $ access_log_arg $ cache_capacity_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,183 @@
+(* ucp_top — live terminal view of a running ucp_serve daemon.
+
+   Polls STATS (one registry snapshot per tick) and HEALTH over the
+   daemon's Unix-domain socket and renders throughput, shed rate, cache
+   hit ratio, latency quantiles and the ZDD/GC gauges.  Rates and the
+   windowed quantiles come from deltas between consecutive snapshots
+   (Serve.Load.server_view); the cumulative columns read the registry
+   directly.
+
+   --once prints a single snapshot (no screen clearing, cumulative
+   window) and exits — what scripts and the metrics smoke test use. *)
+
+open Cmdliner
+module J = Telemetry.Json
+
+let member k = function J.Obj fields -> List.assoc_opt k fields | _ -> None
+
+let path doc ks =
+  List.fold_left (fun acc k -> Option.bind acc (member k)) (Some doc) ks
+
+let float_at doc ks =
+  match path doc ks with
+  | Some (J.Float f) -> f
+  | Some (J.Int n) -> float_of_int n
+  | _ -> Float.nan
+
+let int_at doc ks =
+  match path doc ks with
+  | Some (J.Int n) -> n
+  | Some (J.Float f) -> int_of_float f
+  | _ -> 0
+
+let bool_at doc ks =
+  match path doc ks with Some (J.Bool b) -> b | _ -> false
+
+let string_at doc ks =
+  match path doc ks with Some (J.String s) -> s | _ -> "-"
+
+let cumulative_hist stats name =
+  Option.bind
+    (path stats [ "metrics"; "histograms"; name ])
+    Metrics.Histogram.of_json
+
+let pp_quantiles name hist =
+  match hist with
+  | None -> Fmt.pr "  %-16s (no samples)@." name
+  | Some s ->
+    let q p = Metrics.Histogram.quantile s p *. 1000. in
+    Fmt.pr "  %-16s n=%-7d p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p999 %8.3fms@."
+      name s.Metrics.Histogram.count (q 0.50) (q 0.90) (q 0.99) (q 0.999)
+
+let gauge stats name = float_at stats [ "metrics"; "gauges"; name ]
+
+let render ~socket ~clear ~health ~stats ~view =
+  if clear then Fmt.pr "\027[H\027[2J";
+  let status = string_at health [ "status" ] in
+  let saturated = bool_at health [ "saturated" ] in
+  Fmt.pr
+    "ucp_serve @@ %s — %s%s, up %.1fs, %d workers, inflight %d, queue %d/%d@."
+    socket status
+    (if saturated then " (queue saturated)" else "")
+    (float_at health [ "uptime" ])
+    (int_at health [ "workers" ])
+    (int_at health [ "inflight" ])
+    (int_at health [ "queue"; "depth" ])
+    (int_at health [ "queue"; "capacity" ]);
+  Fmt.pr "totals: received %d, shed %d, crashes %d, timeouts %d, eofs %d@."
+    (int_at stats [ "received" ])
+    (int_at stats [ "shed" ])
+    (int_at stats [ "crashes" ])
+    (int_at stats [ "read_timeouts" ])
+    (int_at stats [ "eof_closes" ]);
+  (match view with
+  | None -> ()
+  | Some v ->
+    let open Serve.Load in
+    let rps =
+      if v.window_s > 0. then float_of_int v.v_accepted /. v.window_s else 0.
+    in
+    let shed_rate =
+      if v.v_accepted > 0 then
+        float_of_int v.v_shed /. float_of_int v.v_accepted
+      else 0.
+    in
+    Fmt.pr
+      "window %.1fs: %.1f rps, shed rate %.3f, crashed %d, cache hit ratio \
+       %.3f (%d/%d)@."
+      v.window_s rps shed_rate v.v_crashed v.v_hit_ratio v.v_cache_hits
+      (v.v_cache_hits + v.v_cache_misses);
+    Fmt.pr "windowed latency:@.";
+    pp_quantiles "queue wait" v.v_queue_wait;
+    pp_quantiles "solve (ok)" v.v_solve_ok);
+  Fmt.pr "cumulative latency:@.";
+  pp_quantiles "queue wait" (cumulative_hist stats "queue.wait_seconds");
+  pp_quantiles "solve (ok)" (cumulative_hist stats "solve.seconds.ok");
+  pp_quantiles "solve (budget)" (cumulative_hist stats "solve.seconds.budget");
+  Fmt.pr
+    "gauges: cache entries %.0f, zdd nodes %.0f (peak %.0f), gc minor words \
+     %.3g, majors %.0f@."
+    (gauge stats "cache.entries") (gauge stats "zdd.nodes")
+    (gauge stats "zdd.peak_nodes")
+    (gauge stats "gc.minor_words")
+    (gauge stats "gc.major_collections")
+
+let run socket interval iterations once =
+  let fetch () =
+    match
+      (Serve.Client.health ~socket, Serve.Client.stats ~socket)
+    with
+    | health, stats -> Some (health, stats)
+    | exception
+        ( Unix.Unix_error _ | Serve.Proto.Wire_error _ | Serve.Proto.Timeout
+        | End_of_file ) ->
+      None
+  in
+  match fetch () with
+  | None ->
+    Fmt.epr "ucp_top: no daemon answering on %s@." socket;
+    1
+  | Some (health, stats) ->
+    if once then begin
+      render ~socket ~clear:false ~health ~stats ~view:None;
+      0
+    end
+    else begin
+      let rec loop i prev_stats =
+        if iterations > 0 && i > iterations then 0
+        else begin
+          Unix.sleepf interval;
+          match fetch () with
+          | None ->
+            Fmt.epr "ucp_top: daemon stopped answering on %s@." socket;
+            1
+          | Some (health, stats) ->
+            let view =
+              Some (Serve.Load.server_view ~before:prev_stats ~after:stats)
+            in
+            render ~socket ~clear:true ~health ~stats ~view;
+            loop (i + 1) stats
+        end
+      in
+      render ~socket ~clear:true ~health ~stats ~view:None;
+      loop 2 stats
+    end
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to watch.")
+
+let interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Stop after $(docv) refreshes (0 = run until interrupted).")
+
+let once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:
+          "Print one snapshot (cumulative, no screen clearing) and exit — \
+           the scriptable mode.")
+
+let cmd =
+  let doc = "watch a ucp_serve daemon's live metrics" in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"after the requested iterations (or --once).";
+      Cmd.Exit.info 1 ~doc:"when no daemon answers on the socket.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ucp_top" ~doc ~exits)
+    Term.(const run $ socket_arg $ interval_arg $ iterations_arg $ once_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -172,6 +172,25 @@ let check_serve ~baseline ~fresh =
     note "info throughput %.1f rps, p50 %.2fms, p99 %.2fms (not gated)" rps p50
       p99
   | _ -> ());
+  (* newer informational fields — latency tails and cache hit ratios are
+     machine-dependent, so echoed but never gated *)
+  (match
+     ( Option.bind (Json.member "throughput" fresh) (member_f "p90_ms"),
+       Option.bind (Json.member "throughput" fresh) (member_f "p999_ms") )
+   with
+  | Some p90, Some p999 ->
+    note "info throughput p90 %.2fms, p999 %.2fms (not gated)" p90 p999
+  | _ -> ());
+  (match Option.bind (Json.member "warm" fresh) (member_f "hit_ratio") with
+  | Some r -> note "info warm cache hit ratio %.3f (not gated)" r
+  | None -> ());
+  (match
+     ( Option.bind (Json.member "server" fresh) (member_f "cache_hit_ratio"),
+       Option.bind (Json.member "server" fresh) (member_f "window_s") )
+   with
+  | Some r, Some w ->
+    note "info server view: %.1fs window, cache hit ratio %.3f (not gated)" w r
+  | _ -> ());
   { pass = !fails = []; lines = List.rev !lines }
 
 (* ------------------------------------------------------------------ *)

@@ -63,6 +63,16 @@ let stats ~socket =
   | Ok j -> j
   | Error e -> raise (Proto.Wire_error ("STATS body is not valid JSON: " ^ e))
 
+let health ~socket =
+  let code, _, body =
+    once ~socket (Proto.control_request Proto.Health) ~payload:""
+  in
+  if code <> Proto.OK then
+    raise (Proto.Wire_error ("HEALTH answered " ^ Proto.string_of_code code));
+  match Telemetry.Json.of_string body with
+  | Ok j -> j
+  | Error e -> raise (Proto.Wire_error ("HEALTH body is not valid JSON: " ^ e))
+
 let wait_ready ?(attempts = 50) ?(delay = 0.1) ~socket () =
   let rec go n =
     if n <= 0 then false

@@ -37,6 +37,12 @@ val stats : socket:string -> Telemetry.Json.t
 (** The daemon's [STATS] body, parsed.
     @raise Proto.Wire_error if the body is not valid JSON. *)
 
+val health : socket:string -> Telemetry.Json.t
+(** The daemon's [HEALTH] body, parsed.  Answered even when the
+    admission queue is full (the acceptor's fast path), so it is the
+    probe monitoring should use.
+    @raise Proto.Wire_error if the body is not valid JSON. *)
+
 val wait_ready : ?attempts:int -> ?delay:float -> socket:string -> unit -> bool
 (** Poll {!ping} until it succeeds (true) or [attempts] (default 50)
     spaced [delay] (default 0.1 s) are exhausted (false) — the "daemon

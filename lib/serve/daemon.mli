@@ -11,7 +11,9 @@
 
     Degradation ladder, in order of preference:
     + a full queue {e sheds} the connection — [OVERLOAD] plus a
-      [retry-after] hint, never unbounded queueing;
+      [retry-after] hint, never unbounded queueing — except a [HEALTH]
+      probe, which the acceptor recognises (by peeking at the socket
+      buffer) and answers inline so monitoring outlives saturation;
     + a request over its (server-clamped) budget returns its best
       feasible cover as [FEASIBLE_BUDGET] — the solver's anytime
       contract on the wire;
@@ -46,6 +48,10 @@ type config = {
       (** honour [fault-after]/[fault-site]/[fault-raise] request
           headers (testing only; off by default) *)
   trace : string option;  (** telemetry JSON-lines sink, flushed per record *)
+  access_log : string option;
+      (** structured access log: one JSON line per finished request
+          (trace id, digest, outcome code, queue wait, solve time, cache
+          disposition), flushed per line.  [None] disables it. *)
   cache_capacity : int;  (** {!Cache.create} bound *)
 }
 
@@ -80,4 +86,15 @@ val stop : t -> unit
 
 val stats_json : t -> Telemetry.Json.t
 (** The [STATS] response body: uptime, request/shed/timeout/crash
-    counts, per-code totals, cache hit/miss/invalidation counts. *)
+    counts, queue depth, per-code totals, cache hit/miss/invalidation
+    counts, plus a ["metrics"] member holding the full registry
+    snapshot ({!Metrics.snapshot_json}: counters, gauges, histograms
+    with quantiles and raw buckets). *)
+
+val health_json : t -> saturated:bool -> Telemetry.Json.t
+(** The [HEALTH] response body: status/readiness verdict, uptime,
+    queue depth versus capacity, in-flight count.  [saturated] marks a
+    verdict answered on the acceptor's shed path (queue full). *)
+
+val metrics : t -> Metrics.t
+(** The daemon's live metrics registry (for in-process tests). *)

@@ -174,8 +174,13 @@ type report = {
   elapsed : float;
   rps : float;
   p50_ms : float;
+  p90_ms : float;
   p99_ms : float;
+  p999_ms : float;
+  shed : int;
+  errors : int;
   shed_rate : float;
+  latency : Metrics.Histogram.snapshot;
 }
 
 let run_job ~socket ~retries i job =
@@ -223,11 +228,6 @@ let run_job ~socket ~retries i job =
         (Some (Printf.sprintf "job %d (%s): dropped: %s" i note
                  (Unix.error_message e))))
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (float_of_int n *. q)))
-
 let run ~socket ?(concurrency = 4) ?(retries = 0) jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
@@ -253,9 +253,14 @@ let run ~socket ?(concurrency = 4) ?(retries = 0) jobs =
   let elapsed = Unix.gettimeofday () -. t0 in
   let completed = ref 0 and clean = ref 0 and retries_spent = ref 0 in
   let attempts_total = ref 0 and shed_events = ref 0 in
+  let final_shed = ref 0 and errors = ref 0 in
   let counts = Hashtbl.create 8 in
   let complaints = ref [] in
-  let latencies = ref [] in
+  (* the same estimator the server uses: client-observed latencies land
+     in a registry histogram, quantiles are read off its snapshot — so
+     client and server percentiles are directly comparable *)
+  let lat_reg = Metrics.create () in
+  let lat = Metrics.histogram lat_reg "client.latency_seconds" in
   Array.iter
     (fun o ->
       attempts_total := !attempts_total + o.attempts;
@@ -265,8 +270,12 @@ let run ~socket ?(concurrency = 4) ?(retries = 0) jobs =
       (match o.code with
       | Some c ->
         incr completed;
-        if c = Proto.OVERLOAD then incr shed_events;
-        latencies := o.latency :: !latencies;
+        if c = Proto.OVERLOAD then begin
+          incr shed_events;
+          incr final_shed
+        end;
+        if c = Proto.INTERNAL_ERROR then incr errors;
+        Metrics.Histogram.observe lat o.latency;
         let k = Proto.string_of_code c in
         Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
       | None -> incr clean);
@@ -274,8 +283,8 @@ let run ~socket ?(concurrency = 4) ?(retries = 0) jobs =
       | Some c when List.length !complaints < 20 -> complaints := c :: !complaints
       | _ -> ())
     outcomes;
-  let sorted = Array.of_list !latencies in
-  Array.sort compare sorted;
+  let snap = Metrics.Histogram.snapshot lat in
+  let q p = Metrics.Histogram.quantile snap p *. 1000. in
   {
     requests = n;
     completed = !completed;
@@ -287,12 +296,17 @@ let run ~socket ?(concurrency = 4) ?(retries = 0) jobs =
     unexpected = List.rev !complaints;
     elapsed;
     rps = (if elapsed > 0. then float_of_int !completed /. elapsed else 0.);
-    p50_ms = percentile sorted 0.50 *. 1000.;
-    p99_ms = percentile sorted 0.99 *. 1000.;
+    p50_ms = q 0.50;
+    p90_ms = q 0.90;
+    p99_ms = q 0.99;
+    p999_ms = q 0.999;
+    shed = !final_shed;
+    errors = !errors;
     shed_rate =
       (if !attempts_total > 0 then
          float_of_int !shed_events /. float_of_int !attempts_total
        else 0.);
+    latency = snap;
   }
 
 let report_json r =
@@ -307,20 +321,197 @@ let report_json r =
       ("elapsed_s", J.Float r.elapsed);
       ("rps", J.Float r.rps);
       ("p50_ms", J.Float r.p50_ms);
+      ("p90_ms", J.Float r.p90_ms);
       ("p99_ms", J.Float r.p99_ms);
+      ("p999_ms", J.Float r.p999_ms);
+      ("shed", J.Int r.shed);
+      ("errors", J.Int r.errors);
       ("shed_rate", J.Float r.shed_rate);
+      ("latency", Metrics.Histogram.to_json r.latency);
     ]
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>%d requests in %.2fs (%.1f rps), p50 %.2fms p99 %.2fms@,\
+    "@[<v>%d requests in %.2fs (%.1f rps), p50 %.2fms p90 %.2fms p99 %.2fms \
+     p999 %.2fms@,\
      codes: %a@,\
-     clean closes %d, retries %d, shed rate %.3f%s@]"
-    r.requests r.elapsed r.rps r.p50_ms r.p99_ms
+     clean closes %d, retries %d, shed %d, errors %d, shed rate %.3f%s@]"
+    r.requests r.elapsed r.rps r.p50_ms r.p90_ms r.p99_ms r.p999_ms
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
-    r.by_code r.clean_closes r.retries r.shed_rate
+    r.by_code r.clean_closes r.retries r.shed r.errors r.shed_rate
     (match r.unexpected with
     | [] -> ""
     | l -> Printf.sprintf ", %d UNEXPECTED" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Server-side view: STATS deltas                                     *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function J.Obj fields -> List.assoc_opt k fields | _ -> None
+
+let path doc ks =
+  List.fold_left (fun acc k -> Option.bind acc (member k)) (Some doc) ks
+
+let int_at doc ks =
+  match path doc ks with
+  | Some (J.Int n) -> n
+  | Some (J.Float f) -> int_of_float f
+  | _ -> 0
+
+let float_at doc ks =
+  match path doc ks with
+  | Some (J.Float f) -> f
+  | Some (J.Int n) -> float_of_int n
+  | _ -> 0.
+
+let server_counter doc name = int_at doc [ "metrics"; "counters"; name ]
+
+let server_histogram doc name =
+  Option.bind
+    (path doc [ "metrics"; "histograms"; name ])
+    Metrics.Histogram.of_json
+
+type server_view = {
+  window_s : float;
+  v_accepted : int;
+  v_shed : int;
+  v_crashed : int;
+  v_timeouts : int;
+  v_eofs : int;
+  v_by_code : (string * int) list;
+  v_cache_hits : int;
+  v_cache_misses : int;
+  v_hit_ratio : float;
+  v_queue_wait : Metrics.Histogram.snapshot option;
+  v_solve_ok : Metrics.Histogram.snapshot option;
+}
+
+let all_code_names =
+  List.map Proto.string_of_code
+    [
+      Proto.OK;
+      Proto.FEASIBLE_BUDGET;
+      Proto.INFEASIBLE;
+      Proto.PARSE_ERROR;
+      Proto.OVERLOAD;
+      Proto.SHUTDOWN;
+      Proto.INTERNAL_ERROR;
+    ]
+
+let format_names = [ "ucp"; "orlib"; "pla"; "kiss" ]
+
+let sum_counters doc names =
+  List.fold_left (fun acc n -> acc + server_counter doc n) 0 names
+
+let server_view ~before ~after =
+  let d f = f after - f before in
+  let dc name = d (fun doc -> server_counter doc name) in
+  let hist name =
+    match (server_histogram after name, server_histogram before name) with
+    | Some a, Some b -> (
+      match Metrics.Histogram.delta ~after:a ~before:b with
+      | s -> Some s
+      | exception Invalid_argument _ -> None)
+    | Some a, None -> Some a
+    | _ -> None
+  in
+  let hits =
+    d (fun doc ->
+        sum_counters doc (List.map (fun f -> "cache.hit." ^ f) format_names))
+  in
+  let misses =
+    d (fun doc ->
+        sum_counters doc (List.map (fun f -> "cache.miss." ^ f) format_names))
+  in
+  {
+    window_s = float_at after [ "uptime" ] -. float_at before [ "uptime" ];
+    v_accepted = dc "requests.accepted";
+    v_shed = dc "requests.shed";
+    v_crashed = dc "requests.crashed";
+    v_timeouts = dc "requests.timeout";
+    v_eofs = dc "requests.eof";
+    v_by_code =
+      List.filter_map
+        (fun c ->
+          match dc ("responses." ^ c) with 0 -> None | n -> Some (c, n))
+        all_code_names;
+    v_cache_hits = hits;
+    v_cache_misses = misses;
+    v_hit_ratio =
+      (if hits + misses > 0 then
+         float_of_int hits /. float_of_int (hits + misses)
+       else 0.);
+    v_queue_wait = hist "queue.wait_seconds";
+    v_solve_ok = hist "solve.seconds.ok";
+  }
+
+let server_view_json v =
+  let hist_field name = function
+    | None -> []
+    | Some s -> [ (name, Metrics.Histogram.to_json s) ]
+  in
+  J.Obj
+    ([
+       ("window_s", J.Float v.window_s);
+       ("accepted", J.Int v.v_accepted);
+       ("shed", J.Int v.v_shed);
+       ("crashed", J.Int v.v_crashed);
+       ("read_timeouts", J.Int v.v_timeouts);
+       ("eof_closes", J.Int v.v_eofs);
+       ("codes", J.Obj (List.map (fun (k, n) -> (k, J.Int n)) v.v_by_code));
+       ("cache_hits", J.Int v.v_cache_hits);
+       ("cache_misses", J.Int v.v_cache_misses);
+       ("cache_hit_ratio", J.Float v.v_hit_ratio);
+     ]
+    @ hist_field "queue_wait" v.v_queue_wait
+    @ hist_field "solve_ok" v.v_solve_ok)
+
+let pp_server_view ppf v =
+  let q h p =
+    match h with
+    | None -> Float.nan
+    | Some s -> Metrics.Histogram.quantile s p *. 1000.
+  in
+  Format.fprintf ppf
+    "@[<v>server window %.2fs: accepted %d, shed %d, crashed %d, timeouts \
+     %d, eofs %d@,\
+     server codes: %a@,\
+     cache hits %d misses %d (ratio %.3f)@,\
+     queue wait p50 %.3fms p99 %.3fms; solve(ok) p50 %.2fms p99 %.2fms@]"
+    v.window_s v.v_accepted v.v_shed v.v_crashed v.v_timeouts v.v_eofs
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (k, n) -> Format.fprintf ppf "%s=%d" k n))
+    v.v_by_code v.v_cache_hits v.v_cache_misses v.v_hit_ratio
+    (q v.v_queue_wait 0.50) (q v.v_queue_wait 0.99) (q v.v_solve_ok 0.50)
+    (q v.v_solve_ok 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* Conservation: every accepted request is accounted for exactly once *)
+(* ------------------------------------------------------------------ *)
+
+let conservation_errors stats =
+  let c name = server_counter stats name in
+  let errs = ref [] in
+  let check what lhs rhs =
+    if lhs <> rhs then
+      errs := Printf.sprintf "%s: %d <> %d" what lhs rhs :: !errs
+  in
+  let responses =
+    sum_counters stats (List.map (fun n -> "responses." ^ n) all_code_names)
+  in
+  check "accepted = sum(responses) + timeouts + eofs" (c "requests.accepted")
+    (responses + c "requests.timeout" + c "requests.eof");
+  check "shed = responses.OVERLOAD" (c "requests.shed")
+    (c "responses.OVERLOAD");
+  check "queue-wait samples = accepted - shed - health fastpath"
+    (int_at stats [ "metrics"; "histograms"; "queue.wait_seconds"; "count" ])
+    (c "requests.accepted" - c "requests.shed" - c "requests.health_fastpath");
+  (* the legacy top-level fields must mirror the registry *)
+  check "received (legacy) = requests.accepted" (int_at stats [ "received" ])
+    (c "requests.accepted");
+  check "crashes (legacy) = requests.crashed" (int_at stats [ "crashes" ])
+    (c "requests.crashed");
+  List.rev !errs

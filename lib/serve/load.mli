@@ -64,8 +64,16 @@ type report = {
   elapsed : float;
   rps : float;  (** completed / elapsed *)
   p50_ms : float;
+      (** client-observed latency quantiles, read off the same
+          fixed-bucket histogram estimator the server uses
+          ({!Metrics.Histogram}) so both sides are comparable *)
+  p90_ms : float;
   p99_ms : float;
+  p999_ms : float;
+  shed : int;  (** jobs whose {e final} answer was [OVERLOAD] *)
+  errors : int;  (** jobs answered [INTERNAL_ERROR] *)
   shed_rate : float;  (** [OVERLOAD] answers / total attempts *)
+  latency : Metrics.Histogram.snapshot;  (** the raw client histogram *)
 }
 
 val run :
@@ -79,3 +87,40 @@ val run :
 
 val report_json : report -> Telemetry.Json.t
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 The server-side view}
+
+    A [STATS] snapshot taken before and after a run windows the server's
+    own cumulative registry into exactly the run: counter deltas and
+    bucket-wise histogram differences ({!Metrics.Histogram.delta}). *)
+
+type server_view = {
+  window_s : float;  (** server uptime delta across the window *)
+  v_accepted : int;
+  v_shed : int;
+  v_crashed : int;
+  v_timeouts : int;
+  v_eofs : int;
+  v_by_code : (string * int) list;  (** nonzero response-code deltas *)
+  v_cache_hits : int;  (** summed over all four signature classes *)
+  v_cache_misses : int;
+  v_hit_ratio : float;  (** hits / (hits + misses), 0 when neither *)
+  v_queue_wait : Metrics.Histogram.snapshot option;  (** windowed *)
+  v_solve_ok : Metrics.Histogram.snapshot option;  (** windowed *)
+}
+
+val server_view :
+  before:Telemetry.Json.t -> after:Telemetry.Json.t -> server_view
+(** Pure: reads the ["metrics"] member of two [STATS] bodies.  Missing
+    members read as zero, so a view against an older daemon degrades to
+    zeros rather than failing. *)
+
+val server_view_json : server_view -> Telemetry.Json.t
+val pp_server_view : Format.formatter -> server_view -> unit
+
+val conservation_errors : Telemetry.Json.t -> string list
+(** Audit one {e quiesced} [STATS] body (no in-flight requests other
+    than the [STATS] itself): every accepted request must be accounted
+    for exactly once — [accepted = Σ responses + timeouts + eofs], shed
+    equals [OVERLOAD] answers, queue-wait samples equal worker pops, and
+    the legacy top-level fields mirror the registry.  Empty = sound. *)

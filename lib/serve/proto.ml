@@ -13,14 +13,19 @@ let format_of_string = function
   | "kiss" -> Some Kiss
   | _ -> None
 
-type verb = Solve | Ping | Stats
+type verb = Solve | Ping | Stats | Health
 
-let string_of_verb = function Solve -> "SOLVE" | Ping -> "PING" | Stats -> "STATS"
+let string_of_verb = function
+  | Solve -> "SOLVE"
+  | Ping -> "PING"
+  | Stats -> "STATS"
+  | Health -> "HEALTH"
 
 let verb_of_string = function
   | "SOLVE" -> Some Solve
   | "PING" -> Some Ping
   | "STATS" -> Some Stats
+  | "HEALTH" -> Some Health
   | _ -> None
 
 type code =

@@ -34,7 +34,16 @@ type format = Ucp | Orlib | Pla | Kiss
 val string_of_format : format -> string
 val format_of_string : string -> format option
 
-type verb = Solve | Ping | Stats
+type verb =
+  | Solve
+  | Ping
+  | Stats
+      (** one JSON snapshot of the daemon's metrics registry: counters,
+          gauges, histograms with p50/p90/p99/p999 plus raw buckets *)
+  | Health
+      (** cheap liveness/readiness verdict.  Answered even when the
+          admission queue is full (the acceptor recognises a HEALTH
+          frame on the shed path), so monitoring is never shed. *)
 
 (** Response codes.  Constructors are spelled exactly as they appear on
     the wire. *)
@@ -91,7 +100,7 @@ val solve_request :
   request
 
 val control_request : verb -> request
-(** A [Ping] or [Stats] request (no format, no payload). *)
+(** A [Ping], [Stats] or [Health] request (no format, no payload). *)
 
 val encode_request : request -> payload:string -> string
 (** The full wire bytes; [payload] must be [request.length] long. *)

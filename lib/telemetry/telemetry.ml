@@ -31,6 +31,17 @@ let rec register_probe name sample =
 
 let gc_probe_names = [| "gc.minor_words"; "gc.promoted_words"; "gc.major_collections" |]
 
+(* the same meters as individually-sampleable closures, for consumers
+   (the Metrics registry) that sample one gauge at a time *)
+let probes () =
+  [
+    ("gc.minor_words", fun () -> Gc.minor_words ());
+    ("gc.promoted_words", fun () -> (Gc.quick_stat ()).Gc.promoted_words);
+    ( "gc.major_collections",
+      fun () -> float_of_int (Gc.quick_stat ()).Gc.major_collections );
+  ]
+  @ Atomic.get probe_registry
+
 let probes_snapshot () =
   let registered = Atomic.get probe_registry in
   let names =

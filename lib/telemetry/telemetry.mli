@@ -85,6 +85,13 @@ val register_probe : string -> (unit -> float) -> unit
     already-registered name is a no-op.  The GC gauges are built in;
     [Scg] registers the ZDD ones at link time. *)
 
+val probes : unit -> (string * (unit -> float)) list
+(** The current probe registry as individually-sampleable closures: the
+    built-in GC meters first, then everything {!register_probe} added so
+    far.  Domain-local probes (the ZDD meters) read the calling domain's
+    state.  The live metrics registry ([Metrics]) imports these as
+    gauges. *)
+
 (** {1 Spans} *)
 
 type span = {

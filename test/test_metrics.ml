@@ -1,0 +1,235 @@
+(* The live metrics registry under the conditions it is built for:
+   several domains hammering the same counters and histograms at once.
+
+   The load-bearing properties:
+   - conservation — no increment or observation is ever lost or double
+     counted, whatever the interleaving (every mutation is one atomic
+     operation);
+   - snapshot algebra — merge is associative and commutative with the
+     empty snapshot as identity, and delta inverts merge, because the
+     load generator windows cumulative server totals with exactly that
+     algebra;
+   - quantile bounds — a histogram quantile is a bucket interpolation,
+     so it must always land inside the bucket containing the true rank;
+   - registry JSON — the STATS payload shape, including non-finite
+     gauge samples degrading to null rather than invalid JSON. *)
+
+module H = Metrics.Histogram
+module C = Metrics.Counter
+module J = Telemetry.Json
+
+(* ------------------------------------------------------------------ *)
+(* multi-domain conservation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_hammer () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "hammered" in
+  let domains = 4 and per_domain = 25_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              (* mix incr and add so both paths are raced *)
+              if i land 1 = 0 then C.incr c else C.add c 1;
+              ignore d
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "every increment survived" (domains * per_domain)
+    (C.get c);
+  (* find-or-create returns the same counter *)
+  let again = Metrics.counter reg "hammered" in
+  C.incr again;
+  Alcotest.(check int) "same counter behind the name"
+    ((domains * per_domain) + 1)
+    (C.get c)
+
+let test_histogram_hammer () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" in
+  let domains = 4 and per_domain = 20_000 in
+  (* each domain observes a deterministic value stream with a known
+     total, so the final sum is exact conservation evidence *)
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let acc = ref 0. in
+            for i = 1 to per_domain do
+              let v = float_of_int (((d * per_domain) + i) mod 97) /. 100. in
+              H.observe h v;
+              acc := !acc +. v
+            done;
+            !acc))
+  in
+  let expected_sum = List.fold_left (fun a w -> a +. Domain.join w) 0. workers in
+  let s = H.snapshot h in
+  Alcotest.(check int) "every observation counted" (domains * per_domain)
+    s.H.count;
+  Alcotest.(check int) "count is the sum of the cells" s.H.count
+    (Array.fold_left ( + ) 0 s.H.counts);
+  Alcotest.(check bool) "sum conserved"
+    true
+    (Float.abs (s.H.sum -. expected_sum) /. Float.max 1. expected_sum < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* snapshot algebra                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let snap_of values =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "tmp" in
+  List.iter (H.observe h) values;
+  H.snapshot h
+
+let check_snap_eq name a b =
+  Alcotest.(check (array int)) (name ^ ": cells") a.H.counts b.H.counts;
+  Alcotest.(check int) (name ^ ": count") a.H.count b.H.count;
+  Alcotest.(check bool)
+    (name ^ ": sum")
+    true
+    (Float.abs (a.H.sum -. b.H.sum) < 1e-9)
+
+let test_merge_algebra () =
+  let a = snap_of [ 0.001; 0.2; 5.0; 1000.0 ] in
+  let b = snap_of [ 0.0004; 0.0004; 3.3 ] in
+  let c = snap_of [ 0.05 ] in
+  let empty = snap_of [] in
+  check_snap_eq "associative"
+    (H.merge (H.merge a b) c)
+    (H.merge a (H.merge b c));
+  check_snap_eq "commutative" (H.merge a b) (H.merge b a);
+  check_snap_eq "identity" (H.merge a empty) a;
+  (* delta inverts merge: the window between two cumulative snapshots *)
+  check_snap_eq "delta inverts merge" (H.delta ~after:(H.merge a b) ~before:a) b;
+  (* mismatched bounds are a typed refusal, not silent garbage *)
+  let other =
+    let reg = Metrics.create () in
+    let h = Metrics.histogram reg "sz" ~bounds:H.default_size_bounds in
+    H.snapshot h
+  in
+  (match H.merge a other with
+  | _ -> Alcotest.fail "merge across different bounds must raise"
+  | exception Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* quantile bounds                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* the bucket of the snapshot's bounds that holds value [v] *)
+let bucket_range (s : H.snapshot) v =
+  let n = Array.length s.H.bounds in
+  let rec find i = if i >= n || v <= s.H.bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  let lo = if i = 0 then 0. else s.H.bounds.(i - 1) in
+  let hi = if i >= n then Float.infinity else s.H.bounds.(i) in
+  (lo, hi)
+
+let test_quantile_bounds () =
+  (* 1000 deterministic pseudo-random samples; for each q, the estimate
+     must land inside the bucket containing the true order statistic *)
+  let st = Random.State.make [| 42 |] in
+  let values =
+    Array.init 1000 (fun _ -> Random.State.float st 10.0 +. 0.0002)
+  in
+  let s = snap_of (Array.to_list values) in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let rank =
+        min (Array.length sorted - 1)
+          (int_of_float (Float.of_int (Array.length sorted) *. q))
+      in
+      let truth = sorted.(rank) in
+      let lo, hi = bucket_range s truth in
+      let est = H.quantile s q in
+      if not (est >= lo -. 1e-12 && est <= hi +. 1e-12) then
+        Alcotest.failf "q=%g: estimate %g outside true bucket [%g, %g]" q est
+          lo hi)
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ];
+  (* monotone in q *)
+  let prev = ref neg_infinity in
+  List.iter
+    (fun q ->
+      let est = H.quantile s q in
+      Alcotest.(check bool) "quantile monotone" true (est >= !prev);
+      prev := est)
+    [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 0.99 ];
+  (* empty snapshot reads 0; overflow clamps to the last finite bound *)
+  Alcotest.(check (float 0.)) "empty" 0. (H.quantile (snap_of []) 0.5);
+  let top = snap_of [ 1e9; 1e9; 1e9 ] in
+  Alcotest.(check (float 0.)) "overflow clamps"
+    top.H.bounds.(Array.length top.H.bounds - 1)
+    (H.quantile top 0.5)
+
+let test_json_roundtrip () =
+  let s = snap_of [ 0.0002; 0.3; 0.3; 12.0; 1e6 ] in
+  (match H.of_json (H.to_json s) with
+  | None -> Alcotest.fail "to_json does not round-trip"
+  | Some s' -> check_snap_eq "round-trip" s s');
+  (* a foreign document is a None, not an exception *)
+  Alcotest.(check bool) "garbage rejected" true
+    (H.of_json (J.String "nope") = None
+    && H.of_json (J.Obj [ ("count", J.Int 3) ]) = None)
+
+(* ------------------------------------------------------------------ *)
+(* registry snapshot                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_json () =
+  let reg = Metrics.create () in
+  C.add (Metrics.counter reg "reqs") 7;
+  H.observe (Metrics.histogram reg "lat") 0.25;
+  Metrics.gauge reg "depth" (fun () -> 3.0);
+  Metrics.gauge reg "broken" (fun () -> failwith "probe died");
+  let js = Metrics.snapshot_json reg in
+  (* the serialized form must be valid JSON even with the raising gauge
+     (non-finite samples degrade to null) *)
+  (match J.of_string (J.to_string js) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "snapshot_json not parseable: %s" e);
+  let get ks =
+    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some js) ks
+  in
+  (match get [ "counters"; "reqs" ] with
+  | Some (J.Int 7) -> ()
+  | other ->
+    Alcotest.failf "counters.reqs: %s"
+      (match other with Some j -> J.to_string j | None -> "missing"));
+  (match get [ "gauges"; "depth" ] with
+  | Some (J.Float f) when Float.abs (f -. 3.0) < 1e-9 -> ()
+  | _ -> Alcotest.fail "gauges.depth missing or wrong");
+  (match get [ "histograms"; "lat"; "count" ] with
+  | Some (J.Int 1) -> ()
+  | _ -> Alcotest.fail "histograms.lat.count missing");
+  (* name clashes across metric kinds are refused loudly *)
+  (match Metrics.histogram reg "reqs" with
+  | _ -> Alcotest.fail "counter/histogram name clash must raise"
+  | exception Invalid_argument _ -> ());
+  (* telemetry probes import as gauges *)
+  Metrics.register_telemetry_probes reg;
+  match
+    Option.bind (J.member "gauges" (Metrics.snapshot_json reg))
+      (J.member "gc.minor_words")
+  with
+  | Some (J.Float _) -> ()
+  | _ -> Alcotest.fail "gc.minor_words gauge not imported"
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "conservation",
+        [
+          Alcotest.test_case "counter hammering" `Quick test_counter_hammer;
+          Alcotest.test_case "histogram hammering" `Quick test_histogram_hammer;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "merge algebra" `Quick test_merge_algebra;
+          Alcotest.test_case "quantile bounds" `Quick test_quantile_bounds;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "snapshot json" `Quick test_registry_json ] );
+    ]

@@ -315,6 +315,194 @@ let test_drain () =
   (* stop is idempotent *)
   Daemon.stop d
 
+(* ------------------------------------------------------------------ *)
+(* observability: registry, HEALTH, access log, conservation          *)
+(* ------------------------------------------------------------------ *)
+
+(* metric names contain dots ("requests.accepted"), so walk the registry
+   snapshot with whole keys rather than daemon_stat's dot-splitting *)
+let metric_counter stats name =
+  match
+    Option.bind (Json.member "metrics" stats) (fun m ->
+        Option.bind (Json.member "counters" m) (Json.member name))
+  with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "STATS lacks metrics.counters.%s" name
+
+let bool_member name doc k =
+  match Json.member k doc with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "%s lacks boolean %s" name k
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let test_stats_metrics () =
+  with_daemon "metrics" (fun _ socket ->
+      let r = solve ~socket Proto.Ucp Test_support.good_ucp in
+      check_code "solve" Proto.OK r;
+      (match Proto.header "trace-id" r.Client.headers with
+      | Some id ->
+        Alcotest.(check bool) "trace id is boot-seq" true
+          (String.contains id '-')
+      | None -> Alcotest.fail "response without trace-id header");
+      let stats = Client.stats ~socket in
+      Alcotest.(check bool) "accepted counted" true
+        (metric_counter stats "requests.accepted" >= 1);
+      Alcotest.(check bool) "OK responses counted" true
+        (metric_counter stats "responses.OK" >= 1);
+      (* the legacy flat fields mirror the registry *)
+      Alcotest.(check int) "received mirrors accepted"
+        (metric_counter stats "requests.accepted")
+        (daemon_stat stats "received");
+      (* the solve latency histogram saw the request, and its JSON form
+         round-trips through the client-side snapshot decoder *)
+      match
+        Option.bind (Json.member "metrics" stats) (fun m ->
+            Option.bind (Json.member "histograms" m)
+              (Json.member "solve.seconds.ok"))
+      with
+      | None -> Alcotest.fail "STATS lacks histograms solve.seconds.ok"
+      | Some h ->
+        (match Metrics.Histogram.of_json h with
+        | None -> Alcotest.fail "solve.seconds.ok not decodable"
+        | Some s ->
+          Alcotest.(check bool) "histogram non-empty" true
+            (s.Metrics.Histogram.count >= 1)))
+
+let test_health_roundtrip () =
+  with_daemon "health" (fun _ socket ->
+      let h = Client.health ~socket in
+      (match Json.member "status" h with
+      | Some (Json.String "ok") -> ()
+      | other ->
+        Alcotest.failf "status not ok: %s"
+          (match other with Some j -> Json.to_string j | None -> "missing"));
+      Alcotest.(check bool) "ready" true (bool_member "HEALTH" h "ready");
+      Alcotest.(check bool) "not saturated" false
+        (bool_member "HEALTH" h "saturated"))
+
+let test_health_under_overload () =
+  (* same deterministic occupancy as test_overload_shed: worker pinned,
+     queue full.  A SOLVE arrival is shed — but HEALTH must still be
+     answered, from the acceptor itself, with saturated:true *)
+  let depth = 2 in
+  with_daemon "health-overload"
+    ~configure:(fun c ->
+      { c with Daemon.workers = 1; queue_depth = depth; read_timeout = 3.0 })
+    (fun _ socket ->
+      let connect_idle () =
+        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+        Unix.connect fd (ADDR_UNIX socket);
+        fd
+      in
+      let pin = connect_idle () in
+      Unix.sleepf 0.4;
+      let squatters = List.init depth (fun _ -> connect_idle ()) in
+      let idle = pin :: squatters in
+      Unix.sleepf 0.4;
+      let r =
+        Client.request ~socket
+          (Proto.solve_request ~format:Proto.Ucp
+             ~length:(String.length Test_support.good_ucp) ())
+          ~payload:Test_support.good_ucp
+      in
+      check_code "solve shed" Proto.OVERLOAD r;
+      let h = Client.health ~socket in
+      Alcotest.(check bool) "saturated" true
+        (bool_member "HEALTH" h "saturated");
+      Alcotest.(check bool) "still ready" true (bool_member "HEALTH" h "ready");
+      List.iter Unix.close idle;
+      (* queue drains as the workers burn the idle EOFs *)
+      Alcotest.(check bool) "daemon recovers" true
+        (Client.wait_ready ~socket ());
+      let stats = Client.stats ~socket in
+      Alcotest.(check bool) "fast path counted" true
+        (metric_counter stats "requests.health_fastpath" >= 1))
+
+let test_access_log_crash () =
+  (* every finished request leaves one JSON line behind — including a
+     request that crashed its worker mid-solve, which must also reach
+     the requests.crashed counter (crash isolation may not swallow the
+     books) *)
+  let log_file = Filename.temp_file "ucp-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_file with Sys_error _ -> ())
+    (fun () ->
+      with_daemon "access"
+        ~configure:(fun c ->
+          {
+            c with
+            Daemon.allow_fault_injection = true;
+            access_log = Some log_file;
+          })
+        (fun _ socket ->
+          check_code "solve" Proto.OK
+            (solve ~socket Proto.Ucp Test_support.good_ucp);
+          let r =
+            solve ~fault_after:1 ~fault_raise:true ~socket Proto.Ucp
+              (Load.ucp_payload ~seed:21 ~rows:20 ~cols:40)
+          in
+          check_code "crash surfaces" Proto.INTERNAL_ERROR r;
+          let stats = Client.stats ~socket in
+          Alcotest.(check int) "crash in registry" 1
+            (metric_counter stats "requests.crashed");
+          Alcotest.(check int) "legacy crashes mirrors" 1
+            (daemon_stat stats "crashes");
+          let parsed =
+            List.map
+              (fun line ->
+                match Json.of_string line with
+                | Ok j -> j
+                | Error e ->
+                  Alcotest.failf "access line not JSON (%s): %s" e line)
+              (read_lines log_file)
+          in
+          Alcotest.(check bool) "access lines present" true
+            (List.length parsed >= 3);
+          let code_of j =
+            match Json.member "code" j with
+            | Some (Json.String s) -> s
+            | _ -> Alcotest.failf "access line without code: %s"
+                     (Json.to_string j)
+          in
+          Alcotest.(check bool) "crash line logged" true
+            (List.exists (fun j -> code_of j = "INTERNAL_ERROR") parsed);
+          (* each line carries the trace id joining it to the telemetry
+             stream *)
+          List.iter
+            (fun j ->
+              match Json.member "trace" j with
+              | Some (Json.String _) -> ()
+              | _ ->
+                Alcotest.failf "access line without trace: %s"
+                  (Json.to_string j))
+            parsed))
+
+let test_conservation () =
+  (* after a quiesced mixed run, the final STATS body must balance its
+     own books — the same invariant ucp_load --check-invariants enforces
+     against a live daemon *)
+  with_daemon "conservation" (fun _ socket ->
+      check_code "ucp" Proto.OK (solve ~socket Proto.Ucp Test_support.good_ucp);
+      check_code "infeasible" Proto.INFEASIBLE
+        (solve ~socket Proto.Orlib "1 2\n1 1\n0");
+      (* a parse error and a warm repeat also have to balance *)
+      ignore (solve ~socket Proto.Ucp "not a matrix at all");
+      check_code "warm repeat" Proto.OK
+        (solve ~socket Proto.Ucp Test_support.good_ucp);
+      let stats = Client.stats ~socket in
+      Alcotest.(check (list string)) "books balance" []
+        (Load.conservation_errors stats))
+
 let () =
   Alcotest.run "serve"
     [
@@ -342,5 +530,15 @@ let () =
           Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
           Alcotest.test_case "overload shed" `Quick test_overload_shed;
           Alcotest.test_case "drain" `Quick test_drain;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats metrics" `Quick test_stats_metrics;
+          Alcotest.test_case "health round-trip" `Quick test_health_roundtrip;
+          Alcotest.test_case "health under overload" `Quick
+            test_health_under_overload;
+          Alcotest.test_case "access log and crash books" `Quick
+            test_access_log_crash;
+          Alcotest.test_case "conservation" `Quick test_conservation;
         ] );
     ]

@@ -24,6 +24,9 @@ let known_events =
        crashes — all with a well-formed trace line *)
     "error";
     "serve.crash";
+    (* one per daemon request when the daemon itself is traced; carries
+       the trace id that joins the stream to the access log *)
+    "serve.request";
   ]
 
 let float_field r name =
@@ -189,6 +192,68 @@ let validate_stats path =
         [ "elapsed"; "spans"; "counters" ]);
     Format.printf "trace_smoke: %s ok (stats)@." path
 
+(* --validate-access: the daemon's request log is JSON lines, one object
+   per finished request, with a fixed field set.  The smoke pipeline
+   points this at a log produced by a real ucp_serve under ucp_load, so
+   the schema checked here is the schema the shipped daemon writes. *)
+let access_verbs = [ "SOLVE"; "PING"; "STATS"; "HEALTH"; "-" ]
+let access_formats = [ "ucp"; "orlib"; "pla"; "kiss"; "-" ]
+let access_cache = [ "hit"; "miss"; "-" ]
+
+let access_codes =
+  [
+    "OK"; "FEASIBLE_BUDGET"; "INFEASIBLE"; "PARSE_ERROR"; "OVERLOAD";
+    "SHUTDOWN"; "INTERNAL_ERROR";
+    (* connection outcomes that never reached a response *)
+    "TIMEOUT"; "EOF";
+  ]
+
+let validate_access path =
+  let ic = open_in path in
+  let lines = ref [] and lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       lines := (!lineno, input_line ic) :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  if lines = [] then fail "%s: empty access log" path;
+  let enum_field r lineno name allowed =
+    let v = str_field r name in
+    if not (List.mem v allowed) then
+      fail "%s:%d: field %S has unknown value %S" path lineno name v;
+    v
+  in
+  List.iter
+    (fun (lineno, l) ->
+      let r =
+        match Json.of_string l with
+        | Ok r -> r
+        | Error e -> fail "%s:%d: unparseable access line: %s" path lineno e
+      in
+      ignore (float_field r "t");
+      if str_field r "trace" = "" then
+        fail "%s:%d: empty trace id" path lineno;
+      ignore (enum_field r lineno "verb" access_verbs);
+      ignore (enum_field r lineno "format" access_formats);
+      ignore (str_field r "id");
+      ignore (str_field r "digest");
+      ignore (enum_field r lineno "code" access_codes);
+      ignore (enum_field r lineno "cache" access_cache);
+      List.iter
+        (fun f ->
+          if float_field r f < 0. then
+            fail "%s:%d: negative %S" path lineno f)
+        [ "queue_wait_s"; "solve_s"; "total_s" ];
+      match Option.bind (Json.member "bytes_in" r) Json.to_float with
+      | Some b when b >= 0. -> ()
+      | Some _ -> fail "%s:%d: negative bytes_in" path lineno
+      | None -> fail "%s:%d: access line lacks bytes_in" path lineno)
+    lines;
+  Format.printf "trace_smoke: %s ok (%d access records)@." path
+    (List.length lines)
+
 let run_suite () =
   let instances = Benchsuite.Registry.difficult () in
   List.iter
@@ -221,6 +286,9 @@ let () =
   | [ _ ] -> run_suite ()
   | [ _; "--validate"; path ] -> validate_file path
   | [ _; "--validate-stats"; path ] -> validate_stats path
+  | [ _; "--validate-access"; path ] -> validate_access path
   | _ ->
-    prerr_endline "usage: trace_smoke [--validate FILE | --validate-stats FILE]";
+    prerr_endline
+      "usage: trace_smoke [--validate FILE | --validate-stats FILE | \
+       --validate-access FILE]";
     exit 2
