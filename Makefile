@@ -1,6 +1,6 @@
 # Convenience wrappers; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-serve bench-zdd bench-check bench-check-dense bench-check-serve bench-check-zdd bench-check-par fault-smoke trace-smoke serve-smoke metrics-smoke doc examples clean
+.PHONY: all build test bench bench-quick bench-smoke bench-par bench-dense bench-serve bench-zdd bench-scale bench-check bench-check-dense bench-check-serve bench-check-zdd bench-check-par bench-check-scale fault-smoke trace-smoke serve-smoke metrics-smoke scale-smoke doc examples clean
 
 all: build
 
@@ -48,6 +48,15 @@ bench-dense:
 bench-zdd:
 	dune exec bench/main.exe -- --no-csv --table zdd --zdd-json BENCH_zdd.json
 
+# big-instance pipeline: the adversarial scale tier (planted/powerlaw/
+# beasley-wide/multi-component) stream-parsed in both text formats,
+# fold-memory gauged, then solved under a deterministic 2000-step
+# budget so the gated costs are machine-independent; plus the
+# espresso/KISS routing checks.  Leaves BENCH_scale.json behind.
+bench-scale:
+	dune exec bench/main.exe -- --no-csv --table scale \
+	  --scale-json BENCH_scale.json
+
 # regression gate: re-run the benchmark the committed baseline describes
 # and compare (speedup ratios for the reduce/dense baselines, so the gate
 # is machine-independent); nonzero exit on regression
@@ -76,6 +85,12 @@ bench-check-zdd:
 bench-check-par:
 	dune exec bench/main.exe -- --check bench/BASELINE_par.json
 
+# scale gate: streaming round-trip identity, planted certificates,
+# fold-memory ratios and the routing booleans against the committed
+# baseline (budgeted costs compared exactly — never wall-clock)
+bench-check-scale:
+	dune exec bench/main.exe -- --check bench/BASELINE_scale.json
+
 # resource-governor sanity: the fault-injection and typed-failure suites
 # plus the CLI exit-code contract (also part of the default `dune runtest`)
 fault-smoke:
@@ -100,6 +115,15 @@ serve-smoke:
 # the access log is schema-validated line by line
 metrics-smoke:
 	dune build @metrics-smoke
+
+# big-instance sanity: the scale unit suite (generator certificates,
+# parser round-trips, fold memory), then ucp_gen -> ucp_solve through
+# the shipped binaries with the planted certificate grepped from the
+# answer and the truncated/garbage exit-code contract re-pinned.
+# UCP_SCALE_BIG=1 widens the suite to the >= 100 MB stream and the
+# 10^5-column solve.
+scale-smoke:
+	dune build @scale-smoke
 
 doc:
 	dune build @doc

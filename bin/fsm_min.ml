@@ -12,13 +12,6 @@ let run path max_nodes timeout stats_only synth =
     Fmt.epr "usage: fsm_min FILE.kiss@.";
     2
   | Some path ->
-    let m =
-      match Fsm.Kiss.parse_file_result path with
-      | Ok m -> m
-      | Error e ->
-        Fmt.epr "%a@." Logic.Parse_error.pp e;
-        exit (if Sys.file_exists path then 4 else 5)
-    in
     let budget =
       match timeout with
       | Some s ->
@@ -28,6 +21,16 @@ let run path max_nodes timeout stats_only synth =
            handful of nodes *)
         Scg.Budget.create ~timeout:s ~check_every:1 ()
       | None -> Scg.Budget.none
+    in
+    let m =
+      match Fsm.Kiss.parse_file_result ~budget path with
+      | Ok m -> m
+      | Error e ->
+        Fmt.epr "%a@." Logic.Parse_error.pp e;
+        (* a parse cut short by the deadline is a budget outcome, not
+           malformed input *)
+        if Scg.Budget.tripped budget <> None then exit 3;
+        exit (if Sys.file_exists path then 4 else 5)
     in
     let r =
       try Fsm.Minimise.minimise ~budget ~max_nodes m

@@ -1,9 +1,18 @@
 (* ucp_gen — materialise benchmark instances as files.
 
-   Writes any (or all) of the built-in registry instances to disk: raw
-   matrices in the `.ucp` text format, two-level and multi-output
-   instances as `.pla`.  Useful for feeding the problems to external
-   solvers or inspecting what a named instance actually is. *)
+   Two modes:
+
+   - registry mode (default): write any (or all) of the built-in
+     registry instances to disk — raw matrices in the `.ucp` text
+     format, two-level and multi-output instances as `.pla`.  Useful
+     for feeding the problems to external solvers or inspecting what a
+     named instance actually is.
+
+   - generator mode (--family): synthesise one instance from the
+     adversarial family in lib/benchsuite/randucp and stream it to a
+     file or stdout in `.ucp` or OR-Library format.  The planted
+     family prints its cost certificate so the output can serve as a
+     correctness oracle at scales where exact solvers give out. *)
 
 open Cmdliner
 
@@ -32,7 +41,7 @@ let write_instance dir (inst : Benchsuite.Registry.instance) =
     close_out oc;
     Fmt.pr "%s (%d inputs, %d outputs)@." path pla.Logic.Pla.ni pla.Logic.Pla.no
 
-let run dir names all =
+let run_registry dir names all =
   (try Unix.mkdir dir 0o755 with
   | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   | Unix.Unix_error (e, _, _) ->
@@ -50,20 +59,175 @@ let run dir names all =
         names
   in
   if instances = [] then begin
-    Fmt.epr "nothing to do: pass instance names or --all@.";
+    Fmt.epr "nothing to do: pass instance names, --all, or --family@.";
     exit 2
   end;
   List.iter (write_instance dir) instances;
   0
 
+(* ------------------------------------------------------------------ *)
+(* Generator mode                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type emit = Ucp | Orlib
+
+let generate ~family ~seed ~rows ~cols ~alpha ~density ~blocks ~rows_per_block
+    ~decoys ~cross ~parts ~rows_per_part ~cols_per_part ~k ~rows_per_col
+    ~cost_spread =
+  let name = Printf.sprintf "%s:%s" family seed in
+  match family with
+  | "planted" ->
+    let m, opt =
+      Benchsuite.Randucp.planted ~name ~blocks ~rows_per_block
+        ~decoys_per_block:decoys ~cross ()
+    in
+    (m, Some opt)
+  | "powerlaw" ->
+    (Benchsuite.Randucp.powerlaw ~name ~n_rows:rows ~n_cols:cols ~alpha
+       ~cost_spread (),
+     None)
+  | "dense" ->
+    (Benchsuite.Randucp.dense_cyclic ~name ~n_rows:rows ~n_cols:cols ~density
+       ~cost_spread (),
+     None)
+  | "multi" ->
+    (Benchsuite.Randucp.multi_component ~name ~parts ~rows_per_part
+       ~cols_per_part ~k ~cost_spread (),
+     None)
+  | "beasley" ->
+    (Benchsuite.Randucp.beasley ~name ~n_rows:rows ~n_cols:cols ~rows_per_col
+       ~cost_spread (),
+     None)
+  | _ ->
+    Fmt.epr "unknown family %S (planted|powerlaw|dense|multi|beasley)@." family;
+    exit 2
+
+let run_family family seed rows cols alpha density blocks rows_per_block decoys
+    cross parts rows_per_part cols_per_part k rows_per_col cost_spread emit out
+    =
+  let m, planted_opt =
+    try
+      generate ~family ~seed ~rows ~cols ~alpha ~density ~blocks
+        ~rows_per_block ~decoys ~cross ~parts ~rows_per_part ~cols_per_part ~k
+        ~rows_per_col ~cost_spread
+    with Invalid_argument msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+  in
+  let write oc =
+    match emit with
+    | Ucp -> Covering.Instance.output_ucp oc m
+    | Orlib -> Covering.Instance.output_orlib oc m
+  in
+  (match out with
+  | "-" -> write stdout
+  | path ->
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write oc));
+  (* report on stderr so `-o -` pipes stay clean *)
+  Fmt.epr "%s: %d rows, %d columns, %d nonzeros@." family
+    (Covering.Matrix.n_rows m) (Covering.Matrix.n_cols m)
+    (Covering.Matrix.nnz m);
+  (match planted_opt with
+  | Some opt -> Fmt.epr "planted optimum: %d@." opt
+  | None -> ());
+  0
+
+let run dir names all family seed rows cols alpha density blocks rows_per_block
+    decoys cross parts rows_per_part cols_per_part k rows_per_col cost_spread
+    emit out =
+  match family with
+  | None -> run_registry dir names all
+  | Some family ->
+    run_family family seed rows cols alpha density blocks rows_per_block decoys
+      cross parts rows_per_part cols_per_part k rows_per_col cost_spread emit
+      out
+
 let dir_arg =
-  Arg.(value & opt string "instances" & info [ "d"; "dir" ] ~doc:"Output directory.")
+  Arg.(value & opt string "instances" & info [ "d"; "dir" ] ~doc:"Output directory (registry mode).")
 
 let names_arg = Arg.(value & pos_all string [] & info [] ~docv:"NAME")
 let all_arg = Arg.(value & flag & info [ "all" ] ~doc:"Write every registry instance.")
 
+let family_arg =
+  Arg.(
+    value
+    & opt (some (enum
+        [ ("planted", "planted"); ("powerlaw", "powerlaw"); ("dense", "dense");
+          ("multi", "multi"); ("beasley", "beasley") ])) None
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Generator mode: synthesise one instance instead of materialising \
+           the registry.  $(b,planted) builds a block instance with a known \
+           optimum of 2·blocks (reported on stderr); $(b,powerlaw) draws \
+           bounded-Pareto column degrees; $(b,dense) is a dense row-regular \
+           cyclic core; $(b,multi) is a block-diagonal union of independent \
+           components; $(b,beasley) is OR-Library-style set covering.")
+
+let seed_arg =
+  Arg.(value & opt string "0" & info [ "seed" ] ~docv:"SEED"
+    ~doc:"Seed string; the instance is a deterministic function of FAMILY:SEED and the knobs.")
+
+let rows_arg =
+  Arg.(value & opt int 1000 & info [ "rows" ] ~doc:"Row count (powerlaw, dense, beasley).")
+
+let cols_arg =
+  Arg.(value & opt int 4000 & info [ "cols" ] ~doc:"Column count (powerlaw, dense, beasley).")
+
+let alpha_arg =
+  Arg.(value & opt float 2.1 & info [ "alpha" ] ~doc:"Power-law exponent > 1 (powerlaw).")
+
+let density_arg =
+  Arg.(value & opt float 0.1 & info [ "density" ] ~doc:"Row density in (0, 1) (dense).")
+
+let blocks_arg =
+  Arg.(value & opt int 100 & info [ "blocks" ] ~doc:"Block count (planted); the optimum is 2·blocks.")
+
+let rows_per_block_arg =
+  Arg.(value & opt int 8 & info [ "rows-per-block" ] ~doc:"Rows per block (planted).")
+
+let decoys_arg =
+  Arg.(value & opt int 3 & info [ "decoys" ] ~doc:"Decoy columns per block, ≥ 3 (planted).")
+
+let cross_arg =
+  Arg.(value & opt int 0 & info [ "cross" ] ~doc:"Cross columns spanning 2-3 blocks (planted).")
+
+let parts_arg =
+  Arg.(value & opt int 8 & info [ "parts" ] ~doc:"Component count (multi).")
+
+let rows_per_part_arg =
+  Arg.(value & opt int 40 & info [ "rows-per-part" ] ~doc:"Rows per component (multi).")
+
+let cols_per_part_arg =
+  Arg.(value & opt int 30 & info [ "cols-per-part" ] ~doc:"Columns per component (multi).")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "k" ] ~doc:"Row degree within a component (multi).")
+
+let rows_per_col_arg =
+  Arg.(value & opt int 5 & info [ "rows-per-col" ] ~doc:"Rows covered per column (beasley).")
+
+let cost_spread_arg =
+  Arg.(value & opt int 9 & info [ "cost-spread" ]
+    ~doc:"0 = uniform cost 1; otherwise costs drawn from [1, 1+spread].")
+
+let emit_arg =
+  Arg.(value & opt (enum [ ("ucp", Ucp); ("orlib", Orlib) ]) Ucp
+    & info [ "emit" ] ~docv:"FORMAT"
+        ~doc:"Output format for generator mode: $(b,ucp) (native text) or $(b,orlib) (Beasley OR-Library scp).")
+
+let out_arg =
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE"
+    ~doc:"Output file for generator mode; $(b,-) (default) streams to stdout.")
+
 let cmd =
-  let doc = "materialise built-in benchmark instances as .ucp / .pla files" in
-  Cmd.v (Cmd.info "ucp_gen" ~doc) Term.(const run $ dir_arg $ names_arg $ all_arg)
+  let doc = "materialise benchmark instances (registry) or synthesise adversarial ones (--family)" in
+  Cmd.v (Cmd.info "ucp_gen" ~doc)
+    Term.(
+      const run $ dir_arg $ names_arg $ all_arg $ family_arg $ seed_arg
+      $ rows_arg $ cols_arg $ alpha_arg $ density_arg $ blocks_arg
+      $ rows_per_block_arg $ decoys_arg $ cross_arg $ parts_arg
+      $ rows_per_part_arg $ cols_per_part_arg $ k_arg $ rows_per_col_arg
+      $ cost_spread_arg $ emit_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,20 +46,27 @@ type input =
    exit code and the message of that contract. *)
 exception Load_error of { code : int; msg : string }
 
-let load_file_exn parse p =
+let load_file_exn ~budget parse p =
   if not (Sys.file_exists p) then
     raise (Load_error { code = 5; msg = Fmt.str "no such file: %s" p });
-  try parse p with
+  try parse ~budget p with
   | Logic.Parse_error.Parse_error e ->
-    raise (Load_error { code = 4; msg = Fmt.str "%a" Logic.Parse_error.pp e })
+    (* the streaming parsers checkpoint the governor mid-file; a parse
+       cut short by the deadline or a signal is a budget outcome (3),
+       not malformed input (4) *)
+    let code = if Budget.tripped budget <> None then 3 else 4 in
+    raise (Load_error { code; msg = Fmt.str "%a" Logic.Parse_error.pp e })
   | Sys_error msg ->
     raise (Load_error { code = 5; msg = "cannot read input: " ^ msg })
 
-let load_input_exn = function
-  | From_ucp path -> `Matrix (load_file_exn Covering.Instance.parse_file path)
+let load_input_exn ~budget = function
+  | From_ucp path ->
+    `Matrix (load_file_exn ~budget (fun ~budget -> Covering.Instance.parse_file ~budget) path)
   | From_orlib path ->
-    `Matrix (load_file_exn Covering.Instance.parse_orlib_file path)
-  | From_pla path -> `Pla (load_file_exn Logic.Pla.parse_file path)
+    `Matrix
+      (load_file_exn ~budget (fun ~budget -> Covering.Instance.parse_orlib_file ~budget) path)
+  | From_pla path ->
+    `Pla (load_file_exn ~budget (fun ~budget -> Logic.Pla.parse_file ~budget) path)
   | From_registry name -> (
     match Benchsuite.Registry.find name with
     | inst -> (
@@ -78,8 +85,8 @@ let load_input_exn = function
                  name;
            }))
 
-let load_input input =
-  try load_input_exn input
+let load_input ~budget input =
+  try load_input_exn ~budget input
   with Load_error { code; msg } ->
     Fmt.epr "ucp_solve: %s@." msg;
     exit code
@@ -334,7 +341,7 @@ let install_signal_trap budget =
 
 (* solve one input with the full telemetry/trace machinery (those sinks
    are single-stream, so they only exist on this path) *)
-let run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
+let run_single ~budget ~config solver input_kind p output multi max_nodes trace
     stats_json =
   (* "-" streams either sink to stdout for piping (e.g. straight
      into `ucp_trace profile -`); the human-readable report then
@@ -373,11 +380,10 @@ let run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
         end)
       stats_json
   in
-  let config = { Scg.Config.default with jobs } in
   (match
      solve_loaded Format.std_formatter ~budget ~telemetry ~config ~multi ~output
        ~name:p solver max_nodes
-       (load_input_exn (classify input_kind p))
+       (load_input_exn ~budget (classify input_kind p))
    with
   | solver_fields -> finish_telemetry solver_fields
   | exception Load_error { code; msg } ->
@@ -433,7 +439,8 @@ let run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
    exits 4/5/6 behave exactly as in single-input mode; each worker then
    owns its instance outright and renders into a private buffer, printed
    in input order at the end. *)
-let run_batch ~budget ~jobs solver input_kind paths output multi max_nodes =
+let run_batch ~budget ~jobs ~config solver input_kind paths output multi
+    max_nodes =
   let inputs =
     Array.of_list
       (List.map
@@ -441,7 +448,7 @@ let run_batch ~budget ~jobs solver input_kind paths output multi max_nodes =
            (* the OR-Library parser detects uncoverable rows at load
               time; record the infeasibility instead of aborting the
               whole batch *)
-           match load_input (classify input_kind p) with
+           match load_input ~budget (classify input_kind p) with
            | exception Covering.Infeasible { row_id; _ } -> (p, Error row_id)
            | loaded ->
              check_batch_compat solver ~multi ~output p loaded;
@@ -467,9 +474,8 @@ let run_batch ~budget ~jobs solver input_kind paths output multi max_nodes =
       let budget = Budget.fork budget in
       let infeasible =
         match
-          solve_loaded ppf ~budget ~telemetry:Telemetry.null
-            ~config:Scg.Config.default ~multi ~output ~name solver max_nodes
-            loaded
+          solve_loaded ppf ~budget ~telemetry:Telemetry.null ~config ~multi
+            ~output ~name solver max_nodes loaded
         with
         | (_ : (string * Telemetry.Json.t) list) -> None
         | exception Covering.Infeasible { row_id; _ } -> Some row_id
@@ -520,7 +526,8 @@ let run_batch ~budget ~jobs solver input_kind paths output multi max_nodes =
   if !any_infeasible then 7 else if !any_trip then 3 else 0
 
 let run list solver input_kind paths output multi max_nodes timeout zdd_nodes
-    max_steps fault_after fault_site trace stats_json jobs verbose =
+    max_steps max_rows_implicit fault_after fault_site trace stats_json jobs
+    verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning);
@@ -531,6 +538,21 @@ let run list solver input_kind paths output multi max_nodes timeout zdd_nodes
   end
   else
     let jobs = if jobs = 0 then Scg.Par.default_jobs () else jobs in
+    (* the implicit phase keeps grinding until BOTH guards are met
+       (rows <= MaxR and support <= MaxC), so raising MaxR alone would
+       never skip it: lift the column guard alongside *)
+    let config =
+      let d = Scg.Config.default in
+      match max_rows_implicit with
+      | None -> { d with jobs }
+      | Some n ->
+        {
+          d with
+          jobs;
+          max_rows_implicit = n;
+          max_cols_implicit = max (2 * n) d.max_cols_implicit;
+        }
+    in
     match paths with
     | [] ->
       Fmt.epr "no input given; try --list or pass a file / instance name@.";
@@ -538,8 +560,8 @@ let run list solver input_kind paths output multi max_nodes timeout zdd_nodes
     | [ p ] ->
       let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
       install_signal_trap budget;
-      run_single ~budget ~jobs solver input_kind p output multi max_nodes trace
-        stats_json
+      run_single ~budget ~config solver input_kind p output multi max_nodes
+        trace stats_json
     | paths when trace <> None || stats_json <> None ->
       Fmt.epr
         "ucp_solve: --trace and --stats-json expect a single input (got %d)@."
@@ -548,7 +570,8 @@ let run list solver input_kind paths output multi max_nodes timeout zdd_nodes
     | paths ->
       let budget = make_budget timeout zdd_nodes max_steps fault_after fault_site in
       install_signal_trap budget;
-      run_batch ~budget ~jobs solver input_kind paths output multi max_nodes
+      run_batch ~budget ~jobs ~config solver input_kind paths output multi
+        max_nodes
 
 let solver_arg =
   let choices =
@@ -599,6 +622,17 @@ let max_steps_arg =
            ~doc:"Budget on subgradient/dual-ascent iterations across the whole \
                  run.  Exhaustion behaves like --timeout.")
 
+let max_rows_implicit_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-rows-implicit" ] ~docv:"N"
+           ~doc:"Override the paper's MaxR guard: the implicit ZDD reduction \
+                 phase hands over to the explicit worklist engine once at \
+                 most $(docv) rows remain (default 5000; the MaxC column \
+                 guard is raised in proportion).  Set $(docv) at or above \
+                 the input's row count to skip the implicit phase entirely \
+                 \xe2\x80\x94 the right call for very large sparse instances, where \
+                 the explicit engine is much faster than building the ZDDs.")
+
 let fault_after_arg =
   Arg.(value & opt (some int) None
        & info [ "fault-after" ] ~docv:"N"
@@ -611,7 +645,8 @@ let fault_site_arg =
        & info [ "fault-site" ] ~docv:"SITE"
            ~doc:"Restrict --fault-after to one checkpoint site: \
                  $(b,implicit-reduce), $(b,explicit-reduce), $(b,subgradient), \
-                 $(b,dual-ascent), $(b,exact-bb) or $(b,espresso-loop).")
+                 $(b,dual-ascent), $(b,exact-bb), $(b,espresso-loop) or \
+                 $(b,parse).")
 
 let trace_arg =
   Arg.(value & opt (some string) None
@@ -673,7 +708,7 @@ let cmd =
     Term.(
       const run $ list_arg $ solver_arg $ kind_arg $ paths_arg $ output_arg
       $ multi_arg $ max_nodes_arg $ timeout_arg $ zdd_nodes_arg $ max_steps_arg
-      $ fault_after_arg $ fault_site_arg $ trace_arg $ stats_json_arg $ jobs_arg
-      $ verbose_arg)
+      $ max_rows_implicit_arg $ fault_after_arg $ fault_site_arg $ trace_arg
+      $ stats_json_arg $ jobs_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -127,3 +127,139 @@ let cyclic ~name ~n_rows ~n_cols ~k ?(cost_spread = 0) () =
     else Some (Array.init n_cols (fun _ -> 1 + Rng.int rng (cost_spread + 1)))
   in
   Matrix.create ?cost ~n_cols rows
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial scale generators                                       *)
+(* ------------------------------------------------------------------ *)
+
+let powerlaw ~name ~n_rows ~n_cols ?(alpha = 2.1) ?(cost_spread = 9) () =
+  if alpha <= 1.0 then invalid_arg "Randucp.powerlaw: alpha must be > 1";
+  if n_rows < 2 || n_cols < 2 then invalid_arg "Randucp.powerlaw: degenerate size";
+  let rng = Rng.of_string name in
+  (* bounded-Pareto column degrees on [1, n_rows] via inverse CDF: a few
+     hub columns cover a large fraction of the rows, the long tail
+     covers one or two — the crew-pairing shape where greedy scores and
+     dominance tests are pulled in opposite directions *)
+  let a = alpha -. 1.0 in
+  let dmax = float_of_int n_rows in
+  let h = dmax ** -.a in
+  let degree () =
+    let u = Rng.float rng 1.0 in
+    let d = (1.0 -. (u *. (1.0 -. h))) ** (-1.0 /. a) in
+    max 1 (min n_rows (int_of_float d))
+  in
+  let col_rows = Array.init n_cols (fun _ -> sample_distinct rng ~bound:n_rows ~k:(degree ())) in
+  let row_degree = Array.make n_rows 0 in
+  Array.iter (List.iter (fun i -> row_degree.(i) <- row_degree.(i) + 1)) col_rows;
+  (* repair as in [beasley]: every row needs >= 2 covering columns *)
+  for i = 0 to n_rows - 1 do
+    while row_degree.(i) < 2 do
+      let j = Rng.int rng n_cols in
+      if not (List.mem i col_rows.(j)) then begin
+        col_rows.(j) <- i :: col_rows.(j);
+        row_degree.(i) <- row_degree.(i) + 1
+      end
+    done
+  done;
+  let rows = Array.make n_rows [] in
+  Array.iteri
+    (fun j covered -> List.iter (fun i -> rows.(i) <- j :: rows.(i)) covered)
+    col_rows;
+  let cost =
+    if cost_spread = 0 then None
+    else
+      (* hubs cost more, sublinearly in their degree, so neither "grab
+         the hub" nor "stitch the tail" is trivially optimal *)
+      Some
+        (Array.init n_cols (fun j ->
+             let d = List.length col_rows.(j) in
+             1 + Rng.int rng (cost_spread + 1) + (d / 4)))
+  in
+  Matrix.create ?cost ~n_cols (Array.to_list rows)
+
+let planted ~name ~blocks ~rows_per_block ~decoys_per_block ?(cross = 0) () =
+  if blocks < 1 then invalid_arg "Randucp.planted: need at least one block";
+  if decoys_per_block < 3 then
+    invalid_arg "Randucp.planted: need at least 3 decoys per block";
+  if rows_per_block < decoys_per_block then
+    invalid_arg "Randucp.planted: rows_per_block must be >= decoys_per_block";
+  if cross > 0 && blocks < 2 then
+    invalid_arg "Randucp.planted: cross columns need at least 2 blocks";
+  let rng = Rng.of_string name in
+  let r = rows_per_block and g = decoys_per_block in
+  let n_rows = blocks * r in
+  let n_cols = (blocks * (1 + g)) + cross in
+  let rows = Array.make n_rows [] in
+  let cost = Array.make n_cols 1 in
+  let add_col j i = rows.(i) <- j :: rows.(i) in
+  (* per block b: column [b*(1+g)] is the planted column (cost 2,
+     covers the whole block); columns [b*(1+g)+1 ..] are the g decoys
+     (cost 1 each) partitioning the block's rows into g nonempty
+     chunks.  Decoy-only coverage of a block therefore costs g >= 3,
+     so the planted column (cost 2) is strictly the block optimum and
+     the global optimum is exactly 2*blocks. *)
+  for b = 0 to blocks - 1 do
+    let base_row = b * r in
+    let planted_col = b * (1 + g) in
+    cost.(planted_col) <- 2;
+    for i = base_row to base_row + r - 1 do
+      add_col planted_col i
+    done;
+    (* g-1 distinct cut points in [1, r-1] -> g nonempty chunks *)
+    let cuts =
+      sample_distinct rng ~bound:(r - 1) ~k:(g - 1)
+      |> List.map (fun c -> c + 1)
+      |> List.sort compare
+    in
+    let bounds = Array.of_list ((0 :: cuts) @ [ r ]) in
+    for d = 0 to g - 1 do
+      let decoy_col = planted_col + 1 + d in
+      for i = bounds.(d) to bounds.(d + 1) - 1 do
+        add_col decoy_col (base_row + i)
+      done
+    done
+  done;
+  (* cross columns span t >= 2 blocks at cost 2t+1: any cover using one
+     can be rewritten to the t planted columns at cost 2t < 2t+1, so no
+     optimal cover contains a cross column and the certificate stands,
+     while the matrix stops being block-diagonal *)
+  for c = 0 to cross - 1 do
+    let j = (blocks * (1 + g)) + c in
+    let t = 2 + Rng.int rng (min 2 (blocks - 1)) in
+    cost.(j) <- (2 * t) + 1;
+    List.iter
+      (fun b ->
+        let base_row = b * r in
+        let picked = ref false in
+        for i = 0 to r - 1 do
+          if Rng.bool rng then begin
+            add_col j (base_row + i);
+            picked := true
+          end
+        done;
+        if not !picked then add_col j (base_row + Rng.int rng r))
+      (sample_distinct rng ~bound:blocks ~k:t)
+  done;
+  let rows = Array.to_list (Array.map List.rev rows) in
+  (Matrix.create ~cost ~n_cols rows, 2 * blocks)
+
+let multi_component ~name ~parts ~rows_per_part ~cols_per_part ?(k = 3)
+    ?(cost_spread = 0) () =
+  if parts < 1 then invalid_arg "Randucp.multi_component: need at least one part";
+  let part p =
+    let pname = Printf.sprintf "%s.part%d" name p in
+    cyclic ~name:pname ~n_rows:rows_per_part ~n_cols:cols_per_part ~k ~cost_spread ()
+  in
+  let n_cols = parts * cols_per_part in
+  let rows = ref [] and cost = Array.make n_cols 1 in
+  for p = parts - 1 downto 0 do
+    let m = part p in
+    let off = p * cols_per_part in
+    for j = 0 to Matrix.n_cols m - 1 do
+      cost.(off + j) <- Matrix.cost m j
+    done;
+    for i = Matrix.n_rows m - 1 downto 0 do
+      rows := Array.to_list (Array.map (fun j -> off + j) (Matrix.row m i)) :: !rows
+    done
+  done;
+  Matrix.create ~cost ~n_cols !rows

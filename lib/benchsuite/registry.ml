@@ -3,6 +3,7 @@ type category =
   | Difficult
   | Dense_cyclic
   | Challenging
+  | Scale
 
 type problem =
   | Raw of Covering.Matrix.t
@@ -13,6 +14,7 @@ type instance = {
   name : string;
   category : category;
   problem : problem Lazy.t;
+  expected_cost : int option;
 }
 
 let string_of_category = function
@@ -20,14 +22,16 @@ let string_of_category = function
   | Difficult -> "difficult cyclic"
   | Dense_cyclic -> "dense cyclic"
   | Challenging -> "challenging"
+  | Scale -> "scale"
 
-let raw name category build = { name; category; problem = lazy (Raw (build ())) }
+let raw ?expected_cost name category build =
+  { name; category; problem = lazy (Raw (build ())); expected_cost }
 
-let two_level name category build =
-  { name; category; problem = lazy (Two_level (build ())) }
+let two_level ?expected_cost name category build =
+  { name; category; problem = lazy (Two_level (build ())); expected_cost }
 
-let multi_level name category build =
-  { name; category; problem = lazy (Multi_level (build ())) }
+let multi_level ?expected_cost name category build =
+  { name; category; problem = lazy (Multi_level (build ())); expected_cost }
 
 (* Seeded random multi-output PLAs: the suite's nod to the fact that the
    Berkeley instances are multi-output (1-109 outputs). *)
@@ -181,14 +185,47 @@ let challenging_instances =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Scale: 5 adversarial large instances for the streaming/parallel path *)
+(* ------------------------------------------------------------------ *)
+
+(* Each instance stresses one subsystem at a size where asymptotics, not
+   constants, decide the outcome: the two planted instances carry exact
+   cost certificates (OPT = 2*blocks by construction, see Randucp), so
+   the heuristic's answer can be checked against ground truth at sizes
+   no exact solver confirms in CI time.  Sizes are chosen so the whole
+   tier builds and solves in seconds; `ucp_gen --family` produces
+   arbitrarily larger siblings of each. *)
+let scale_instances =
+  [
+    raw "scale-planted-s" Scale ~expected_cost:800 (fun () ->
+        fst
+          (Randucp.planted ~name:"scale-planted-s" ~blocks:400 ~rows_per_block:6
+             ~decoys_per_block:3 ()));
+    raw "scale-planted-x" Scale ~expected_cost:300 (fun () ->
+        fst
+          (Randucp.planted ~name:"scale-planted-x" ~blocks:150 ~rows_per_block:8
+             ~decoys_per_block:4 ~cross:30 ()));
+    raw "scale-powerlaw" Scale (fun () ->
+        Randucp.powerlaw ~name:"scale-powerlaw" ~n_rows:1500 ~n_cols:6000 ());
+    raw "scale-beasley-wide" Scale (fun () ->
+        Randucp.beasley ~name:"scale-beasley-wide" ~n_rows:400 ~n_cols:8000
+          ~rows_per_col:6 ());
+    raw "scale-multi-8" Scale (fun () ->
+        Randucp.multi_component ~name:"scale-multi-8" ~parts:8 ~rows_per_part:60
+          ~cols_per_part:45 ~cost_spread:4 ());
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   easy_instances @ difficult_instances @ dense_instances @ challenging_instances
+  @ scale_instances
 
 let easy () = easy_instances
 let difficult () = difficult_instances
 let dense () = dense_instances
 let challenging () = challenging_instances
+let scale () = scale_instances
 
 let find name =
   match List.find_opt (fun i -> i.name = name) (all ()) with

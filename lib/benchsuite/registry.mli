@@ -12,7 +12,12 @@
       kernels ({!Covering.Dense}) target, timed by [bench --table dense];
     - {e challenging} (16 instances — Table 2/4): large cyclic cores; on
       the biggest, the exact solver exhausts its budget and only reports an
-      incumbent, reproducing the "H"-marked rows of the paper.
+      incumbent, reproducing the "H"-marked rows of the paper;
+    - {e scale} (5 instances, ours): CI-sized members of the adversarial
+      generator families ({!Randucp.planted}, {!Randucp.powerlaw},
+      {!Randucp.multi_component}, wide {!Randucp.beasley}) used by
+      [bench --table scale]; the planted ones carry exact cost
+      certificates in [expected_cost].
 
     Instances are deterministic functions of their names; the absolute
     sizes are scaled down from the 1999 originals so the full harness runs
@@ -23,6 +28,7 @@ type category =
   | Difficult
   | Dense_cyclic
   | Challenging
+  | Scale
 
 type problem =
   | Raw of Covering.Matrix.t
@@ -38,6 +44,9 @@ type instance = {
   name : string;
   category : category;
   problem : problem Lazy.t;
+  expected_cost : int option;
+      (** known optimal cost, when the construction certifies one
+          (the planted scale instances); [None] elsewhere *)
 }
 
 val all : unit -> instance list
@@ -51,6 +60,13 @@ val dense : unit -> instance list
 val challenging : unit -> instance list
 (** In Table 2/4 order: ex1010 ex4 ibm jbp misg mish misj pdc shift
     soar.pla test2 test3 ti ts10 x2dn xparc. *)
+
+val scale : unit -> instance list
+(** The 5 adversarial large instances behind [bench --table scale]
+    (CI-sized members of the {!Randucp} scale families):
+    scale-planted-s and scale-planted-x carry exact cost certificates
+    in [expected_cost]; scale-powerlaw, scale-beasley-wide and
+    scale-multi-8 stress pricing, dominance and the partition path. *)
 
 val find : string -> instance
 (** @raise Not_found for unknown names. *)

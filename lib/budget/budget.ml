@@ -7,9 +7,18 @@ type site =
   | Dual_ascent
   | Exact_bb
   | Espresso_loop
+  | Parse
 
 let all_sites =
-  [ Implicit_reduce; Explicit_reduce; Subgradient; Dual_ascent; Exact_bb; Espresso_loop ]
+  [
+    Implicit_reduce;
+    Explicit_reduce;
+    Subgradient;
+    Dual_ascent;
+    Exact_bb;
+    Espresso_loop;
+    Parse;
+  ]
 
 let string_of_site = function
   | Implicit_reduce -> "implicit-reduce"
@@ -18,6 +27,7 @@ let string_of_site = function
   | Dual_ascent -> "dual-ascent"
   | Exact_bb -> "exact-bb"
   | Espresso_loop -> "espresso-loop"
+  | Parse -> "parse"
 
 let site_of_string s =
   List.find_opt (fun site -> string_of_site site = s) all_sites
@@ -143,7 +153,7 @@ let tick t site =
           | Subgradient | Dual_ascent ->
             t.step_ticks <- t.step_ticks + 1;
             if t.step_ticks > l.step_budget then Some (Step_budget l.step_budget) else None
-          | Espresso_loop -> None
+          | Espresso_loop | Parse -> None
         in
         match over_budget with
         | Some reason -> trip reason

@@ -36,6 +36,11 @@ type site =
   | Dual_ascent  (** {!Lagrangian.Dual_ascent} phase-1 sweeps *)
   | Exact_bb  (** {!Covering.Exact.solve} branch-and-bound nodes *)
   | Espresso_loop  (** {!Espresso.minimise} expand/irredundant/reduce passes *)
+  | Parse
+      (** {!Logic.Reader} streaming-parser progress (lines/token batches).
+          Uncapped by the node and step budgets — parsing must not eat
+          into the solve allowance — but still subject to the wall-clock
+          deadline, fault injection and {!interrupt}. *)
 
 val string_of_site : site -> string
 val site_of_string : string -> site option

@@ -301,13 +301,36 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool ?warm
      is consistent with a tripped [--timeout] *)
   let t_start = Budget.Clock.now () in
   (* ---- implicit phase ---- *)
-  let imp =
-    Telemetry.span telemetry "implicit-reduce" (fun () ->
-        Implicit.reduce ~budget ~telemetry ~max_rows:config.max_rows_implicit
-          ~max_cols:config.max_cols_implicit
-          (Implicit.of_matrix ?rows:zdd_universe input))
+  (* when the raised MaxR/MaxC guards already admit the whole input,
+     [Implicit.reduce] would return it untouched, so even building the
+     row ZDD is pure overhead (it dominates the solve on 10^5-row
+     instances).  The skip is opt-in: decode canonicalises row order, so
+     inputs within the paper's *default* guards keep the historical path
+     bit-for-bit. *)
+  let skip_implicit =
+    let within ~max_rows ~max_cols =
+      Matrix.n_rows input <= max_rows && Matrix.n_cols input <= max_cols
+    in
+    zdd_universe = None
+    && within ~max_rows:config.max_rows_implicit
+         ~max_cols:config.max_cols_implicit
+    && not
+         (within ~max_rows:Config.default.max_rows_implicit
+            ~max_cols:Config.default.max_cols_implicit)
   in
-  let decoded, essential0 = Implicit.decode imp in
+  let imp =
+    if skip_implicit then None
+    else
+      Some
+        (Telemetry.span telemetry "implicit-reduce" (fun () ->
+             Implicit.reduce ~budget ~telemetry
+               ~max_rows:config.max_rows_implicit
+               ~max_cols:config.max_cols_implicit
+               (Implicit.of_matrix ?rows:zdd_universe input)))
+  in
+  let decoded, essential0 =
+    match imp with Some imp -> Implicit.decode imp | None -> (input, [])
+  in
   let essential0_cost =
     List.fold_left (fun acc j -> acc + Matrix.cost input j) 0 essential0
   in
@@ -330,7 +353,10 @@ let solve ?(budget = Budget.none) ?(telemetry = Telemetry.null) ?pool ?warm
       {
         Stats.input_rows = Matrix.n_rows input;
         input_cols = Matrix.n_cols input;
-        implicit_rows_left = Implicit.row_count imp;
+        implicit_rows_left =
+          (match imp with
+          | Some imp -> Implicit.row_count imp
+          | None -> float_of_int (Matrix.n_rows input));
         core_rows = Matrix.n_rows core;
         core_cols = Matrix.n_cols core;
         essential_count = List.length essential0 + List.length (Reduce.lift red.Reduce.trace []);

@@ -1,73 +1,68 @@
-let split_words s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun w -> w <> "")
-
 module Parse_error = Logic.Parse_error
+module Reader = Logic.Reader
 
-let parse text =
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_reader r =
   let ni = ref (-1) and no = ref (-1) in
   let reset_name = ref None in
   let rows = ref [] in
-  let fail lineno msg = Parse_error.raise_at ~line:lineno msg in
-  List.iteri
-    (fun idx raw ->
-      let lineno = idx + 1 in
-      let int_of = Parse_error.int_of_word ~line:lineno in
-      let line =
-        match String.index_opt raw '#' with
-        | Some i -> String.sub raw 0 i
-        | None -> raw
-      in
-      let line = String.trim line in
-      if line <> "" then
-        if line.[0] = '.' then begin
-          match split_words line with
-          | [ ".i"; n ] -> ni := int_of n
-          | [ ".o"; n ] -> no := int_of n
-          | [ ".s"; _ ] | [ ".p"; _ ] -> () (* advisory *)
-          | [ ".r"; name ] -> reset_name := Some name
-          | [ ".e" ] | [ ".end" ] -> ()
-          | _ -> fail lineno (Printf.sprintf "unrecognised directive %S" line)
-        end
-        else
-          match split_words line with
-          | [ input; src; next; output ] ->
-            if !ni < 0 || !no < 0 then fail lineno ".i/.o must precede transitions";
-            if String.length input <> !ni then fail lineno "input width mismatch";
-            if String.length output <> !no then fail lineno "output width mismatch";
-            let cube =
-              try Logic.Cube.of_string input with Invalid_argument m -> fail lineno m
-            in
-            rows := (cube, src, next, output) :: !rows
-          | _ -> fail lineno "expected `input state next output'"
-    )
-    (String.split_on_char '\n' text);
+  (* state names in order of first appearance, indexed for O(1) lookup:
+     scale-tier machines have thousands of states, so the old linear
+     List.mem scan was quadratic in the transition count *)
+  let state_ids = Hashtbl.create 64 in
+  let names_rev = ref [] and n_states = ref 0 in
+  let add name =
+    if name <> "-" && name <> "*" && not (Hashtbl.mem state_ids name) then begin
+      Hashtbl.replace state_ids name !n_states;
+      names_rev := name :: !names_rev;
+      incr n_states
+    end
+  in
+  let stop = ref false in
+  while not !stop do
+    match Reader.next_line r with
+    | None -> stop := true
+    | Some (raw, lineno) -> (
+      let ws = Reader.words (strip_comment raw) in
+      let fail ?col msg = Parse_error.raise_at ?col ~line:lineno msg in
+      let int_of (w, col) = Parse_error.int_of_word ~col ~line:lineno w in
+      match ws with
+      | [] -> ()
+      | (first, first_col) :: _ when first.[0] = '.' -> (
+        match ws with
+        | [ (".i", _); n ] -> ni := int_of n
+        | [ (".o", _); n ] -> no := int_of n
+        | [ (".s", _); _ ] | [ (".p", _); _ ] -> () (* advisory *)
+        | [ (".r", _); (name, _) ] -> reset_name := Some name
+        | [ (".e", _) ] | [ (".end", _) ] -> ()
+        | _ ->
+          fail ~col:first_col
+            (Printf.sprintf "unrecognised directive %S" (String.trim (strip_comment raw))))
+      | [ (input, icol); (src, _); (next, _); (output, ocol) ] ->
+        if !ni < 0 || !no < 0 then fail ~col:icol ".i/.o must precede transitions";
+        if String.length input <> !ni then fail ~col:icol "input width mismatch";
+        if String.length output <> !no then fail ~col:ocol "output width mismatch";
+        let cube =
+          try Logic.Cube.of_string input with Invalid_argument m -> fail ~col:icol m
+        in
+        add src;
+        add next;
+        rows := (cube, src, next, output) :: !rows
+      | (_, col) :: _ -> fail ~col "expected `input state next output'")
+  done;
   if !ni < 0 then Parse_error.raise_at ~line:0 "missing .i";
   if !no < 0 then Parse_error.raise_at ~line:0 "missing .o";
   let rows = List.rev !rows in
-  (* collect state names in order of first appearance; '-'/'*' are the
-     unspecified next-state markers, never states *)
-  let names = ref [] in
-  let add name =
-    if name <> "-" && name <> "*" && not (List.mem name !names) then
-      names := name :: !names
-  in
-  List.iter
-    (fun (_, src, next, _) ->
-      add src;
-      add next)
-    rows;
   (match !reset_name with Some r -> add r | None -> ());
-  let states = Array.of_list (List.rev !names) in
+  let states = Array.of_list (List.rev !names_rev) in
   let index name =
-    let rec go i =
-      if i >= Array.length states then
-        Parse_error.failf ~line:0 "unknown state %S" name
-      else if states.(i) = name then i
-      else go (i + 1)
-    in
-    go 0
+    match Hashtbl.find_opt state_ids name with
+    | Some i -> i
+    | None -> Parse_error.failf ~line:0 "unknown state %S" name
   in
   let transitions =
     List.map
@@ -84,16 +79,38 @@ let parse text =
   try Machine.create ~ni:!ni ~no:!no ~states ?reset transitions
   with Invalid_argument m -> Parse_error.raise_at ~line:0 m
 
-let parse_result text = Parse_error.result (fun () -> parse text)
+let parse ?budget text = parse_reader (Reader.of_string ?budget text)
+let parse_result ?budget text = Parse_error.result (fun () -> parse ?budget text)
 
-let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  Parse_error.with_file path (fun () -> parse text)
+let parse_file ?budget path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      Parse_error.with_file path (fun () -> parse_reader (Reader.of_channel ?budget ic)))
 
-let parse_file_result path = Parse_error.file_result path parse
+let parse_file_result ?budget path =
+  Parse_error.file_result path (fun path -> parse_file ?budget path)
+
+let output_kiss oc (m : Machine.t) =
+  Printf.fprintf oc ".i %d\n.o %d\n" m.Machine.ni m.Machine.no;
+  Printf.fprintf oc ".p %d\n.s %d\n"
+    (List.length m.Machine.transitions)
+    (Array.length m.Machine.states);
+  (match m.Machine.reset with
+  | Some r -> Printf.fprintf oc ".r %s\n" m.Machine.states.(r)
+  | None -> ());
+  List.iter
+    (fun tr ->
+      Printf.fprintf oc "%s %s %s %s\n"
+        (Logic.Cube.to_string tr.Machine.input)
+        m.Machine.states.(tr.Machine.source)
+        (match tr.Machine.next with
+        | Some s -> m.Machine.states.(s)
+        | None -> "-")
+        tr.Machine.output)
+    m.Machine.transitions;
+  output_string oc ".e\n"
 
 let to_string (m : Machine.t) =
   let buf = Buffer.create 1_024 in
@@ -120,6 +137,5 @@ let to_string (m : Machine.t) =
   Buffer.contents buf
 
 let write_file path m =
-  let oc = open_out path in
-  output_string oc (to_string m);
-  close_out oc
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_kiss oc m)

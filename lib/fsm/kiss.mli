@@ -18,16 +18,26 @@
     Each transition line is [input-cube  state  next-state  outputs];
     ['-'] (or ['*']) as next state means unspecified. *)
 
-val parse : string -> Machine.t
-(** @raise Logic.Parse_error.Parse_error with a line-tagged message on
-    malformed input (and no other exception). *)
+val parse : ?budget:Budget.t -> string -> Machine.t
+(** Streamed through {!Logic.Reader}; [budget] is checkpointed per
+    line.  State names are interned in a hash table, so machines with
+    thousands of states parse in linear time.
+    @raise Logic.Parse_error.Parse_error with a line/column-tagged
+    message on malformed input (and no other exception). *)
 
-val parse_file : string -> Machine.t
-(** @raise Sys_error if the file cannot be read. *)
+val parse_file : ?budget:Budget.t -> string -> Machine.t
+(** Streaming (the file is never materialized whole).
+    @raise Sys_error if the file cannot be read. *)
 
-val parse_result : string -> (Machine.t, Logic.Parse_error.error) result
-val parse_file_result : string -> (Machine.t, Logic.Parse_error.error) result
+val parse_result : ?budget:Budget.t -> string -> (Machine.t, Logic.Parse_error.error) result
+
+val parse_file_result :
+  ?budget:Budget.t -> string -> (Machine.t, Logic.Parse_error.error) result
 (** Exception-free variants; unreadable files land in [Error] (line 0). *)
 
 val to_string : Machine.t -> string
+
+val output_kiss : out_channel -> Machine.t -> unit
+(** Stream the KISS2 text to a channel without building it in memory. *)
+
 val write_file : string -> Machine.t -> unit

@@ -1,18 +1,21 @@
 type error = {
   file : string option;
   line : int;
+  col : int;
   what : string;
 }
 
 exception Parse_error of error
 
-let raise_at ?file ~line what = raise (Parse_error { file; line; what })
-let failf ~line fmt = Printf.ksprintf (fun what -> raise_at ~line what) fmt
+let raise_at ?file ?(col = 0) ~line what =
+  raise (Parse_error { file; line; col; what })
 
-let int_of_word ~line w =
+let failf ?col ~line fmt = Printf.ksprintf (fun what -> raise_at ?col ~line what) fmt
+
+let int_of_word ?col ~line w =
   match int_of_string_opt w with
   | Some n -> n
-  | None -> failf ~line "expected an integer, got %S" w
+  | None -> failf ?col ~line "expected an integer, got %S" w
 
 let with_file file f =
   try f ()
@@ -21,22 +24,25 @@ let with_file file f =
 let result f =
   try Ok (f ()) with Parse_error e -> Error e
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let file_result path parse =
-  match read_file path with
-  | text -> result (fun () -> with_file path (fun () -> parse text))
-  | exception Sys_error msg -> Error { file = Some path; line = 0; what = msg }
+  match parse path with
+  | v -> Ok v
+  | exception Parse_error e -> Error { e with file = Some path }
+  | exception Sys_error msg -> Error { file = Some path; line = 0; col = 0; what = msg }
 
 let to_string e =
   let pos =
     match e.file with
-    | Some f -> if e.line > 0 then Printf.sprintf "%s:%d: " f e.line else f ^ ": "
-    | None -> if e.line > 0 then Printf.sprintf "line %d: " e.line else ""
+    | Some f ->
+      if e.line > 0 then
+        if e.col > 0 then Printf.sprintf "%s:%d:%d: " f e.line e.col
+        else Printf.sprintf "%s:%d: " f e.line
+      else f ^ ": "
+    | None ->
+      if e.line > 0 then
+        if e.col > 0 then Printf.sprintf "line %d, column %d: " e.line e.col
+        else Printf.sprintf "line %d: " e.line
+      else ""
   in
   pos ^ e.what
 

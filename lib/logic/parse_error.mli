@@ -4,25 +4,30 @@
     Parsers promise to raise {e only} {!Parse_error} on malformed input
     — never [Failure], [Invalid_argument] or [Not_found] — carrying the
     source file (when parsing from a file), a 1-based line number (0 for
-    whole-input errors such as a missing header), and a human-readable
-    description.  The [*_result] entry points of the parser modules wrap
-    the same machinery into [('a, error) result] values. *)
+    whole-input errors such as a missing header), a 1-based column
+    number (0 when no single column is to blame), and a human-readable
+    description.  Line and column are what an editor shows: the first
+    character of the file is line 1, column 1.  The [*_result] entry
+    points of the parser modules wrap the same machinery into
+    [('a, error) result] values. *)
 
 type error = {
   file : string option;  (** set by the [parse_file*] entry points *)
   line : int;  (** 1-based; 0 when no single line is to blame *)
+  col : int;  (** 1-based; 0 when no single column is to blame *)
   what : string;
 }
 
 exception Parse_error of error
 
-val raise_at : ?file:string -> line:int -> string -> 'a
-(** Raise {!Parse_error} at the given position. *)
+val raise_at : ?file:string -> ?col:int -> line:int -> string -> 'a
+(** Raise {!Parse_error} at the given position ([col] defaults to 0 =
+    unknown). *)
 
-val failf : line:int -> ('a, unit, string, 'b) format4 -> 'a
+val failf : ?col:int -> line:int -> ('a, unit, string, 'b) format4 -> 'a
 (** [Printf]-style {!raise_at}. *)
 
-val int_of_word : line:int -> string -> int
+val int_of_word : ?col:int -> line:int -> string -> int
 (** Parse an integer token, raising {!Parse_error} (never [Failure]) on
     junk. *)
 
@@ -34,9 +39,11 @@ val result : (unit -> 'a) -> ('a, error) result
 (** Capture {!Parse_error} as [Error]; other exceptions pass through. *)
 
 val file_result : string -> (string -> 'a) -> ('a, error) result
-(** [file_result path parse] reads [path] and applies [parse] to its
-    contents; I/O failures ([Sys_error]) and parse failures both land in
-    [Error], with [file] set. *)
+(** [file_result path parse_file] applies [parse_file] to the {e path}
+    (the parser streams the file itself); I/O failures ([Sys_error]) and
+    parse failures both land in [Error], with [file] set. *)
 
 val to_string : error -> string
+(** [file:line:col: what] (parts with value 0 omitted). *)
+
 val pp : Format.formatter -> error -> unit

@@ -13,12 +13,12 @@ type t = {
   rows : (Cube.t * string) list;
 }
 
-let kind_of_string ~line = function
+let kind_of_string ?col ~line = function
   | "f" -> F
   | "fd" -> FD
   | "fr" -> FR
   | "fdr" -> FDR
-  | s -> Parse_error.failf ~line "unsupported .type %S" s
+  | s -> Parse_error.failf ?col ~line "unsupported .type %S" s
 
 let string_of_kind = function
   | F -> "f"
@@ -28,12 +28,12 @@ let string_of_kind = function
 
 let default_labels prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
 
-let split_words s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun w -> w <> "")
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
 
-let parse text =
+let parse_reader r =
   let ni = ref (-1)
   and no = ref (-1)
   and kind = ref FD
@@ -41,57 +41,55 @@ let parse text =
   and ob = ref None
   and rows = ref []
   and declared_p = ref None in
-  let lines = String.split_on_char '\n' text in
-  let fail lineno msg = Parse_error.raise_at ~line:lineno msg in
-  List.iteri
-    (fun idx raw ->
-      let lineno = idx + 1 in
-      let int_of = Parse_error.int_of_word ~line:lineno in
-      let line =
-        match String.index_opt raw '#' with
-        | Some i -> String.sub raw 0 i
-        | None -> raw
-      in
-      let line = String.trim line in
-      if line <> "" then
-        if line.[0] = '.' then begin
-          match split_words line with
-          | [ ".i"; n ] -> ni := int_of n
-          | [ ".o"; n ] -> no := int_of n
-          | [ ".p"; n ] -> declared_p := Some (int_of n)
-          | ".type" :: [ k ] -> kind := kind_of_string ~line:lineno k
-          | ".ilb" :: labels -> ilb := Some (Array.of_list labels)
-          | ".ob" :: labels -> ob := Some (Array.of_list labels)
-          | [ ".e" ] | [ ".end" ] -> ()
-          | ".phase" :: _ | ".pair" :: _ | ".symbolic" :: _ ->
-            fail lineno "unsupported directive"
-          | _ -> fail lineno (Printf.sprintf "unrecognised directive %S" line)
-        end
-        else begin
-          if !ni < 0 then fail lineno ".i must precede cube lines";
-          if !no < 0 then fail lineno ".o must precede cube lines";
-          match split_words line with
-          | [ input; output ] when !no > 0 ->
-            if String.length input <> !ni then fail lineno "input plane width mismatch";
-            if String.length output <> !no then fail lineno "output plane width mismatch";
-            let cube =
-              try Cube.of_string input
-              with Invalid_argument m -> fail lineno m
-            in
-            String.iter
-              (fun c ->
-                match c with
-                | '0' | '1' | '-' | '~' -> ()
-                | _ -> fail lineno "invalid output plane character")
-              output;
-            rows := (cube, output) :: !rows
-          | [ input ] when !no = 0 ->
-            (try ignore (Cube.of_string input)
-             with Invalid_argument m -> fail lineno m);
-            fail lineno "zero-output PLA has no function to read"
-          | _ -> fail lineno "expected `<input-plane> <output-plane>'"
-        end)
-    lines;
+  let stop = ref false in
+  while not !stop do
+    match Reader.next_line r with
+    | None -> stop := true
+    | Some (raw, lineno) -> (
+      let ws = Reader.words (strip_comment raw) in
+      let fail ?col msg = Parse_error.raise_at ?col ~line:lineno msg in
+      let int_of (w, col) = Parse_error.int_of_word ~col ~line:lineno w in
+      match ws with
+      | [] -> ()
+      | (first, first_col) :: _ when first.[0] = '.' -> (
+        let line = String.trim (strip_comment raw) in
+        match ws with
+        | [ (".i", _); n ] -> ni := int_of n
+        | [ (".o", _); n ] -> no := int_of n
+        | [ (".p", _); n ] -> declared_p := Some (int_of n)
+        | [ (".type", _); (k, kcol) ] -> kind := kind_of_string ~col:kcol ~line:lineno k
+        | (".ilb", _) :: labels -> ilb := Some (Array.of_list (List.map fst labels))
+        | (".ob", _) :: labels -> ob := Some (Array.of_list (List.map fst labels))
+        | [ (".e", _) ] | [ (".end", _) ] -> ()
+        | (".phase", _) :: _ | (".pair", _) :: _ | (".symbolic", _) :: _ ->
+          fail ~col:first_col "unsupported directive"
+        | _ -> fail ~col:first_col (Printf.sprintf "unrecognised directive %S" line))
+      | ws -> (
+        let first_col = snd (List.hd ws) in
+        if !ni < 0 then fail ~col:first_col ".i must precede cube lines";
+        if !no < 0 then fail ~col:first_col ".o must precede cube lines";
+        match ws with
+        | [ (input, icol); (output, ocol) ] when !no > 0 ->
+          if String.length input <> !ni then fail ~col:icol "input plane width mismatch";
+          if String.length output <> !no then
+            fail ~col:ocol "output plane width mismatch";
+          let cube =
+            try Cube.of_string input
+            with Invalid_argument m -> fail ~col:icol m
+          in
+          String.iteri
+            (fun k c ->
+              match c with
+              | '0' | '1' | '-' | '~' -> ()
+              | _ -> fail ~col:(ocol + k) "invalid output plane character")
+            output;
+          rows := (cube, output) :: !rows
+        | [ (input, icol) ] when !no = 0 ->
+          (try ignore (Cube.of_string input)
+           with Invalid_argument m -> fail ~col:icol m);
+          fail ~col:icol "zero-output PLA has no function to read"
+        | _ -> fail ~col:first_col "expected `<input-plane> <output-plane>'"))
+  done;
   if !ni < 0 then Parse_error.raise_at ~line:0 "missing .i";
   if !no < 0 then Parse_error.raise_at ~line:0 "missing .o";
   let rows = List.rev !rows in
@@ -109,16 +107,18 @@ let parse text =
     rows;
   }
 
-let parse_result text = Parse_error.result (fun () -> parse text)
+let parse ?budget text = parse_reader (Reader.of_string ?budget text)
+let parse_result ?budget text = Parse_error.result (fun () -> parse ?budget text)
 
-let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  Parse_error.with_file path (fun () -> parse text)
+let parse_file ?budget path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      Parse_error.with_file path (fun () -> parse_reader (Reader.of_channel ?budget ic)))
 
-let parse_file_result path = Parse_error.file_result path parse
+let parse_file_result ?budget path =
+  Parse_error.file_result path (fun path -> parse_file ?budget path)
 
 let to_string t =
   let buf = Buffer.create 1_024 in

@@ -27,19 +27,21 @@ type t = {
       (** each row: input cube and its output plane (length [no]) *)
 }
 
-val parse : string -> t
-(** Parse PLA text.
-    @raise Parse_error.Parse_error with a line-tagged message on
+val parse : ?budget:Budget.t -> string -> t
+(** Parse PLA text (streamed through {!Reader}; [budget] is
+    checkpointed per line).
+    @raise Parse_error.Parse_error with a line/column-tagged message on
     malformed input (and nothing else). *)
 
-val parse_file : string -> t
-(** Like {!parse}, with the error's [file] field set.
+val parse_file : ?budget:Budget.t -> string -> t
+(** Like {!parse}, streaming the file (never materialized whole), with
+    the error's [file] field set.
     @raise Sys_error if the file cannot be read. *)
 
-val parse_result : string -> (t, Parse_error.error) result
+val parse_result : ?budget:Budget.t -> string -> (t, Parse_error.error) result
 (** Exception-free {!parse}. *)
 
-val parse_file_result : string -> (t, Parse_error.error) result
+val parse_file_result : ?budget:Budget.t -> string -> (t, Parse_error.error) result
 (** Exception-free {!parse_file}; unreadable files land in [Error] too
     (line 0). *)
 

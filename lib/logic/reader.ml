@@ -1,0 +1,163 @@
+let chunk_size = 65536
+
+(* High-water mark of the major heap, sampled at refill boundaries: the
+   meter behind the "peak parser memory is O(1)" gate.  Atomic so
+   parallel batch parses from several domains share one honest peak. *)
+let heap_peak = Atomic.make 0
+
+let note_heap () =
+  let hw = (Gc.quick_stat ()).Gc.heap_words in
+  if hw > Atomic.get heap_peak then Atomic.set heap_peak hw
+
+let reset_heap_peak () = Atomic.set heap_peak (Gc.quick_stat ()).Gc.heap_words
+let peak_heap_words () = Atomic.get heap_peak
+
+let () =
+  Telemetry.register_probe "parse.peak_heap_words" (fun () ->
+      float_of_int (Atomic.get heap_peak))
+
+type t = {
+  fill : bytes -> int;  (* read up to [Bytes.length b] bytes; 0 = EOF *)
+  buf : bytes;
+  mutable len : int;  (* valid bytes in [buf] *)
+  mutable pos : int;  (* cursor within [buf] *)
+  mutable line : int;  (* 1-based position of the char at [pos] *)
+  mutable col : int;
+  mutable eof : bool;
+  budget : Budget.t;
+  scratch : Buffer.t;  (* current line / token under construction *)
+}
+
+let make ?(budget = Budget.none) fill =
+  note_heap ();
+  {
+    fill;
+    buf = Bytes.create chunk_size;
+    len = 0;
+    pos = 0;
+    line = 1;
+    col = 1;
+    eof = false;
+    budget;
+    scratch = Buffer.create 256;
+  }
+
+let of_string ?budget s =
+  let off = ref 0 in
+  let fill b =
+    let n = min (Bytes.length b) (String.length s - !off) in
+    Bytes.blit_string s !off b 0 n;
+    off := !off + n;
+    n
+  in
+  make ?budget fill
+
+let of_channel ?budget ic = make ?budget (fun b -> input ic b 0 (Bytes.length b))
+
+let line r = r.line
+let col r = r.col
+
+let refill r =
+  if r.eof then false
+  else begin
+    let n = r.fill r.buf in
+    if n = 0 then begin
+      r.eof <- true;
+      false
+    end
+    else begin
+      r.len <- n;
+      r.pos <- 0;
+      note_heap ();
+      true
+    end
+  end
+
+(* true iff a character is available at [r.pos] *)
+let ensure r = r.pos < r.len || refill r
+
+let advance r c =
+  r.pos <- r.pos + 1;
+  if c = '\n' then begin
+    r.line <- r.line + 1;
+    r.col <- 1
+  end
+  else r.col <- r.col + 1
+
+let tick r =
+  if Budget.tick r.budget Budget.Parse then
+    Parse_error.raise_at ~line:r.line ~col:r.col
+      (match Budget.tripped r.budget with
+      | Some t -> "parse aborted: " ^ Budget.describe t
+      | None -> "parse aborted: budget exhausted")
+
+let next_line r =
+  tick r;
+  if not (ensure r) then None
+  else begin
+    let ln = r.line in
+    Buffer.clear r.scratch;
+    let stop = ref false in
+    while (not !stop) && ensure r do
+      let c = Bytes.get r.buf r.pos in
+      advance r c;
+      if c = '\n' then stop := true else Buffer.add_char r.scratch c
+    done;
+    Some (Buffer.contents r.scratch, ln)
+  end
+
+let is_sep = function ' ' | '\t' | '\n' -> true | _ -> false
+
+let next_token r =
+  tick r;
+  let rec skip () =
+    if not (ensure r) then false
+    else
+      let c = Bytes.get r.buf r.pos in
+      if is_sep c then begin
+        advance r c;
+        skip ()
+      end
+      else true
+  in
+  if not (skip ()) then None
+  else begin
+    let ln = r.line and cl = r.col in
+    Buffer.clear r.scratch;
+    let stop = ref false in
+    while (not !stop) && ensure r do
+      let c = Bytes.get r.buf r.pos in
+      if is_sep c then stop := true
+      else begin
+        Buffer.add_char r.scratch c;
+        advance r c
+      end
+    done;
+    Some (Buffer.contents r.scratch, ln, cl)
+  end
+
+let is_trimmed = function ' ' | '\t' | '\r' | '\n' | '\012' -> true | _ -> false
+
+let words s =
+  let n = String.length s in
+  let start = ref 0 and stop = ref n in
+  while !start < n && is_trimmed s.[!start] do
+    incr start
+  done;
+  while !stop > !start && is_trimmed s.[!stop - 1] do
+    decr stop
+  done;
+  let out = ref [] in
+  let i = ref !start in
+  while !i < !stop do
+    match s.[!i] with
+    | ' ' | '\t' -> incr i
+    | _ ->
+      let j = ref !i in
+      while !j < !stop && s.[!j] <> ' ' && s.[!j] <> '\t' do
+        incr j
+      done;
+      out := (String.sub s !i (!j - !i), !i + 1) :: !out;
+      i := !j
+  done;
+  List.rev !out

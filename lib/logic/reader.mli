@@ -1,0 +1,66 @@
+(** Buffered streaming cursor for the text-format parsers.
+
+    Every parser in the tree ({!Pla}, [Covering.Instance], [Fsm.Kiss])
+    reads its input through this module: a fixed-size chunk buffer over
+    a string or an [in_channel], a 1-based line/column position that
+    always matches what an editor shows, and a cooperative {!Budget}
+    checkpoint per line / token so a wall-clock deadline, an
+    {!Budget.interrupt} or an injected fault aborts a parse of an
+    arbitrarily large file promptly.
+
+    File parses are {e streaming}: the reader holds one
+    {!chunk_size}-byte buffer plus the current line or token, so peak
+    parser memory is independent of file size.  The module tracks the
+    major-heap high-water mark observed at read boundaries and exposes
+    it as the telemetry gauge ["parse.peak_heap_words"] — the meter the
+    scale benchmarks and the O(1)-memory property test read. *)
+
+type t
+
+val chunk_size : int
+(** Bytes per refill for channel sources (65536). *)
+
+val of_string : ?budget:Budget.t -> string -> t
+(** Cursor over an in-memory string (the string itself is the caller's;
+    the reader streams it through the chunk buffer). *)
+
+val of_channel : ?budget:Budget.t -> in_channel -> t
+(** Cursor over a channel; reads at most {!chunk_size} bytes at a time
+    and never seeks, so it works on pipes. *)
+
+val line : t -> int
+(** 1-based line number of the next unread character. *)
+
+val col : t -> int
+(** 1-based column (byte offset within the line; a tab counts as one
+    column) of the next unread character. *)
+
+val next_line : t -> (string * int) option
+(** The next line (without its terminating ['\n']) and the 1-based line
+    number it started on; [None] at end of input.  A final line without
+    a newline is returned like any other.
+
+    @raise Parse_error.Parse_error when the budget trips. *)
+
+val next_token : t -> (string * int * int) option
+(** The next whitespace-separated word (separators: space, tab,
+    newline) with the 1-based line and column of its first character;
+    [None] at end of input.
+
+    @raise Parse_error.Parse_error when the budget trips. *)
+
+val words : string -> (string * int) list
+(** Split one line into words with the 1-based column of each word's
+    first character.  Semantics match [String.trim] + split on
+    space/tab: leading and trailing whitespace (including ['\r'] from
+    CRLF files) is ignored, interior bytes are kept verbatim. *)
+
+(** {1 Peak-memory meter} *)
+
+val reset_heap_peak : unit -> unit
+(** Restart the high-water mark from the current major-heap size. *)
+
+val peak_heap_words : unit -> int
+(** Largest major-heap size (words) observed at a reader refill since
+    the last {!reset_heap_peak}.  Also exported as the telemetry gauge
+    ["parse.peak_heap_words"]. *)

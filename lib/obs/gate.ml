@@ -322,6 +322,90 @@ let check_par ~baseline ~fresh =
   | None -> fail "FAIL batch missing from the fresh run");
   { pass = !fails = []; lines = List.rev !lines }
 
+(* ------------------------------------------------------------------ *)
+(* Scale baselines (BENCH_scale.json shape)                           *)
+(*                                                                    *)
+(* Everything gated is machine-independent.  Streaming round-trip      *)
+(* identity and the planted-optimum certificates are hard booleans;    *)
+(* solver costs are exactly reproducible because the scale bench runs  *)
+(* under a deterministic step budget, never a wall-clock one; the      *)
+(* counting-fold memory ratio (parser heap growth / file bytes) gets   *)
+(* the relative tolerance plus an absolute slack of 0.25 for allocator *)
+(* granularity on the CI-sized files.  Parse/solve seconds are echoed  *)
+(* in the JSON but never gated.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fold_mem_slack = 0.25
+
+let check_scale ~tolerance ~baseline ~fresh =
+  let fails = ref [] and lines = ref [] in
+  let note fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  let fail fmt = Format.kasprintf (fun s -> fails := s :: !fails; lines := s :: !lines) fmt in
+  List.iter
+    (fun name ->
+      match member_b name fresh with
+      | Some true -> note "ok   %s" name
+      | Some false -> fail "FAIL %s is false" name
+      | None -> fail "FAIL %s missing from the fresh run" name)
+    [ "stream_equiv_all"; "planted_all" ];
+  List.iter
+    (fun name ->
+      match Option.bind (Json.member "routing" fresh) (member_b name) with
+      | Some true -> note "ok   routing.%s" name
+      | Some false -> fail "FAIL routing.%s is false" name
+      | None -> fail "FAIL routing.%s missing from the fresh run" name)
+    [ "espresso_ok"; "fsm_ok" ];
+  List.iter
+    (fun base_inst ->
+      match member_s "name" base_inst with
+      | None -> fail "FAIL baseline instance without a name"
+      | Some name -> (
+        match find_instance name fresh with
+        | None -> fail "FAIL %s: missing from the fresh run" name
+        | Some fresh_inst ->
+          (if member_b "stream_equiv" fresh_inst <> Some true then
+             fail "FAIL %s: streaming round-trip lost the instance" name);
+          (if
+             member_b "planted_ok" base_inst = Some true
+             && member_b "planted_ok" fresh_inst <> Some true
+           then
+             fail "FAIL %s: solved cost no longer matches the planted optimum"
+               name);
+          List.iter
+            (fun field ->
+              let b = member_i field base_inst and f = member_i field fresh_inst in
+              if b <> f then
+                fail "FAIL %s: %s changed %a -> %a" name field
+                  Fmt.(option ~none:(any "?") int)
+                  b
+                  Fmt.(option ~none:(any "?") int)
+                  f)
+            [ "cost"; "lower_bound"; "rows"; "cols"; "nnz" ];
+          (let b = member_b "proven_optimal" base_inst
+           and f = member_b "proven_optimal" fresh_inst in
+           if b <> f then fail "FAIL %s: proven_optimal changed" name);
+          let tol =
+            Option.value ~default:tolerance (member_f "tolerance" base_inst)
+          in
+          (match
+             ( member_f "fold_mem_ratio" base_inst,
+               member_f "fold_mem_ratio" fresh_inst )
+           with
+          | Some base_r, Some fresh_r ->
+            let ceiling = (base_r *. (1. +. tol)) +. fold_mem_slack in
+            if fresh_r > ceiling then
+              fail
+                "FAIL %s: fold memory ratio %.4f above %.4f (baseline %.4f + \
+                 %.0f%% + %.2f)"
+                name fresh_r ceiling base_r (100. *. tol) fold_mem_slack
+            else
+              note "ok   %s: fold memory ratio %.4f (baseline %.4f, ceiling %.4f)"
+                name fresh_r base_r ceiling
+          | None, _ -> fail "FAIL %s: baseline lacks fold_mem_ratio" name
+          | _, None -> fail "FAIL %s: fresh run lacks fold_mem_ratio" name)))
+    (instances baseline);
+  { pass = !fails = []; lines = List.rev !lines }
+
 let check ?(tolerance = default_tolerance) ?(min_seconds = default_min_seconds)
     ~baseline ~fresh () =
   match (member_s "mode" baseline, member_s "table" baseline) with
@@ -333,6 +417,7 @@ let check ?(tolerance = default_tolerance) ?(min_seconds = default_min_seconds)
        the aggregate ratio — only the two sides of the ratio differ *)
     check_reduce ~sides:"dense and sparse paths" ~tolerance ~baseline ~fresh ()
   | Some "zdd", _ -> check_zdd ~tolerance ~baseline ~fresh
+  | Some "scale", _ -> check_scale ~tolerance ~baseline ~fresh
   | _, Some "par" -> check_par ~baseline ~fresh
   | _, Some _ -> check_table ~tolerance ~min_seconds ~baseline ~fresh
   | _ ->

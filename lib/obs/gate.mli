@@ -36,6 +36,18 @@
       floor: a row-level ["floor"] in the baseline wins, otherwise
       ["floor_single"] (default 0.95) or ["floor_multicore"] (default
       1.0) selected by the fresh run's visible core count.
+    - [{"mode":"scale", ...}] — the big-instance pipeline benchmark
+      ([BENCH_scale.json]).  Streaming round-trip identity
+      ([stream_equiv_all], per-instance [stream_equiv]) and the
+      planted-optimum certificates ([planted_all], [planted_ok]) are
+      hard booleans; [cost]/[lower_bound]/[proven_optimal] and the
+      instance dimensions are compared exactly (the bench solves under
+      a deterministic step budget, so they are machine-independent);
+      the counting-fold memory ratio ([fold_mem_ratio] = parser heap
+      growth / file bytes) gets the relative tolerance plus a 0.25
+      absolute slack; the [routing] booleans (espresso and KISS/binate
+      fronts) must hold.  Parse/solve seconds are echoed but never
+      gated.
     - [{"mode":"serve", ...}] — the daemon benchmark
       ([BENCH_serve.json]).  Gated facts are machine-independent
       booleans and counts only: the daemon survived the torture run

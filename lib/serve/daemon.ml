@@ -359,12 +359,13 @@ let parse_problem fmt payload : (Cache.problem, Logic.Parse_error.error) result 
       match Covering.From_logic.build_multi pla with
       | bridge -> Ok (Cache.P_multi (pla, bridge))
       | exception Invalid_argument what ->
-        Error { Logic.Parse_error.file = None; line = 0; what }))
+        Error { Logic.Parse_error.file = None; line = 0; col = 0; what }))
   | Kiss -> Result.map (fun m -> Cache.P_kiss m) (Fsm.Kiss.parse_result payload)
 
 let render_parse_error (e : Logic.Parse_error.error) =
   if e.line = 0 then e.what ^ "\n"
-  else Printf.sprintf "line %d: %s\n" e.line e.what
+  else if e.col = 0 then Printf.sprintf "line %d: %s\n" e.line e.what
+  else Printf.sprintf "line %d, column %d: %s\n" e.line e.col e.what
 
 let scg_response (r : Scg.result) =
   let code =

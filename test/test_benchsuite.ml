@@ -193,7 +193,8 @@ let test_registry_counts () =
   Alcotest.(check int) "dense 5" 5 (List.length (Benchsuite.Registry.dense ()));
   Alcotest.(check int) "challenging 16" 16
     (List.length (Benchsuite.Registry.challenging ()));
-  Alcotest.(check int) "total 77" 77 (List.length (Benchsuite.Registry.all ()))
+  Alcotest.(check int) "scale 5" 5 (List.length (Benchsuite.Registry.scale ()));
+  Alcotest.(check int) "total 82" 82 (List.length (Benchsuite.Registry.all ()))
 
 let test_registry_names_unique () =
   let names = List.map (fun i -> i.Benchsuite.Registry.name) (Benchsuite.Registry.all ()) in

@@ -83,6 +83,35 @@ let test_kiss_corpus () =
     kiss_corpus
 
 (* ------------------------------------------------------------------ *)
+(* Column positions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* the corpus pins line numbers; these pin the 1-based column of the
+   offending token, the other half of the editor-position promise *)
+let test_column_positions () =
+  let expect_pos name parse input ~line ~col =
+    match parse input with
+    | _ -> Alcotest.failf "%s: parse unexpectedly succeeded" name
+    | exception Parse_error.Parse_error e ->
+      Alcotest.(check int) (name ^ ": line") line e.Parse_error.line;
+      Alcotest.(check int) (name ^ ": col") col e.Parse_error.col
+    | exception e ->
+      Alcotest.failf "%s: wrong exception %s" name (Printexc.to_string e)
+  in
+  let ucp = Covering.Instance.parse in
+  let orlib = Covering.Instance.parse_orlib in
+  (* "r x": the junk token "x" sits at column 3 *)
+  expect_pos "ucp junk token" ucp "p ucp 1 2\nr x\n" ~line:2 ~col:3;
+  (* "r 0 5": the out-of-range column index is the third token *)
+  expect_pos "ucp out of range" ucp "p ucp 1 3\nr 0 5\n" ~line:2 ~col:5;
+  expect_pos "orlib junk token" orlib "1 2\n1 1\n2 1 x" ~line:3 ~col:5;
+  expect_pos "orlib out of range" orlib "1 2\n1 1\n1 5" ~line:3 ~col:3;
+  expect_pos "pla bad cube" (fun s -> Logic.Pla.parse s) ".i 2\n.o 1\n1x 1\n.e\n"
+    ~line:3 ~col:1;
+  expect_pos "kiss width mismatch" (fun s -> Fsm.Kiss.parse s)
+    ".i 1\n.o 1\n0 s0 s1 zz\n" ~line:3 ~col:9
+
+(* ------------------------------------------------------------------ *)
 (* Truncation / corruption fuzz: only Parse_error may escape          *)
 (* ------------------------------------------------------------------ *)
 
@@ -197,6 +226,7 @@ let () =
           Alcotest.test_case "orlib" `Quick test_orlib_corpus;
           Alcotest.test_case "pla" `Quick test_pla_corpus;
           Alcotest.test_case "kiss" `Quick test_kiss_corpus;
+          Alcotest.test_case "column positions" `Quick test_column_positions;
         ] );
       ( "fuzz",
         [
